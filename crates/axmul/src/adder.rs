@@ -1,0 +1,152 @@
+//! Behavioral 16-bit adders: exact ripple-carry and lower-part-OR (LOA).
+//!
+//! The paper's Fig. 5 case study pairs the `NGR` approximate multiplier with
+//! the `5LT` approximate adder and shows the adder contributes only ~2 % of
+//! the achievable energy saving. [`LowerOrAdder`] is our `5LT` stand-in.
+
+use std::fmt;
+
+/// Behavioral contract for a 16-bit unsigned adder (the accumulator width
+/// of an 8-bit MAC datapath).
+pub trait Adder16: Send + Sync + fmt::Debug {
+    /// Computes the (possibly approximate) sum, saturating at `u16::MAX`.
+    fn add(&self, a: u16, b: u16) -> u16;
+
+    /// A one-line human-readable description of the microarchitecture.
+    fn description(&self) -> String;
+}
+
+/// Accurate 16-bit ripple-carry adder (saturating).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExactAdder;
+
+impl Adder16 for ExactAdder {
+    fn add(&self, a: u16, b: u16) -> u16 {
+        a.saturating_add(b)
+    }
+
+    fn description(&self) -> String {
+        "exact 16-bit ripple-carry adder".to_string()
+    }
+}
+
+/// Lower-part-OR adder (LOA): the `k` least-significant bits are computed
+/// with a plain OR (no carries), the upper `16-k` bits with an exact adder
+/// receiving no carry-in from the lower part.
+///
+/// This is the classic low-power approximate adder; our stand-in for the
+/// paper's `add16u_5LT`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LowerOrAdder {
+    /// Number of OR-approximated low bits (`0..=16`).
+    pub k: u8,
+}
+
+impl LowerOrAdder {
+    /// Creates a LOA with `k` approximate low bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 16`.
+    pub fn new(k: u8) -> Self {
+        assert!(k <= 16);
+        LowerOrAdder { k }
+    }
+}
+
+impl Adder16 for LowerOrAdder {
+    fn add(&self, a: u16, b: u16) -> u16 {
+        if self.k == 0 {
+            return a.saturating_add(b);
+        }
+        if self.k >= 16 {
+            return a | b;
+        }
+        let mask = (1u32 << self.k) - 1;
+        let low = (a as u32 | b as u32) & mask;
+        let high = ((a as u32 >> self.k) + (b as u32 >> self.k)) << self.k;
+        (high | low).min(u16::MAX as u32) as u16
+    }
+
+    fn description(&self) -> String {
+        format!("lower-part-OR adder, {} approximate low bits", self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_adder_adds() {
+        let a = ExactAdder;
+        assert_eq!(a.add(3, 4), 7);
+        assert_eq!(a.add(u16::MAX, 1), u16::MAX); // saturates
+    }
+
+    #[test]
+    fn loa_zero_bits_is_exact() {
+        let a = LowerOrAdder::new(0);
+        for &(x, y) in &[(0u16, 0u16), (123, 456), (40000, 20000)] {
+            assert_eq!(a.add(x, y), x.saturating_add(y));
+        }
+    }
+
+    #[test]
+    fn loa_never_overestimates_by_much_and_bounded() {
+        // LOA error is bounded by 2^k (the lost low-part carries).
+        let k = 5u8;
+        let a = LowerOrAdder::new(k);
+        let bound = 1i32 << k;
+        for x in (0..=u16::MAX).step_by(251) {
+            for y in (0..=u16::MAX).step_by(257) {
+                let exact = x.saturating_add(y) as i32;
+                if exact == u16::MAX as i32 {
+                    continue; // saturation region
+                }
+                let approx = a.add(x, y) as i32;
+                assert!((approx - exact).abs() < bound, "{x}+{y}: {approx} vs {exact}");
+            }
+        }
+    }
+
+    #[test]
+    fn loa_or_identity_when_no_low_overlap() {
+        // If low parts have disjoint bits, OR == ADD and LOA is exact.
+        let a = LowerOrAdder::new(4);
+        assert_eq!(a.add(0b0001, 0b0010), 0b0011);
+        assert_eq!(a.add(0x10, 0x21), 0x31);
+    }
+
+    #[test]
+    fn loa_full_width_is_or() {
+        let a = LowerOrAdder::new(16);
+        assert_eq!(a.add(0xF0F0, 0x0F0F), 0xFFFF);
+    }
+
+    #[test]
+    fn loa_error_grows_with_k() {
+        fn mean_abs_err(k: u8) -> f64 {
+            let a = LowerOrAdder::new(k);
+            let mut total = 0f64;
+            let mut n = 0u32;
+            for x in (0..1u32 << 14).step_by(97) {
+                for y in (0..1u32 << 14).step_by(89) {
+                    let exact = (x + y) as i64;
+                    let approx = a.add(x as u16, y as u16) as i64;
+                    total += (approx - exact).abs() as f64;
+                    n += 1;
+                }
+            }
+            total / n as f64
+        }
+        assert!(mean_abs_err(2) < mean_abs_err(6));
+        assert!(mean_abs_err(6) < mean_abs_err(10));
+    }
+
+    #[test]
+    fn descriptions_mention_parameters() {
+        assert!(LowerOrAdder::new(5).description().contains('5'));
+        assert!(ExactAdder.description().contains("exact"));
+    }
+}

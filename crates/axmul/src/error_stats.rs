@@ -1,0 +1,425 @@
+//! Arithmetic-error characterization of approximate components.
+//!
+//! Implements Sec. III-B of the paper: sample the error
+//! `ΔP = P'(a,b) − P(a,b)` of a component over a representative input set
+//! `I` (Eq. 2), optionally accumulated over a MAC chain (1, 9 or 81
+//! multiply-accumulates, matching 1×1, 3×3 and 9×9 convolution kernels),
+//! then summarize the distribution and express it as the paper's noise
+//! parameters:
+//!
+//! ```text
+//! NM(Δ) = stdev(Δ) / R(X)      NA(Δ) = mean(Δ) / R(X)
+//! ```
+//!
+//! where `R(X)` is the value range of the accurate outputs over the same
+//! inputs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::mult::Multiplier8;
+
+/// The input distribution over which a component is characterized.
+///
+/// The paper highlights (Table IV) that `NM`/`NA` are **dataset dependent**:
+/// characterizing with uniform random operands ("Modeled") slightly
+/// overestimates the noise relative to operands drawn from the real network
+/// ("Real"). `Empirical` carries pools of quantized operand codes sampled
+/// from a trained network's layer inputs and weights.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InputDistribution {
+    /// Independent uniform operands over `0..=255`.
+    Uniform,
+    /// Operands drawn (with replacement) from empirical pools: `a` from
+    /// `activations`, `b` from `weights`.
+    Empirical {
+        /// Quantized activation codes observed in the network.
+        activations: Vec<u8>,
+        /// Quantized weight codes of the layer under study.
+        weights: Vec<u8>,
+    },
+}
+
+impl InputDistribution {
+    /// Draws one `(a, b)` operand pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an empirical pool is empty.
+    pub fn sample(&self, rng: &mut StdRng) -> (u8, u8) {
+        match self {
+            InputDistribution::Uniform => (rng.gen::<u8>(), rng.gen::<u8>()),
+            InputDistribution::Empirical {
+                activations,
+                weights,
+            } => {
+                assert!(
+                    !activations.is_empty() && !weights.is_empty(),
+                    "empirical input pools must be non-empty"
+                );
+                let a = activations[rng.gen_range(0..activations.len())];
+                let b = weights[rng.gen_range(0..weights.len())];
+                (a, b)
+            }
+        }
+    }
+}
+
+/// The paper's per-component noise parameters (Sec. III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseParams {
+    /// Noise average: `mean(Δ) / R(X)`.
+    pub na: f64,
+    /// Noise magnitude: `stdev(Δ) / R(X)`.
+    pub nm: f64,
+}
+
+/// A summarized arithmetic-error distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorProfile {
+    /// Number of sampled input sets.
+    pub samples: usize,
+    /// Mean error `m(Δ)`.
+    pub mean: f64,
+    /// Standard deviation `std(Δ)`.
+    pub std: f64,
+    /// Smallest observed error.
+    pub min: f64,
+    /// Largest observed error.
+    pub max: f64,
+    /// Range `R(X)` of the *accurate* outputs over the same inputs.
+    pub output_range: f64,
+    /// Error histogram (bin counts over `[hist_lo, hist_hi]`).
+    pub hist_counts: Vec<u64>,
+    /// Lower edge of the histogram domain.
+    pub hist_lo: f64,
+    /// Upper edge of the histogram domain.
+    pub hist_hi: f64,
+}
+
+impl ErrorProfile {
+    fn from_errors(errors: &[f64], output_range: f64, bins: usize) -> Self {
+        assert!(!errors.is_empty(), "cannot profile zero samples");
+        let n = errors.len() as f64;
+        let mean = errors.iter().sum::<f64>() / n;
+        let var = errors.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / n;
+        let std = var.sqrt();
+        let min = errors.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = errors.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        // Histogram domain: symmetric around the mean, ±4σ (or the observed
+        // extremes if wider), with a small floor so exact components get a
+        // well-formed single-spike histogram.
+        let half = (4.0 * std).max((max - mean).abs()).max((mean - min).abs()).max(0.5);
+        let (hist_lo, hist_hi) = (mean - half, mean + half);
+        let mut hist_counts = vec![0u64; bins];
+        let width = (hist_hi - hist_lo) / bins as f64;
+        for &e in errors {
+            let idx = (((e - hist_lo) / width) as isize).clamp(0, bins as isize - 1) as usize;
+            hist_counts[idx] += 1;
+        }
+        ErrorProfile {
+            samples: errors.len(),
+            mean,
+            std,
+            min,
+            max,
+            output_range,
+            hist_counts,
+            hist_lo,
+            hist_hi,
+        }
+    }
+
+    /// The paper's `NM`/`NA` for this profile (zero range yields zeros).
+    pub fn noise_params(&self) -> NoiseParams {
+        if self.output_range <= 0.0 {
+            return NoiseParams { na: 0.0, nm: 0.0 };
+        }
+        NoiseParams {
+            na: self.mean / self.output_range,
+            nm: self.std / self.output_range,
+        }
+    }
+
+    /// Observed error frequencies per histogram bin.
+    pub fn frequencies(&self) -> Vec<f64> {
+        let n = self.samples.max(1) as f64;
+        self.hist_counts.iter().map(|&c| c as f64 / n).collect()
+    }
+
+    /// The center of histogram bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.hist_counts.len());
+        let width = (self.hist_hi - self.hist_lo) / self.hist_counts.len() as f64;
+        self.hist_lo + width * (i as f64 + 0.5)
+    }
+
+    /// Probability mass a Gaussian `N(mean, std)` fitted to this profile
+    /// assigns to each histogram bin.
+    pub fn gaussian_fit_frequencies(&self) -> Vec<f64> {
+        let bins = self.hist_counts.len();
+        let width = (self.hist_hi - self.hist_lo) / bins as f64;
+        (0..bins)
+            .map(|i| {
+                let lo = self.hist_lo + width * i as f64;
+                let hi = lo + width;
+                gaussian_cdf(hi, self.mean, self.std) - gaussian_cdf(lo, self.mean, self.std)
+            })
+            .collect()
+    }
+
+    /// Goodness-of-fit of the Gaussian interpolation: total variation
+    /// distance between observed and fitted bin masses, in `[0, 1]`
+    /// (0 = perfect fit).
+    pub fn gaussian_fit_distance(&self) -> f64 {
+        let obs = self.frequencies();
+        let fit = self.gaussian_fit_frequencies();
+        0.5 * obs
+            .iter()
+            .zip(&fit)
+            .map(|(o, f)| (o - f).abs())
+            .sum::<f64>()
+    }
+
+    /// The paper's "Gaussian-like" judgement (31 of 35 components qualify):
+    /// the fitted Gaussian explains the histogram to within the given total
+    /// variation distance.
+    pub fn is_gaussian_like(&self, tolerance: f64) -> bool {
+        self.gaussian_fit_distance() <= tolerance
+    }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation.
+fn gaussian_cdf(x: f64, mean: f64, std: f64) -> f64 {
+    if std <= 0.0 {
+        return if x >= mean { 1.0 } else { 0.0 };
+    }
+    let z = (x - mean) / (std * std::f64::consts::SQRT_2);
+    0.5 * (1.0 + erf(z))
+}
+
+/// Abramowitz–Stegun 7.1.26 polynomial erf approximation (|err| < 1.5e-7).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Number of histogram bins used by the profiling functions.
+const PROFILE_BINS: usize = 101;
+
+/// Profiles a single multiplication: `Δ = P'(a,b) − P(a,b)` over `samples`
+/// input pairs drawn from `dist` (Eq. 2 with a 1-element MAC chain).
+pub fn profile_multiplier(
+    m: &dyn Multiplier8,
+    dist: &InputDistribution,
+    samples: usize,
+    seed: u64,
+) -> ErrorProfile {
+    profile_mac_chain(m, 1, dist, samples, seed)
+}
+
+/// Profiles a MAC chain of `chain_len` multiply-accumulates: the error of
+/// the *accumulated* dot product vs the accurate one. The paper uses chain
+/// lengths 1, 9 and 81 to model 3×3 and 9×9 convolution kernels (Fig. 6).
+///
+/// # Panics
+///
+/// Panics if `chain_len == 0` or `samples == 0`.
+pub fn profile_mac_chain(
+    m: &dyn Multiplier8,
+    chain_len: usize,
+    dist: &InputDistribution,
+    samples: usize,
+    seed: u64,
+) -> ErrorProfile {
+    assert!(chain_len > 0, "MAC chain must have at least one element");
+    assert!(samples > 0, "need at least one sample");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut errors = Vec::with_capacity(samples);
+    let mut out_min = f64::INFINITY;
+    let mut out_max = f64::NEG_INFINITY;
+    for _ in 0..samples {
+        let mut acc_accurate: i64 = 0;
+        let mut acc_approx: i64 = 0;
+        for _ in 0..chain_len {
+            let (a, b) = dist.sample(&mut rng);
+            acc_accurate += (a as i64) * (b as i64);
+            acc_approx += m.multiply(a, b) as i64;
+        }
+        errors.push((acc_approx - acc_accurate) as f64);
+        out_min = out_min.min(acc_accurate as f64);
+        out_max = out_max.max(acc_accurate as f64);
+    }
+    let output_range = (out_max - out_min).max(0.0);
+    ErrorProfile::from_errors(&errors, output_range, PROFILE_BINS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mult::{
+        ExactMultiplier, MitchellLogMultiplier, PerforatedMultiplier, TruncatedMultiplier,
+    };
+
+    #[test]
+    fn exact_multiplier_has_zero_error() {
+        let p = profile_multiplier(&ExactMultiplier, &InputDistribution::Uniform, 5000, 1);
+        assert_eq!(p.mean, 0.0);
+        assert_eq!(p.std, 0.0);
+        let np = p.noise_params();
+        assert_eq!(np.na, 0.0);
+        assert_eq!(np.nm, 0.0);
+    }
+
+    #[test]
+    fn truncated_error_is_negative_mean() {
+        let p = profile_multiplier(
+            &TruncatedMultiplier::new(6),
+            &InputDistribution::Uniform,
+            20_000,
+            2,
+        );
+        assert!(p.mean < 0.0, "truncation under-estimates: {}", p.mean);
+        assert!(p.std > 0.0);
+        assert!(p.max <= 0.0);
+    }
+
+    #[test]
+    fn nm_scales_with_approximation_aggressiveness() {
+        let mild = profile_multiplier(
+            &TruncatedMultiplier::new(3),
+            &InputDistribution::Uniform,
+            20_000,
+            3,
+        );
+        let harsh = profile_multiplier(
+            &TruncatedMultiplier::new(8),
+            &InputDistribution::Uniform,
+            20_000,
+            3,
+        );
+        assert!(harsh.noise_params().nm > mild.noise_params().nm);
+    }
+
+    #[test]
+    fn mac_chain_grows_error_spread_sublinearly() {
+        // Independent-ish per-MAC errors: std grows ~sqrt(n) when mean ~ 0,
+        // linearly when biased. Either way 81-chain spread > 9-chain > 1.
+        let m = PerforatedMultiplier::new(0, 1);
+        let p1 = profile_mac_chain(&m, 1, &InputDistribution::Uniform, 20_000, 4);
+        let p9 = profile_mac_chain(&m, 9, &InputDistribution::Uniform, 20_000, 4);
+        let p81 = profile_mac_chain(&m, 81, &InputDistribution::Uniform, 20_000, 4);
+        assert!(p9.std > p1.std);
+        assert!(p81.std > p9.std);
+        // Bias accumulates linearly in chain length.
+        assert!((p9.mean / p1.mean - 9.0).abs() < 1.5, "{}", p9.mean / p1.mean);
+    }
+
+    #[test]
+    fn mac_chain_of_exact_is_exact() {
+        let p = profile_mac_chain(&ExactMultiplier, 81, &InputDistribution::Uniform, 2000, 5);
+        assert_eq!(p.std, 0.0);
+        assert_eq!(p.mean, 0.0);
+    }
+
+    #[test]
+    fn accumulated_error_becomes_gaussian_like() {
+        // Central limit theorem: the 81-MAC error of a mildly approximate
+        // component fits a Gaussian well (the paper's Fig. 6 observation).
+        let m = TruncatedMultiplier::new(6);
+        let p81 = profile_mac_chain(&m, 81, &InputDistribution::Uniform, 30_000, 6);
+        assert!(
+            p81.is_gaussian_like(0.08),
+            "fit distance {}",
+            p81.gaussian_fit_distance()
+        );
+    }
+
+    #[test]
+    fn single_mult_error_of_structured_design_is_less_gaussian() {
+        // A single Mitchell multiplication has a skewed, clearly
+        // non-Gaussian error; accumulation regularizes it.
+        let m = MitchellLogMultiplier::new();
+        let p1 = profile_mac_chain(&m, 1, &InputDistribution::Uniform, 30_000, 7);
+        let p81 = profile_mac_chain(&m, 81, &InputDistribution::Uniform, 30_000, 7);
+        assert!(p81.gaussian_fit_distance() < p1.gaussian_fit_distance());
+    }
+
+    #[test]
+    fn empirical_distribution_changes_noise_params() {
+        // Small-valued operands (like normalized activations) shrink the
+        // absolute error of truncation-family designs.
+        let m = TruncatedMultiplier::new(7);
+        let uniform = profile_multiplier(&m, &InputDistribution::Uniform, 20_000, 8);
+        let small_ops = InputDistribution::Empirical {
+            activations: (0..64u8).collect(),
+            weights: (0..64u8).collect(),
+        };
+        let real = profile_multiplier(&m, &small_ops, 20_000, 8);
+        assert_ne!(uniform.noise_params().nm, real.noise_params().nm);
+    }
+
+    #[test]
+    fn profile_is_deterministic_in_seed() {
+        let m = TruncatedMultiplier::new(5);
+        let a = profile_multiplier(&m, &InputDistribution::Uniform, 5000, 42);
+        let b = profile_multiplier(&m, &InputDistribution::Uniform, 5000, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn histogram_accounts_for_all_samples() {
+        let m = TruncatedMultiplier::new(5);
+        let p = profile_multiplier(&m, &InputDistribution::Uniform, 7777, 9);
+        assert_eq!(p.hist_counts.iter().sum::<u64>(), 7777);
+        assert_eq!(p.samples, 7777);
+    }
+
+    #[test]
+    fn bin_centers_span_domain() {
+        let m = TruncatedMultiplier::new(5);
+        let p = profile_multiplier(&m, &InputDistribution::Uniform, 1000, 10);
+        assert!(p.bin_center(0) > p.hist_lo);
+        let last = p.hist_counts.len() - 1;
+        assert!(p.bin_center(last) < p.hist_hi);
+        assert!(p.bin_center(0) < p.bin_center(last));
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-5);
+        assert!((erf(3.0) - 0.999_977_91).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gaussian_cdf_monotone() {
+        let mut prev = -1.0;
+        for i in -40..=40 {
+            let v = gaussian_cdf(i as f64 / 10.0, 0.0, 1.0);
+            assert!(v >= prev);
+            prev = v;
+        }
+        assert!((gaussian_cdf(0.0, 0.0, 1.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_chain_rejected() {
+        profile_mac_chain(&ExactMultiplier, 0, &InputDistribution::Uniform, 10, 0);
+    }
+}

@@ -1,0 +1,24 @@
+use std::time::Instant;
+use redcane_capsnet::{train, evaluate, CapsModel, CapsNet, CapsNetConfig, DeepCaps, DeepCapsConfig, TrainConfig, inject::NoInjection};
+use redcane_datasets::{generate, Benchmark, GenerateConfig};
+use redcane_tensor::TensorRng;
+
+fn main() {
+    let cfg = GenerateConfig { train: 1500, test: 300, seed: 1 };
+    let tcfg = TrainConfig { epochs: 6, batch_size: 16, lr: 2e-3, seed: 3, verbose: true };
+
+    let pair = generate(Benchmark::MnistLike, &cfg);
+    let mut rng = TensorRng::from_seed(42);
+    let mut m = CapsNet::new(&CapsNetConfig::small(1, 16), &mut rng);
+    let t0 = Instant::now();
+    let rep = train(&mut m, &pair.train, &tcfg);
+    let acc = evaluate(&mut m, &pair.test, &mut NoInjection);
+    println!("CapsNet mnist-like: train_acc={:.3} test_acc={:.3} in {:?}", rep.train_accuracy, acc, t0.elapsed());
+
+    let pair = generate(Benchmark::Cifar10Like, &cfg);
+    let mut m = DeepCaps::new(&DeepCapsConfig::small(3, 20), &mut rng);
+    let t0 = Instant::now();
+    let rep = train(&mut m, &pair.train, &tcfg);
+    let acc = evaluate(&mut m, &pair.test, &mut NoInjection);
+    println!("DeepCaps cifar-like: train_acc={:.3} test_acc={:.3} in {:?}", rep.train_accuracy, acc, t0.elapsed());
+}

@@ -1,0 +1,203 @@
+//! Operation census: counting the arithmetic primitives (additions,
+//! multiplications, divisions, exponentials, square roots) of one
+//! inference pass, per layer.
+//!
+//! This is the raw material of the paper's Table I (operation counts of
+//! DeepCaps) and, weighted by unit energies, of the energy breakdown of
+//! Fig. 4.
+
+use serde::{Deserialize, Serialize};
+
+/// Counts of arithmetic primitive operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OpCount {
+    /// Additions/subtractions.
+    pub add: u64,
+    /// Multiplications.
+    pub mul: u64,
+    /// Divisions.
+    pub div: u64,
+    /// Exponentials (softmax).
+    pub exp: u64,
+    /// Square roots (squash / capsule lengths).
+    pub sqrt: u64,
+}
+
+impl OpCount {
+    /// Total primitive operations.
+    pub fn total(&self) -> u64 {
+        self.add + self.mul + self.div + self.exp + self.sqrt
+    }
+}
+
+impl std::ops::Add for OpCount {
+    type Output = OpCount;
+
+    fn add(self, rhs: OpCount) -> OpCount {
+        OpCount {
+            add: self.add + rhs.add,
+            mul: self.mul + rhs.mul,
+            div: self.div + rhs.div,
+            exp: self.exp + rhs.exp,
+            sqrt: self.sqrt + rhs.sqrt,
+        }
+    }
+}
+
+impl std::ops::AddAssign for OpCount {
+    fn add_assign(&mut self, rhs: OpCount) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for OpCount {
+    fn sum<I: Iterator<Item = OpCount>>(iter: I) -> OpCount {
+        iter.fold(OpCount::default(), |a, b| a + b)
+    }
+}
+
+/// Per-layer operation counts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerCensus {
+    /// Layer display name.
+    pub name: String,
+    /// Counts for one inference pass through this layer.
+    pub ops: OpCount,
+}
+
+/// Ops of a 2-D convolution producing `c_out × h_out × w_out` from
+/// `c_in` channels with a `k×k` kernel (MACs + bias adds).
+pub fn conv_ops(c_in: usize, c_out: usize, k: usize, h_out: usize, w_out: usize) -> OpCount {
+    let positions = (c_out * h_out * w_out) as u64;
+    let macs = positions * (c_in * k * k) as u64;
+    OpCount {
+        mul: macs,
+        add: macs, // accumulations (incl. bias)
+        ..Default::default()
+    }
+}
+
+/// Ops of squashing `c × p` capsules of dimension `d`: squared norm
+/// (`d` muls, `d-1` adds), `1 + n²` add, one division by `1+n²`… the
+/// norm square root, and the final `d` scalings.
+pub fn squash_ops(c: usize, d: usize, p: usize) -> OpCount {
+    let caps = (c * p) as u64;
+    OpCount {
+        mul: caps * (2 * d as u64),
+        add: caps * (d as u64),
+        div: caps,
+        sqrt: caps,
+        ..Default::default()
+    }
+}
+
+/// Ops of a softmax over `j` types at `i × p` sites.
+pub fn softmax_ops(i: usize, j: usize, p: usize) -> OpCount {
+    let lanes = (i * p) as u64;
+    OpCount {
+        exp: lanes * j as u64,
+        add: lanes * (j as u64 - 1),
+        div: lanes * j as u64,
+        ..Default::default()
+    }
+}
+
+/// Ops of computing the vote tensor of a fully-connected capsule layer:
+/// `û_{j|i} = W_ij · u_i` over `i × j` pairs.
+pub fn fc_votes_ops(i: usize, j: usize, d_out: usize, d_in: usize) -> OpCount {
+    let macs = (i * j * d_out * d_in) as u64;
+    OpCount {
+        mul: macs,
+        add: macs,
+        ..Default::default()
+    }
+}
+
+/// Ops of `iterations` rounds of routing-by-agreement over votes
+/// `[i, j, d, p]` (softmax + weighted sum + squash each round, agreement
+/// update between rounds).
+pub fn routing_ops(i: usize, j: usize, d: usize, p: usize, iterations: usize) -> OpCount {
+    let mut total = OpCount::default();
+    let weighted_sum = OpCount {
+        mul: (i * j * d * p) as u64,
+        add: (i * j * d * p) as u64,
+        ..Default::default()
+    };
+    let update = OpCount {
+        mul: (i * j * d * p) as u64,
+        add: (i * j * d * p) as u64,
+        ..Default::default()
+    };
+    for r in 0..iterations {
+        total += softmax_ops(i, j, p);
+        total += weighted_sum;
+        total += squash_ops(j, d, p);
+        if r + 1 < iterations {
+            total += update;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_ops_formula() {
+        let ops = conv_ops(3, 8, 3, 10, 10);
+        assert_eq!(ops.mul, 8 * 100 * 27);
+        assert_eq!(ops.add, ops.mul);
+        assert_eq!(ops.div, 0);
+    }
+
+    #[test]
+    fn squash_has_div_and_sqrt_per_capsule() {
+        let ops = squash_ops(4, 8, 25);
+        assert_eq!(ops.div, 100);
+        assert_eq!(ops.sqrt, 100);
+        assert_eq!(ops.mul, 100 * 16);
+    }
+
+    #[test]
+    fn softmax_exp_count() {
+        let ops = softmax_ops(6, 10, 4);
+        assert_eq!(ops.exp, 240);
+        assert_eq!(ops.div, 240);
+        assert_eq!(ops.add, 24 * 9);
+    }
+
+    #[test]
+    fn routing_scales_with_iterations() {
+        let one = routing_ops(16, 10, 8, 1, 1);
+        let three = routing_ops(16, 10, 8, 1, 3);
+        assert!(three.total() > 2 * one.total());
+        assert!(three.exp == 3 * one.exp);
+    }
+
+    #[test]
+    fn opcount_sums() {
+        let a = OpCount {
+            add: 1,
+            mul: 2,
+            div: 3,
+            exp: 4,
+            sqrt: 5,
+        };
+        let b = a + a;
+        assert_eq!(b.total(), 30);
+        let s: OpCount = [a, a, a].into_iter().sum();
+        assert_eq!(s.mul, 6);
+    }
+
+    #[test]
+    fn multiplication_dominates_conv_census() {
+        // The premise of the paper's Table I/Fig. 4: conv layers make
+        // mul+add dominate, with mul ≈ add >> div/exp/sqrt.
+        let conv = conv_ops(128, 128, 3, 16, 16);
+        let squash = squash_ops(32, 4, 256);
+        let total = conv + squash;
+        assert!(total.mul > 100 * total.div);
+        assert!(total.mul > 100 * total.sqrt);
+    }
+}

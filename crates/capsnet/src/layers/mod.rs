@@ -1,0 +1,10 @@
+//! Capsule layers: 2-D conv-caps, 3-D (routing) conv-caps, and the
+//! fully-connected ClassCaps layer.
+
+mod caps3d;
+mod class_caps;
+mod conv_caps;
+
+pub use caps3d::ConvCaps3d;
+pub use class_caps::ClassCaps;
+pub use conv_caps::ConvCaps2d;

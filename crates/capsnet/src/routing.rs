@@ -1,0 +1,297 @@
+//! Dynamic routing-by-agreement (Sabour et al., Procedure 1), shared by
+//! the fully-connected `ClassCaps` and the convolutional `Caps3D` layers.
+//!
+//! The routing state is expressed over a **vote tensor** `[I, J, D, P]`:
+//! input capsule `i` casts a `D`-dimensional vote for output capsule type
+//! `j` at position `p`. Per iteration:
+//!
+//! 1. coupling `k = softmax_J(b)` — **Softmax tap** (group #3);
+//! 2. `s_j = Σ_i k_ij · û_{j|i}` — **MAC-output tap** (group #1);
+//! 3. `v_j = squash(s_j)` — **Activation tap** (group #2);
+//! 4. `b_ij += û_{j|i} · v_j` — **LogitsUpdate tap** (group #4).
+//!
+//! The backward pass treats the final coupling coefficients as constants
+//! (standard practice for training CapsNets): gradients flow through the
+//! weighted sum and the squash, not through the coefficient updates.
+
+use redcane_tensor::Tensor;
+
+use crate::inject::{Injector, OpKind, OpSite};
+use crate::squash::{squash_caps, squash_caps_backward};
+
+/// Everything the forward pass produces and the backward pass needs.
+#[derive(Debug, Clone)]
+pub struct RoutingCache {
+    /// The votes actually used (post any injection by the caller).
+    pub votes: Tensor,
+    /// Final coupling coefficients `[I, J, P]`.
+    pub k_last: Tensor,
+    /// Final pre-squash weighted sum `[J, D, P]`.
+    pub s_last: Tensor,
+    /// Final output capsules `[J, D, P]`.
+    pub v: Tensor,
+}
+
+/// Runs `iterations` rounds of routing-by-agreement over `votes`
+/// (`[I, J, D, P]`), calling `injector` at every tagged operation.
+///
+/// # Panics
+///
+/// Panics unless `votes` is rank 4 and `iterations >= 1`.
+pub fn dynamic_routing(
+    votes: Tensor,
+    iterations: usize,
+    layer_index: usize,
+    layer_name: &str,
+    injector: &mut dyn Injector,
+) -> RoutingCache {
+    assert_eq!(votes.ndim(), 4, "votes must be [I, J, D, P]");
+    assert!(iterations >= 1, "routing needs at least one iteration");
+    let (i_caps, j_caps, d, p) = (
+        votes.shape()[0],
+        votes.shape()[1],
+        votes.shape()[2],
+        votes.shape()[3],
+    );
+    let mut b = Tensor::zeros(&[i_caps, j_caps, p]);
+    let mut k_last = Tensor::zeros(&[i_caps, j_caps, p]);
+    let mut s_last = Tensor::zeros(&[j_caps, d, p]);
+    let mut v = Tensor::zeros(&[j_caps, d, p]);
+    let vd = votes.data();
+    for r in 0..iterations {
+        let iter = r as u8;
+        // 1. Coupling coefficients.
+        let mut k = b.softmax_axis(1).expect("rank-3 softmax over J");
+        injector.inject(
+            &OpSite::routing(layer_index, layer_name, OpKind::Softmax, iter),
+            &mut k,
+        );
+        // 2. Weighted vote sum s_j = sum_i k_ij * votes_ij.
+        let kd = k.data();
+        let mut s = Tensor::zeros(&[j_caps, d, p]);
+        {
+            let sd = s.data_mut();
+            for i in 0..i_caps {
+                for j in 0..j_caps {
+                    for di in 0..d {
+                        let vrow = ((i * j_caps + j) * d + di) * p;
+                        let krow = (i * j_caps + j) * p;
+                        let srow = (j * d + di) * p;
+                        for pi in 0..p {
+                            sd[srow + pi] += kd[krow + pi] * vd[vrow + pi];
+                        }
+                    }
+                }
+            }
+        }
+        injector.inject(
+            &OpSite::routing(layer_index, layer_name, OpKind::MacOutput, iter),
+            &mut s,
+        );
+        // 3. Squash.
+        v = squash_caps(&s);
+        injector.inject(
+            &OpSite::routing(layer_index, layer_name, OpKind::Activation, iter),
+            &mut v,
+        );
+        k_last = k;
+        s_last = s;
+        // 4. Agreement update (skipped after the last iteration).
+        if r + 1 < iterations {
+            let vd2 = v.data();
+            {
+                let bd = b.data_mut();
+                for i in 0..i_caps {
+                    for j in 0..j_caps {
+                        for pi in 0..p {
+                            let mut dot = 0.0f32;
+                            for di in 0..d {
+                                dot += vd[((i * j_caps + j) * d + di) * p + pi]
+                                    * vd2[(j * d + di) * p + pi];
+                            }
+                            bd[(i * j_caps + j) * p + pi] += dot;
+                        }
+                    }
+                }
+            }
+            injector.inject(
+                &OpSite::routing(layer_index, layer_name, OpKind::LogitsUpdate, iter),
+                &mut b,
+            );
+        }
+    }
+    RoutingCache {
+        votes,
+        k_last,
+        s_last,
+        v,
+    }
+}
+
+/// Backward pass with detached coupling coefficients: given `dv` on the
+/// routing output, returns `d_votes` (`[I, J, D, P]`).
+///
+/// # Panics
+///
+/// Panics if `dv`'s shape differs from the cached output.
+pub fn dynamic_routing_backward(cache: &RoutingCache, dv: &Tensor) -> Tensor {
+    assert_eq!(dv.shape(), cache.v.shape(), "dv must match routing output");
+    let ds = squash_caps_backward(&cache.s_last, dv);
+    let (i_caps, j_caps, d, p) = (
+        cache.votes.shape()[0],
+        cache.votes.shape()[1],
+        cache.votes.shape()[2],
+        cache.votes.shape()[3],
+    );
+    let kd = cache.k_last.data();
+    let dsd = ds.data();
+    let mut out = vec![0.0f32; i_caps * j_caps * d * p];
+    for i in 0..i_caps {
+        for j in 0..j_caps {
+            for di in 0..d {
+                let orow = ((i * j_caps + j) * d + di) * p;
+                let krow = (i * j_caps + j) * p;
+                let srow = (j * d + di) * p;
+                for pi in 0..p {
+                    out[orow + pi] = kd[krow + pi] * dsd[srow + pi];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, cache.votes.shape()).expect("sized")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::{NoInjection, RecordingInjector};
+    use redcane_tensor::TensorRng;
+
+    #[test]
+    fn output_shape_and_length_bounds() {
+        let mut rng = TensorRng::from_seed(120);
+        let votes = rng.uniform(&[6, 3, 4, 2], -1.0, 1.0);
+        let cache = dynamic_routing(votes, 3, 7, "TestCaps", &mut NoInjection);
+        assert_eq!(cache.v.shape(), &[3, 4, 2]);
+        let lengths = crate::squash::caps_lengths(&cache.v);
+        assert!(lengths.data().iter().all(|&l| (0.0..1.0).contains(&l)));
+    }
+
+    #[test]
+    fn coupling_coefficients_are_probabilities_over_j() {
+        let mut rng = TensorRng::from_seed(121);
+        let votes = rng.uniform(&[5, 4, 3, 2], -1.0, 1.0);
+        let cache = dynamic_routing(votes, 3, 0, "TestCaps", &mut NoInjection);
+        let sums = cache.k_last.sum_axis(1).unwrap();
+        for &s in sums.data() {
+            assert!((s - 1.0).abs() < 1e-4, "k must sum to 1 over J: {s}");
+        }
+    }
+
+    #[test]
+    fn one_iteration_is_uniform_coupling() {
+        let mut rng = TensorRng::from_seed(122);
+        let votes = rng.uniform(&[4, 2, 3, 1], -1.0, 1.0);
+        let cache = dynamic_routing(votes, 1, 0, "TestCaps", &mut NoInjection);
+        for &k in cache.k_last.data() {
+            assert!((k - 0.5).abs() < 1e-5, "uniform over 2 types: {k}");
+        }
+    }
+
+    #[test]
+    fn routing_sharpens_agreement() {
+        // Construct votes where inputs agree strongly with output type 0
+        // and are random for type 1: routing must shift coupling toward 0.
+        let mut rng = TensorRng::from_seed(123);
+        let (i_caps, j_caps, d, p) = (8, 2, 4, 1);
+        let shared = rng.uniform(&[d], 0.5, 1.0);
+        let mut votes = Tensor::zeros(&[i_caps, j_caps, d, p]);
+        for i in 0..i_caps {
+            for di in 0..d {
+                votes
+                    .set(&[i, 0, di, 0], shared.data()[di] + rng.next_uniform(-0.05, 0.05))
+                    .unwrap();
+                votes
+                    .set(&[i, 1, di, 0], rng.next_uniform(-1.0, 1.0))
+                    .unwrap();
+            }
+        }
+        let cache = dynamic_routing(votes, 3, 0, "TestCaps", &mut NoInjection);
+        let k_to_0: f32 =
+            (0..i_caps).map(|i| cache.k_last.get(&[i, 0, 0]).unwrap()).sum::<f32>() / i_caps as f32;
+        assert!(k_to_0 > 0.55, "agreed type should attract coupling: {k_to_0}");
+    }
+
+    #[test]
+    fn taps_fire_in_expected_pattern() {
+        let mut rng = TensorRng::from_seed(124);
+        let votes = rng.uniform(&[3, 2, 2, 1], -1.0, 1.0);
+        let mut rec = RecordingInjector::sites_only();
+        let _ = dynamic_routing(votes, 3, 5, "Caps3D", &mut rec);
+        let softmax = rec.visits.iter().filter(|s| s.kind == OpKind::Softmax).count();
+        let mac = rec.visits.iter().filter(|s| s.kind == OpKind::MacOutput).count();
+        let act = rec.visits.iter().filter(|s| s.kind == OpKind::Activation).count();
+        let upd = rec
+            .visits
+            .iter()
+            .filter(|s| s.kind == OpKind::LogitsUpdate)
+            .count();
+        assert_eq!(softmax, 3);
+        assert_eq!(mac, 3);
+        assert_eq!(act, 3);
+        assert_eq!(upd, 2, "updates happen between iterations");
+        assert!(rec.visits.iter().all(|s| s.layer_index == 5));
+        assert!(rec.visits.iter().all(|s| s.routing_iter.is_some()));
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = TensorRng::from_seed(125);
+        let votes = rng.uniform(&[4, 3, 3, 2], -1.0, 1.0);
+        let coeffs = rng.uniform(&[3, 3, 2], -1.0, 1.0);
+        // Loss as a function of votes, with coupling coefficients FROZEN to
+        // the unperturbed forward's final k (that is the detachment the
+        // backward pass assumes).
+        let base = dynamic_routing(votes.clone(), 3, 0, "T", &mut NoInjection);
+        let dvotes = dynamic_routing_backward(&base, &coeffs);
+        let k_frozen = base.k_last.clone();
+        let loss_frozen = |votes: &Tensor| -> f32 {
+            // Recompute s with frozen k, then squash, then dot with coeffs.
+            let (i_caps, j_caps, d, p) = (4usize, 3usize, 3usize, 2usize);
+            let mut s = Tensor::zeros(&[j_caps, d, p]);
+            for i in 0..i_caps {
+                for j in 0..j_caps {
+                    for di in 0..d {
+                        for pi in 0..p {
+                            let add = k_frozen.get(&[i, j, pi]).unwrap()
+                                * votes.get(&[i, j, di, pi]).unwrap();
+                            let cur = s.get(&[j, di, pi]).unwrap();
+                            s.set(&[j, di, pi], cur + add).unwrap();
+                        }
+                    }
+                }
+            }
+            squash_caps(&s).mul(&coeffs).unwrap().sum()
+        };
+        let eps = 1e-2f32;
+        for idx in [0usize, 11, 29, 47, 63] {
+            let mut vp = votes.clone();
+            vp.data_mut()[idx] += eps;
+            let mut vm = votes.clone();
+            vm.data_mut()[idx] -= eps;
+            let num = (loss_frozen(&vp) - loss_frozen(&vm)) / (2.0 * eps);
+            let ana = dvotes.data()[idx];
+            assert!(
+                (num - ana).abs() < 5e-3 * (1.0 + num.abs()),
+                "dvotes[{idx}]: {num} vs {ana}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_iterations() {
+        let votes = Tensor::zeros(&[2, 2, 2, 1]);
+        let _ = dynamic_routing(votes, 0, 0, "T", &mut NoInjection);
+    }
+}

@@ -1,0 +1,180 @@
+//! Input-distribution studies (Fig. 11 and Table IV's "Real ΔX" column).
+//!
+//! The `NM`/`NA` of an approximate component depend on its operand
+//! distribution. This module samples the values *entering* the network's
+//! convolutions (via the observation-only `MacInput` taps) together with
+//! the layer weights, quantizes both to 8-bit codes (Eq. 1) and packages
+//! them as an empirical [`InputDistribution`] for component
+//! characterization.
+
+use redcane_axmul::error_stats::InputDistribution;
+use redcane_capsnet::inject::{OpKind, RecordingInjector};
+use redcane_capsnet::CapsModel;
+use redcane_datasets::Dataset;
+use redcane_fxp::QuantParams;
+use redcane_tensor::stats::Histogram;
+use serde::{Deserialize, Serialize};
+
+/// Sampled conv-input statistics of a trained model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InputProfile {
+    /// Model display name.
+    pub model_name: String,
+    /// Quantized (8-bit) codes of sampled conv inputs, all layers pooled.
+    pub activation_codes: Vec<u8>,
+    /// Quantized (8-bit) codes of the model's weights.
+    pub weight_codes: Vec<u8>,
+    /// Per-layer quantized input histograms `(layer, histogram)` over the
+    /// 0..=255 code domain (Fig. 11's per-layer curves).
+    pub layer_histograms: Vec<(String, Histogram)>,
+}
+
+impl InputProfile {
+    /// Collects the profile by running recorded inferences over up to
+    /// `max_samples` dataset images and sampling at most
+    /// `values_per_site` values per operation site.
+    pub fn collect<M: CapsModel>(
+        model: &mut M,
+        data: &Dataset,
+        max_samples: usize,
+        values_per_site: usize,
+    ) -> Self {
+        let mut rec = RecordingInjector::with_values(values_per_site);
+        for sample in data.samples.iter().take(max_samples) {
+            let _ = model.forward(&sample.image, &mut rec);
+        }
+        // Pool all MacInput observations and quantize with a common range.
+        let all_values = rec.values_where(|s| s.kind == OpKind::MacInput);
+        let (lo, hi) = min_max(&all_values);
+        let params = QuantParams::from_range(lo.min(0.0), hi.max(lo.min(0.0) + 1e-3), 8)
+            .expect("observed range is finite");
+        let activation_codes: Vec<u8> = all_values
+            .iter()
+            .map(|&v| params.quantize(v) as u8)
+            .collect();
+        // Weights, quantized per-model range.
+        let weights: Vec<f32> = {
+            let mut w = Vec::new();
+            for p in model.params_mut() {
+                w.extend_from_slice(p.value.data());
+            }
+            w
+        };
+        let (wlo, whi) = min_max(&weights);
+        let wparams =
+            QuantParams::from_range(wlo, whi.max(wlo + 1e-3), 8).expect("finite weights");
+        let weight_codes: Vec<u8> = weights.iter().map(|&v| wparams.quantize(v) as u8).collect();
+        // Per-layer histograms over the code domain.
+        let mut layer_histograms = Vec::new();
+        let mut layer_names: Vec<String> = Vec::new();
+        for site in rec.distinct_sites() {
+            if site.kind == OpKind::MacInput && !layer_names.contains(&site.layer_name) {
+                layer_names.push(site.layer_name.clone());
+            }
+        }
+        for name in layer_names {
+            let values = rec.values_where(|s| {
+                s.kind == OpKind::MacInput && s.layer_name == name
+            });
+            let codes: Vec<f32> = values.iter().map(|&v| params.quantize(v) as f32).collect();
+            layer_histograms.push((name, Histogram::of_values(&codes, 64, 0.0, 256.0)));
+        }
+        InputProfile {
+            model_name: model.name(),
+            activation_codes,
+            weight_codes,
+            layer_histograms,
+        }
+    }
+
+    /// The pooled histogram of quantized conv inputs (Fig. 11 left).
+    pub fn pooled_histogram(&self, bins: usize) -> Histogram {
+        let codes: Vec<f32> = self.activation_codes.iter().map(|&c| c as f32).collect();
+        Histogram::of_values(&codes, bins, 0.0, 256.0)
+    }
+
+    /// Packages the profile as an empirical operand distribution for
+    /// component characterization (Table IV "Real ΔX").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is empty.
+    pub fn to_input_distribution(&self) -> InputDistribution {
+        assert!(
+            !self.activation_codes.is_empty() && !self.weight_codes.is_empty(),
+            "profile holds no samples"
+        );
+        InputDistribution::Empirical {
+            activations: self.activation_codes.clone(),
+            weights: self.weight_codes.clone(),
+        }
+    }
+}
+
+fn min_max(values: &[f32]) -> (f32, f32) {
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &v in values {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() {
+        (0.0, 1.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcane_capsnet::{CapsNet, CapsNetConfig};
+    use redcane_datasets::{generate, Benchmark, GenerateConfig};
+    use redcane_tensor::TensorRng;
+
+    fn profile() -> InputProfile {
+        let pair = generate(
+            Benchmark::MnistLike,
+            &GenerateConfig {
+                train: 1,
+                test: 8,
+                seed: 31,
+            },
+        );
+        let mut rng = TensorRng::from_seed(240);
+        let mut model = CapsNet::new(&CapsNetConfig::small(1, 16), &mut rng);
+        InputProfile::collect(&mut model, &pair.test, 8, 500)
+    }
+
+    #[test]
+    fn collects_codes_and_histograms() {
+        let p = profile();
+        assert!(!p.activation_codes.is_empty());
+        assert!(!p.weight_codes.is_empty());
+        // CapsNet has three conv-like layers tapping MacInput.
+        assert_eq!(p.layer_histograms.len(), 3);
+        let pooled = p.pooled_histogram(32);
+        assert_eq!(pooled.total() as usize, p.activation_codes.len());
+    }
+
+    #[test]
+    fn empirical_distribution_is_usable() {
+        use redcane_axmul::error_stats::profile_multiplier;
+        use redcane_axmul::mult::TruncatedMultiplier;
+        let p = profile();
+        let dist = p.to_input_distribution();
+        let prof = profile_multiplier(&TruncatedMultiplier::new(6), &dist, 5000, 1);
+        assert!(prof.std > 0.0);
+        // Real (non-uniform) inputs give different noise parameters than
+        // the modeled uniform distribution — the Table IV observation.
+        let uniform = profile_multiplier(
+            &TruncatedMultiplier::new(6),
+            &InputDistribution::Uniform,
+            5000,
+            1,
+        );
+        assert_ne!(prof.noise_params().nm, uniform.noise_params().nm);
+    }
+}

@@ -1,0 +1,254 @@
+//! A tiny single-channel raster canvas with the drawing primitives the
+//! synthetic renderers need: thick line segments, filled/outlined
+//! rectangles and ellipses, plus per-pixel noise and affine jitter.
+
+use redcane_tensor::{Tensor, TensorRng};
+
+/// A `height × width` grayscale canvas with values clamped to `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Canvas {
+    height: usize,
+    width: usize,
+    pixels: Vec<f32>,
+}
+
+impl Canvas {
+    /// Creates a black canvas.
+    pub fn new(height: usize, width: usize) -> Self {
+        Canvas {
+            height,
+            width,
+            pixels: vec![0.0; height * width],
+        }
+    }
+
+    /// Canvas height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Canvas width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Reads a pixel (0.0 outside bounds).
+    pub fn get(&self, y: isize, x: isize) -> f32 {
+        if y < 0 || x < 0 || y as usize >= self.height || x as usize >= self.width {
+            return 0.0;
+        }
+        self.pixels[y as usize * self.width + x as usize]
+    }
+
+    /// Writes a pixel with max-blend (ink accumulates), ignoring
+    /// out-of-bounds coordinates.
+    pub fn stamp(&mut self, y: isize, x: isize, v: f32) {
+        if y < 0 || x < 0 || y as usize >= self.height || x as usize >= self.width {
+            return;
+        }
+        let p = &mut self.pixels[y as usize * self.width + x as usize];
+        *p = p.max(v.clamp(0.0, 1.0));
+    }
+
+    /// Draws a thick anti-alias-free line from `(y0, x0)` to `(y1, x1)`
+    /// (fractional coordinates) with the given stroke `thickness` (pixels)
+    /// and `intensity`.
+    pub fn line(&mut self, y0: f32, x0: f32, y1: f32, x1: f32, thickness: f32, intensity: f32) {
+        let steps = ((y1 - y0).abs().max((x1 - x0).abs()) * 2.0).ceil() as usize + 1;
+        let r = (thickness / 2.0).max(0.5);
+        for s in 0..=steps {
+            let t = s as f32 / steps as f32;
+            let cy = y0 + (y1 - y0) * t;
+            let cx = x0 + (x1 - x0) * t;
+            let lo_y = (cy - r).floor() as isize;
+            let hi_y = (cy + r).ceil() as isize;
+            let lo_x = (cx - r).floor() as isize;
+            let hi_x = (cx + r).ceil() as isize;
+            for y in lo_y..=hi_y {
+                for x in lo_x..=hi_x {
+                    let dy = y as f32 - cy;
+                    let dx = x as f32 - cx;
+                    if dy * dy + dx * dx <= r * r {
+                        self.stamp(y, x, intensity);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fills the axis-aligned rectangle `[y0, y1] × [x0, x1]`.
+    pub fn fill_rect(&mut self, y0: f32, x0: f32, y1: f32, x1: f32, intensity: f32) {
+        for y in y0.floor() as isize..=y1.ceil() as isize {
+            for x in x0.floor() as isize..=x1.ceil() as isize {
+                if (y as f32) >= y0 && (y as f32) <= y1 && (x as f32) >= x0 && (x as f32) <= x1 {
+                    self.stamp(y, x, intensity);
+                }
+            }
+        }
+    }
+
+    /// Fills an ellipse centered at `(cy, cx)` with radii `(ry, rx)`.
+    pub fn fill_ellipse(&mut self, cy: f32, cx: f32, ry: f32, rx: f32, intensity: f32) {
+        for y in (cy - ry).floor() as isize..=(cy + ry).ceil() as isize {
+            for x in (cx - rx).floor() as isize..=(cx + rx).ceil() as isize {
+                let ny = (y as f32 - cy) / ry.max(0.1);
+                let nx = (x as f32 - cx) / rx.max(0.1);
+                if ny * ny + nx * nx <= 1.0 {
+                    self.stamp(y, x, intensity);
+                }
+            }
+        }
+    }
+
+    /// Draws an ellipse outline of the given stroke thickness.
+    pub fn ellipse_outline(
+        &mut self,
+        cy: f32,
+        cx: f32,
+        ry: f32,
+        rx: f32,
+        thickness: f32,
+        intensity: f32,
+    ) {
+        let steps = ((ry + rx) * 6.0).ceil() as usize + 8;
+        for s in 0..steps {
+            let a = 2.0 * std::f32::consts::PI * s as f32 / steps as f32;
+            let y = cy + ry * a.sin();
+            let x = cx + rx * a.cos();
+            self.fill_ellipse(y, x, thickness / 2.0, thickness / 2.0, intensity);
+        }
+    }
+
+    /// Adds i.i.d. Gaussian pixel noise and re-clamps to `[0, 1]`.
+    pub fn add_noise(&mut self, std: f32, rng: &mut TensorRng) {
+        for p in &mut self.pixels {
+            *p = (*p + rng.next_normal(0.0, std)).clamp(0.0, 1.0);
+        }
+    }
+
+    /// Applies a small affine jitter (rotation + translation) by resampling
+    /// with nearest-neighbor around the canvas center.
+    pub fn jitter(&self, angle_rad: f32, dy: f32, dx: f32) -> Canvas {
+        let mut out = Canvas::new(self.height, self.width);
+        let (cy, cx) = (self.height as f32 / 2.0, self.width as f32 / 2.0);
+        let (sin, cos) = angle_rad.sin_cos();
+        for y in 0..self.height {
+            for x in 0..self.width {
+                // Inverse-map the output pixel into the source.
+                let oy = y as f32 - cy - dy;
+                let ox = x as f32 - cx - dx;
+                let sy = cos * oy + sin * ox + cy;
+                let sx = -sin * oy + cos * ox + cx;
+                let v = self.get(sy.round() as isize, sx.round() as isize);
+                out.pixels[y * self.width + x] = v;
+            }
+        }
+        out
+    }
+
+    /// Converts to a `[1, H, W]` tensor.
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor::from_vec(self.pixels.clone(), &[1, self.height, self.width])
+            .expect("canvas pixels sized to shape")
+    }
+
+    /// Total ink on the canvas (sum of pixels).
+    pub fn ink(&self) -> f32 {
+        self.pixels.iter().sum()
+    }
+}
+
+/// Stacks three canvases into a `[3, H, W]` RGB tensor.
+///
+/// # Panics
+///
+/// Panics if the canvases disagree on geometry.
+pub fn stack_rgb(r: &Canvas, g: &Canvas, b: &Canvas) -> Tensor {
+    assert_eq!((r.height, r.width), (g.height, g.width));
+    assert_eq!((r.height, r.width), (b.height, b.width));
+    let mut data = Vec::with_capacity(3 * r.height * r.width);
+    data.extend_from_slice(&r.pixels);
+    data.extend_from_slice(&g.pixels);
+    data.extend_from_slice(&b.pixels);
+    Tensor::from_vec(data, &[3, r.height, r.width]).expect("sized")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_canvas_is_black() {
+        let c = Canvas::new(4, 5);
+        assert_eq!(c.ink(), 0.0);
+        assert_eq!(c.height(), 4);
+        assert_eq!(c.width(), 5);
+    }
+
+    #[test]
+    fn stamp_clamps_and_bounds_checks() {
+        let mut c = Canvas::new(3, 3);
+        c.stamp(1, 1, 2.0);
+        assert_eq!(c.get(1, 1), 1.0);
+        c.stamp(-1, 0, 1.0); // ignored
+        c.stamp(0, 5, 1.0); // ignored
+        assert_eq!(c.ink(), 1.0);
+    }
+
+    #[test]
+    fn line_deposits_ink_along_path() {
+        let mut c = Canvas::new(10, 10);
+        c.line(0.0, 0.0, 9.0, 9.0, 1.0, 1.0);
+        assert!(c.get(0, 0) > 0.0);
+        assert!(c.get(5, 5) > 0.0);
+        assert!(c.get(9, 9) > 0.0);
+        assert_eq!(c.get(0, 9), 0.0);
+    }
+
+    #[test]
+    fn fill_rect_covers_interior() {
+        let mut c = Canvas::new(8, 8);
+        c.fill_rect(2.0, 2.0, 5.0, 5.0, 0.8);
+        assert_eq!(c.get(3, 3), 0.8);
+        assert_eq!(c.get(0, 0), 0.0);
+        assert_eq!(c.get(6, 6), 0.0);
+    }
+
+    #[test]
+    fn ellipse_fill_and_outline() {
+        let mut f = Canvas::new(12, 12);
+        f.fill_ellipse(6.0, 6.0, 4.0, 4.0, 1.0);
+        assert!(f.get(6, 6) > 0.0);
+        let mut o = Canvas::new(12, 12);
+        o.ellipse_outline(6.0, 6.0, 4.0, 4.0, 1.0, 1.0);
+        assert_eq!(o.get(6, 6), 0.0, "outline leaves the center empty");
+        assert!(o.ink() > 0.0);
+    }
+
+    #[test]
+    fn jitter_preserves_rough_ink() {
+        let mut c = Canvas::new(16, 16);
+        c.fill_ellipse(8.0, 8.0, 3.0, 3.0, 1.0);
+        let j = c.jitter(0.2, 1.0, -1.0);
+        assert!(j.ink() > c.ink() * 0.6);
+        assert!(j.ink() < c.ink() * 1.4);
+    }
+
+    #[test]
+    fn to_tensor_shape_and_rgb_stack() {
+        let c = Canvas::new(4, 6);
+        assert_eq!(c.to_tensor().shape(), &[1, 4, 6]);
+        let rgb = stack_rgb(&c, &c, &c);
+        assert_eq!(rgb.shape(), &[3, 4, 6]);
+    }
+
+    #[test]
+    fn noise_stays_in_unit_interval() {
+        let mut c = Canvas::new(8, 8);
+        c.fill_rect(0.0, 0.0, 7.0, 7.0, 0.5);
+        let mut rng = TensorRng::from_seed(9);
+        c.add_noise(0.5, &mut rng);
+        let t = c.to_tensor();
+        assert!(t.min_value() >= 0.0 && t.max_value() <= 1.0);
+    }
+}

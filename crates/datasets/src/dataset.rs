@@ -1,0 +1,104 @@
+//! Dataset containers.
+
+use redcane_tensor::Tensor;
+
+/// One labeled image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// `[C, H, W]` pixel tensor, values in `[0, 1]`.
+    pub image: Tensor,
+    /// Class index in `0..num_classes`.
+    pub label: usize,
+}
+
+/// A labeled image dataset split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Human-readable name (benchmark + split).
+    pub name: String,
+    /// Image channel count.
+    pub channels: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Image width in pixels.
+    pub width: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// The samples.
+    pub samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if the split holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Iterates over samples.
+    pub fn iter(&self) -> impl Iterator<Item = &Sample> {
+        self.samples.iter()
+    }
+
+    /// Returns the first `n` samples as a new dataset (useful for quick
+    /// evaluations during sweeps).
+    pub fn take(&self, n: usize) -> Dataset {
+        Dataset {
+            name: self.name.clone(),
+            channels: self.channels,
+            height: self.height,
+            width: self.width,
+            num_classes: self.num_classes,
+            samples: self.samples.iter().take(n).cloned().collect(),
+        }
+    }
+}
+
+/// A train/test pair of the same benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetPair {
+    /// Training split.
+    pub train: Dataset,
+    /// Held-out test split.
+    pub test: Dataset,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset {
+            name: "t".into(),
+            channels: 1,
+            height: 2,
+            width: 2,
+            num_classes: 2,
+            samples: (0..4)
+                .map(|i| Sample {
+                    image: Tensor::full(&[1, 2, 2], i as f32),
+                    label: i % 2,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn len_and_iter() {
+        let d = tiny();
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        assert_eq!(d.iter().count(), 4);
+    }
+
+    #[test]
+    fn take_truncates() {
+        let d = tiny().take(2);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.samples[1].label, 1);
+    }
+}

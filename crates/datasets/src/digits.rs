@@ -1,0 +1,100 @@
+//! MNIST-like renderer: seven-segment digit glyphs with handwriting-style
+//! jitter (random stroke thickness, rotation, translation, pixel noise).
+
+use redcane_tensor::{Tensor, TensorRng};
+
+use crate::canvas::Canvas;
+
+/// Segment activation per digit, in the order A, B, C, D, E, F, G
+/// (A = top bar, B = top-right, C = bottom-right, D = bottom bar,
+/// E = bottom-left, F = top-left, G = middle bar).
+const SEGMENTS: [[bool; 7]; 10] = [
+    [true, true, true, true, true, true, false],    // 0
+    [false, true, true, false, false, false, false], // 1
+    [true, true, false, true, true, false, true],   // 2
+    [true, true, true, true, false, false, true],   // 3
+    [false, true, true, false, false, true, true],  // 4
+    [true, false, true, true, false, true, true],   // 5
+    [true, false, true, true, true, true, true],    // 6
+    [true, true, true, false, false, false, false], // 7
+    [true, true, true, true, true, true, true],     // 8
+    [true, true, true, true, false, true, true],    // 9
+];
+
+/// Renders a digit `0..=9` onto a `[1, h, w]` tensor.
+///
+/// # Panics
+///
+/// Panics if `digit > 9`.
+pub fn render(digit: usize, h: usize, w: usize, rng: &mut TensorRng) -> Tensor {
+    assert!(digit <= 9, "digit classes are 0..=9");
+    let mut canvas = Canvas::new(h, w);
+    let hf = h as f32;
+    let wf = w as f32;
+    // Glyph box with margins.
+    let top = hf * 0.15 + rng.next_uniform(-0.5, 0.5);
+    let bottom = hf * 0.85 + rng.next_uniform(-0.5, 0.5);
+    let left = wf * 0.30 + rng.next_uniform(-0.5, 0.5);
+    let right = wf * 0.70 + rng.next_uniform(-0.5, 0.5);
+    let mid = (top + bottom) / 2.0;
+    let thickness = rng.next_uniform(1.0, 1.9);
+    let ink = rng.next_uniform(0.75, 1.0);
+
+    let segs = SEGMENTS[digit];
+    // (y0, x0, y1, x1) per segment.
+    let coords = [
+        (top, left, top, right),       // A
+        (top, right, mid, right),      // B
+        (mid, right, bottom, right),   // C
+        (bottom, left, bottom, right), // D
+        (mid, left, bottom, left),     // E
+        (top, left, mid, left),        // F
+        (mid, left, mid, right),       // G
+    ];
+    for (on, (y0, x0, y1, x1)) in segs.iter().zip(coords) {
+        if *on {
+            canvas.line(y0, x0, y1, x1, thickness, ink);
+        }
+    }
+
+    let angle = rng.next_uniform(-0.18, 0.18);
+    let dy = rng.next_uniform(-1.2, 1.2);
+    let dx = rng.next_uniform(-1.2, 1.2);
+    let mut canvas = canvas.jitter(angle, dy, dx);
+    canvas.add_noise(0.04, rng);
+    canvas.to_tensor()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_digits_with_ink() {
+        let mut rng = TensorRng::from_seed(70);
+        for d in 0..10 {
+            let t = render(d, 16, 16, &mut rng);
+            assert_eq!(t.shape(), &[1, 16, 16]);
+            assert!(t.sum() > 3.0, "digit {d} should have visible strokes");
+        }
+    }
+
+    #[test]
+    fn one_has_less_ink_than_eight() {
+        let mut rng = TensorRng::from_seed(71);
+        let mut one = 0.0;
+        let mut eight = 0.0;
+        for _ in 0..8 {
+            one += render(1, 16, 16, &mut rng).sum();
+            eight += render(8, 16, 16, &mut rng).sum();
+        }
+        assert!(one < eight, "1 uses 2 segments, 8 uses 7");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_digit() {
+        let mut rng = TensorRng::from_seed(72);
+        let _ = render(10, 16, 16, &mut rng);
+    }
+}

@@ -1,0 +1,134 @@
+//! Fashion-MNIST-like renderer: ten garment silhouettes as filled
+//! grayscale masks with per-sample jitter.
+//!
+//! Class list mirrors Fashion-MNIST: t-shirt, trouser, pullover, dress,
+//! coat, sandal, shirt, sneaker, bag, ankle boot.
+
+use redcane_tensor::{Tensor, TensorRng};
+
+use crate::canvas::Canvas;
+
+/// Renders garment class `0..=9` onto a `[1, h, w]` tensor.
+///
+/// # Panics
+///
+/// Panics if `class > 9`.
+pub fn render(class: usize, h: usize, w: usize, rng: &mut TensorRng) -> Tensor {
+    assert!(class <= 9, "fashion classes are 0..=9");
+    let mut c = Canvas::new(h, w);
+    let hf = h as f32;
+    let wf = w as f32;
+    let ink = rng.next_uniform(0.65, 1.0);
+    let mut s = |f: f32| f + rng.next_uniform(-0.4, 0.4); // jittered coordinate
+
+    match class {
+        // 0: t-shirt — torso block + short sleeves.
+        0 => {
+            c.fill_rect(s(hf * 0.30), s(wf * 0.35), s(hf * 0.85), s(wf * 0.65), ink);
+            c.fill_rect(s(hf * 0.30), s(wf * 0.15), s(hf * 0.45), s(wf * 0.85), ink);
+        }
+        // 1: trouser — two vertical legs joined at a waistband.
+        1 => {
+            c.fill_rect(s(hf * 0.15), s(wf * 0.35), s(hf * 0.30), s(wf * 0.65), ink);
+            c.fill_rect(s(hf * 0.30), s(wf * 0.35), s(hf * 0.90), s(wf * 0.47), ink);
+            c.fill_rect(s(hf * 0.30), s(wf * 0.53), s(hf * 0.90), s(wf * 0.65), ink);
+        }
+        // 2: pullover — torso + long sleeves down the sides.
+        2 => {
+            c.fill_rect(s(hf * 0.25), s(wf * 0.32), s(hf * 0.85), s(wf * 0.68), ink);
+            c.fill_rect(s(hf * 0.25), s(wf * 0.12), s(hf * 0.80), s(wf * 0.26), ink);
+            c.fill_rect(s(hf * 0.25), s(wf * 0.74), s(hf * 0.80), s(wf * 0.88), ink);
+        }
+        // 3: dress — narrow top flaring to a wide hem (triangle-ish).
+        3 => {
+            let top_y = hf * 0.20;
+            let bot_y = hf * 0.88;
+            let steps = 12;
+            for i in 0..=steps {
+                let t = i as f32 / steps as f32;
+                let y = top_y + (bot_y - top_y) * t;
+                let half = wf * (0.08 + 0.26 * t);
+                c.fill_rect(y, s(wf * 0.5 - half), y + 1.0, s(wf * 0.5 + half), ink);
+            }
+        }
+        // 4: coat — wide torso, long sleeves, open front seam.
+        4 => {
+            c.fill_rect(s(hf * 0.22), s(wf * 0.30), s(hf * 0.90), s(wf * 0.70), ink);
+            c.fill_rect(s(hf * 0.22), s(wf * 0.10), s(hf * 0.85), s(wf * 0.24), ink);
+            c.fill_rect(s(hf * 0.22), s(wf * 0.76), s(hf * 0.85), s(wf * 0.90), ink);
+            // Front seam: darker gap down the middle.
+            c.fill_rect(s(hf * 0.25), wf * 0.49, s(hf * 0.90), wf * 0.51, 0.0);
+        }
+        // 5: sandal — sole bar + two thin straps.
+        5 => {
+            c.fill_rect(s(hf * 0.70), s(wf * 0.15), s(hf * 0.82), s(wf * 0.85), ink);
+            c.line(hf * 0.70, wf * 0.25, hf * 0.40, wf * 0.45, 1.2, ink);
+            c.line(hf * 0.70, wf * 0.65, hf * 0.40, wf * 0.45, 1.2, ink);
+        }
+        // 6: shirt — torso with collar notch and short sleeves.
+        6 => {
+            c.fill_rect(s(hf * 0.28), s(wf * 0.34), s(hf * 0.86), s(wf * 0.66), ink);
+            c.fill_rect(s(hf * 0.28), s(wf * 0.18), s(hf * 0.50), s(wf * 0.82), ink);
+            c.fill_rect(hf * 0.24, wf * 0.45, hf * 0.36, wf * 0.55, 0.0); // collar
+        }
+        // 7: sneaker — low wedge with a toe bump.
+        7 => {
+            c.fill_rect(s(hf * 0.60), s(wf * 0.12), s(hf * 0.80), s(wf * 0.88), ink);
+            c.fill_ellipse(s(hf * 0.60), s(wf * 0.25), hf * 0.12, wf * 0.16, ink);
+            c.fill_rect(s(hf * 0.45), s(wf * 0.55), s(hf * 0.62), s(wf * 0.85), ink);
+        }
+        // 8: bag — box with a handle arc.
+        8 => {
+            c.fill_rect(s(hf * 0.45), s(wf * 0.20), s(hf * 0.85), s(wf * 0.80), ink);
+            c.ellipse_outline(s(hf * 0.42), s(wf * 0.5), hf * 0.18, wf * 0.18, 1.3, ink);
+        }
+        // 9: ankle boot — L-shaped shaft + sole.
+        9 => {
+            c.fill_rect(s(hf * 0.20), s(wf * 0.40), s(hf * 0.80), s(wf * 0.65), ink);
+            c.fill_rect(s(hf * 0.62), s(wf * 0.40), s(hf * 0.82), s(wf * 0.88), ink);
+        }
+        _ => unreachable!("class checked above"),
+    }
+
+    let angle = rng.next_uniform(-0.12, 0.12);
+    let dy = rng.next_uniform(-1.0, 1.0);
+    let dx = rng.next_uniform(-1.0, 1.0);
+    let mut canvas = c.jitter(angle, dy, dx);
+    canvas.add_noise(0.05, rng);
+    canvas.to_tensor()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_classes_with_ink() {
+        let mut rng = TensorRng::from_seed(80);
+        for cl in 0..10 {
+            let t = render(cl, 16, 16, &mut rng);
+            assert_eq!(t.shape(), &[1, 16, 16]);
+            assert!(t.sum() > 5.0, "class {cl} silhouette missing");
+        }
+    }
+
+    #[test]
+    fn trouser_and_bag_differ_structurally() {
+        // Silhouettes must be distinguishable: bag mass sits low-center,
+        // trouser mass is split into two columns.
+        let mut rng = TensorRng::from_seed(81);
+        let trouser = render(1, 16, 16, &mut rng);
+        let bag = render(8, 16, 16, &mut rng);
+        // Center column ink of the trouser is low (gap between legs).
+        let mid_col_trouser: f32 = (0..16).map(|y| trouser.get(&[0, y, 8]).unwrap()).sum();
+        let mid_col_bag: f32 = (0..16).map(|y| bag.get(&[0, y, 8]).unwrap()).sum();
+        assert!(mid_col_bag > mid_col_trouser);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_class() {
+        let mut rng = TensorRng::from_seed(82);
+        let _ = render(10, 16, 16, &mut rng);
+    }
+}

@@ -1,0 +1,272 @@
+//! # redcane-datasets
+//!
+//! Seeded synthetic image datasets standing in for the four benchmarks the
+//! ReD-CaNe paper evaluates on: MNIST, Fashion-MNIST, SVHN and CIFAR-10.
+//!
+//! The real datasets are not available in this environment; the resilience
+//! methodology, however, measures the **relative accuracy drop under
+//! injected noise** of a trained network — not absolute dataset difficulty.
+//! These generators therefore aim to preserve what matters:
+//!
+//! - 10 visually distinct classes per benchmark with intra-class variation
+//!   (affine jitter, thickness, per-sample noise), so networks must learn
+//!   real decision boundaries and degrade smoothly under noise;
+//! - the modality split of the originals: grayscale glyphs
+//!   ([`Benchmark::MnistLike`]), grayscale garment silhouettes
+//!   ([`Benchmark::FashionLike`]), colored digits on cluttered backgrounds
+//!   ([`Benchmark::SvhnLike`]) and colored shapes/textures
+//!   ([`Benchmark::Cifar10Like`]);
+//! - the difficulty ordering (CIFAR-like hardest, MNIST-like easiest),
+//!   which drives the per-benchmark differences in the paper's Fig. 12.
+//!
+//! Everything is deterministic given the seed.
+//!
+//! # Example
+//!
+//! ```
+//! use redcane_datasets::{generate, Benchmark, GenerateConfig};
+//!
+//! let pair = generate(Benchmark::MnistLike, &GenerateConfig {
+//!     train: 64,
+//!     test: 16,
+//!     seed: 7,
+//! });
+//! assert_eq!(pair.train.len(), 64);
+//! assert_eq!(pair.test.len(), 16);
+//! assert_eq!(pair.train.num_classes, 10);
+//! ```
+
+mod canvas;
+mod cifar;
+mod dataset;
+mod digits;
+mod fashion;
+mod svhn;
+
+pub use canvas::Canvas;
+pub use dataset::{Dataset, DatasetPair, Sample};
+
+use redcane_tensor::TensorRng;
+
+/// The four benchmark dataset families of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Grayscale digit glyphs (MNIST stand-in).
+    MnistLike,
+    /// Grayscale garment silhouettes (Fashion-MNIST stand-in).
+    FashionLike,
+    /// Colored digits on cluttered backgrounds (SVHN stand-in).
+    SvhnLike,
+    /// Colored shapes and textures (CIFAR-10 stand-in).
+    Cifar10Like,
+}
+
+impl Benchmark {
+    /// Canonical short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::MnistLike => "mnist-like",
+            Benchmark::FashionLike => "fashion-mnist-like",
+            Benchmark::SvhnLike => "svhn-like",
+            Benchmark::Cifar10Like => "cifar10-like",
+        }
+    }
+
+    /// Image geometry `(channels, height, width)` for this benchmark.
+    pub fn geometry(&self) -> (usize, usize, usize) {
+        match self {
+            Benchmark::MnistLike | Benchmark::FashionLike => (1, 16, 16),
+            Benchmark::SvhnLike | Benchmark::Cifar10Like => (3, 20, 20),
+        }
+    }
+
+    /// All four benchmarks in the paper's presentation order.
+    pub fn all() -> [Benchmark; 4] {
+        [
+            Benchmark::Cifar10Like,
+            Benchmark::SvhnLike,
+            Benchmark::MnistLike,
+            Benchmark::FashionLike,
+        ]
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenerateConfig {
+    /// Number of training samples.
+    pub train: usize,
+    /// Number of test samples.
+    pub test: usize,
+    /// RNG seed; everything downstream is deterministic in it.
+    pub seed: u64,
+}
+
+impl Default for GenerateConfig {
+    fn default() -> Self {
+        GenerateConfig {
+            train: 2000,
+            test: 400,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates a train/test pair for `benchmark`.
+///
+/// Class labels are balanced round-robin; samples are rendered with
+/// per-sample jitter and noise so no two are identical.
+pub fn generate(benchmark: Benchmark, cfg: &GenerateConfig) -> DatasetPair {
+    let mut rng = TensorRng::from_seed(cfg.seed ^ benchmark_salt(benchmark));
+    let train = generate_split(benchmark, cfg.train, &mut rng, "train");
+    let test = generate_split(benchmark, cfg.test, &mut rng, "test");
+    DatasetPair { train, test }
+}
+
+fn benchmark_salt(benchmark: Benchmark) -> u64 {
+    match benchmark {
+        Benchmark::MnistLike => 0x6d6e_6973,
+        Benchmark::FashionLike => 0x6661_7368,
+        Benchmark::SvhnLike => 0x7376_686e,
+        Benchmark::Cifar10Like => 0x6369_6661,
+    }
+}
+
+fn generate_split(
+    benchmark: Benchmark,
+    n: usize,
+    rng: &mut TensorRng,
+    split: &str,
+) -> Dataset {
+    let (c, h, w) = benchmark.geometry();
+    let mut samples = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = i % 10;
+        let image = match benchmark {
+            Benchmark::MnistLike => digits::render(label, h, w, rng),
+            Benchmark::FashionLike => fashion::render(label, h, w, rng),
+            Benchmark::SvhnLike => svhn::render(label, h, w, rng),
+            Benchmark::Cifar10Like => cifar::render(label, h, w, rng),
+        };
+        debug_assert_eq!(image.shape(), &[c, h, w]);
+        samples.push(Sample { image, label });
+    }
+    // Shuffle so minibatches are class-mixed.
+    let perm = rng.permutation(n);
+    let samples: Vec<Sample> = perm.into_iter().map(|i| samples[i].clone()).collect();
+    Dataset {
+        name: format!("{}-{split}", benchmark.name()),
+        channels: c,
+        height: h,
+        width: w,
+        num_classes: 10,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_generate_valid_data() {
+        for b in Benchmark::all() {
+            let pair = generate(
+                b,
+                &GenerateConfig {
+                    train: 20,
+                    test: 10,
+                    seed: 3,
+                },
+            );
+            let (c, h, w) = b.geometry();
+            assert_eq!(pair.train.len(), 20);
+            assert_eq!(pair.test.len(), 10);
+            for s in pair.train.iter().chain(pair.test.iter()) {
+                assert_eq!(s.image.shape(), &[c, h, w]);
+                assert!(s.image.all_finite());
+                assert!(s.label < 10);
+                // Pixels normalized to [0, 1].
+                assert!(s.image.min_value() >= 0.0 && s.image.max_value() <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenerateConfig {
+            train: 12,
+            test: 4,
+            seed: 42,
+        };
+        let a = generate(Benchmark::Cifar10Like, &cfg);
+        let b = generate(Benchmark::Cifar10Like, &cfg);
+        assert_eq!(a.train.samples[0].image, b.train.samples[0].image);
+        assert_eq!(a.test.samples[3].label, b.test.samples[3].label);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(
+            Benchmark::MnistLike,
+            &GenerateConfig {
+                train: 10,
+                test: 1,
+                seed: 1,
+            },
+        );
+        let b = generate(
+            Benchmark::MnistLike,
+            &GenerateConfig {
+                train: 10,
+                test: 1,
+                seed: 2,
+            },
+        );
+        assert_ne!(a.train.samples[0].image, b.train.samples[0].image);
+    }
+
+    #[test]
+    fn labels_are_balanced() {
+        let pair = generate(
+            Benchmark::FashionLike,
+            &GenerateConfig {
+                train: 100,
+                test: 0,
+                seed: 5,
+            },
+        );
+        let mut counts = [0usize; 10];
+        for s in pair.train.iter() {
+            counts[s.label] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 10), "{counts:?}");
+    }
+
+    #[test]
+    fn same_class_samples_vary() {
+        let pair = generate(
+            Benchmark::MnistLike,
+            &GenerateConfig {
+                train: 40,
+                test: 0,
+                seed: 6,
+            },
+        );
+        let zeros: Vec<_> = pair.train.iter().filter(|s| s.label == 0).collect();
+        assert!(zeros.len() >= 2);
+        assert_ne!(zeros[0].image, zeros[1].image, "per-sample jitter expected");
+    }
+
+    #[test]
+    fn benchmark_names_are_stable() {
+        assert_eq!(Benchmark::MnistLike.to_string(), "mnist-like");
+        assert_eq!(Benchmark::Cifar10Like.name(), "cifar10-like");
+    }
+}

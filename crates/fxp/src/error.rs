@@ -1,0 +1,49 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or applying quantization parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FxpError {
+    /// The requested word length is unsupported (must be 1..=16 bits here,
+    /// since the approximate component library is 8-bit with 16-bit
+    /// products).
+    UnsupportedWordLength {
+        /// Requested bit width.
+        bits: u8,
+    },
+    /// The quantization range is degenerate (`max <= min`) or non-finite.
+    InvalidRange {
+        /// Lower edge supplied.
+        min: f32,
+        /// Upper edge supplied.
+        max: f32,
+    },
+}
+
+impl fmt::Display for FxpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FxpError::UnsupportedWordLength { bits } => {
+                write!(f, "unsupported word length {bits} (expected 1..=16 bits)")
+            }
+            FxpError::InvalidRange { min, max } => {
+                write!(f, "invalid quantization range [{min}, {max}]")
+            }
+        }
+    }
+}
+
+impl Error for FxpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_values() {
+        let e = FxpError::InvalidRange { min: 2.0, max: 1.0 };
+        assert!(e.to_string().contains('2'));
+        let e = FxpError::UnsupportedWordLength { bits: 33 };
+        assert!(e.to_string().contains("33"));
+    }
+}

@@ -1,0 +1,287 @@
+//! Eq. 1 quantization: affine mapping between floats and `b`-bit codes.
+
+use redcane_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::error::FxpError;
+
+/// Affine quantization parameters implementing Eq. 1 of the paper:
+/// `Q(x) = (x - min) / (max - min) * (2^b - 1)`.
+///
+/// Codes are `u16` (the library's components are at most 8-bit inputs with
+/// 16-bit products).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    min: f32,
+    max: f32,
+    bits: u8,
+}
+
+impl QuantParams {
+    /// Creates parameters from an explicit value range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FxpError::InvalidRange`] if the range is degenerate or
+    /// non-finite, or [`FxpError::UnsupportedWordLength`] for `bits`
+    /// outside `1..=16`.
+    pub fn from_range(min: f32, max: f32, bits: u8) -> Result<Self, FxpError> {
+        if !(1..=16).contains(&bits) {
+            return Err(FxpError::UnsupportedWordLength { bits });
+        }
+        if !min.is_finite() || !max.is_finite() || max <= min {
+            return Err(FxpError::InvalidRange { min, max });
+        }
+        Ok(QuantParams { min, max, bits })
+    }
+
+    /// Calibrates parameters from the observed min/max of a tensor.
+    ///
+    /// A constant tensor is widened by an epsilon so the range is valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FxpError::UnsupportedWordLength`] for an invalid `bits`.
+    pub fn calibrate(tensor: &Tensor, bits: u8) -> Result<Self, FxpError> {
+        let mut min = tensor.min_value();
+        let mut max = tensor.max_value();
+        if !min.is_finite() || !max.is_finite() {
+            return Err(FxpError::InvalidRange { min, max });
+        }
+        if max <= min {
+            // Constant tensor: widen symmetrically so quantization is defined.
+            min -= 0.5;
+            max += 0.5;
+        }
+        Self::from_range(min, max, bits)
+    }
+
+    /// The word length in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Lower edge of the representable range.
+    pub fn min(&self) -> f32 {
+        self.min
+    }
+
+    /// Upper edge of the representable range.
+    pub fn max(&self) -> f32 {
+        self.max
+    }
+
+    /// Largest representable code: `2^bits - 1`.
+    pub fn max_code(&self) -> u16 {
+        ((1u32 << self.bits) - 1) as u16
+    }
+
+    /// The value step between adjacent codes (one LSB).
+    pub fn lsb(&self) -> f32 {
+        (self.max - self.min) / self.max_code() as f32
+    }
+
+    /// Quantizes a value to its nearest code, saturating at the range edges
+    /// (Eq. 1).
+    pub fn quantize(&self, x: f32) -> u16 {
+        let scaled = (x - self.min) / (self.max - self.min) * self.max_code() as f32;
+        scaled.round().clamp(0.0, self.max_code() as f32) as u16
+    }
+
+    /// Reconstructs the value at the center of `code`'s quantization cell.
+    pub fn dequantize(&self, code: u16) -> f32 {
+        self.min + (self.max - self.min) * code as f32 / self.max_code() as f32
+    }
+
+    /// Quantizes then dequantizes, i.e. simulates the precision loss of
+    /// running this value through the fixed-point datapath.
+    pub fn round_trip(&self, x: f32) -> f32 {
+        self.dequantize(self.quantize(x))
+    }
+}
+
+/// A tensor quantized to `b`-bit codes together with its reconstruction
+/// parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedTensor {
+    /// Flat row-major codes.
+    pub codes: Vec<u16>,
+    /// Original tensor shape.
+    pub shape: Vec<usize>,
+    /// The affine mapping used.
+    pub params: QuantParams,
+}
+
+impl QuantizedTensor {
+    /// Reconstructs the floating-point tensor (with quantization error).
+    pub fn dequantize(&self) -> Tensor {
+        let data: Vec<f32> = self
+            .codes
+            .iter()
+            .map(|&c| self.params.dequantize(c))
+            .collect();
+        Tensor::from_vec(data, &self.shape).expect("codes sized to shape")
+    }
+}
+
+/// Tensor-level quantization front-end.
+///
+/// # Example
+///
+/// ```
+/// use redcane_fxp::Quantizer;
+/// use redcane_tensor::Tensor;
+///
+/// # fn main() -> Result<(), redcane_fxp::FxpError> {
+/// let t = Tensor::from_slice(&[-1.0, 0.0, 1.0]);
+/// let q = Quantizer::new(8).quantize_calibrated(&t)?;
+/// let back = q.dequantize();
+/// for (a, b) in t.data().iter().zip(back.data()) {
+///     assert!((a - b).abs() < 0.005);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quantizer {
+    bits: u8,
+}
+
+impl Quantizer {
+    /// Creates a quantizer for `bits`-wide codes.
+    pub fn new(bits: u8) -> Self {
+        Quantizer { bits }
+    }
+
+    /// The configured word length.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Quantizes a tensor using its own min/max as the range (per-tensor
+    /// calibration, as the paper does per-array).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unsupported word length or non-finite data.
+    pub fn quantize_calibrated(&self, tensor: &Tensor) -> Result<QuantizedTensor, FxpError> {
+        let params = QuantParams::calibrate(tensor, self.bits)?;
+        Ok(self.quantize_with(tensor, params))
+    }
+
+    /// Quantizes a tensor with externally supplied parameters (e.g. from a
+    /// [`RangeTracker`](crate::RangeTracker) calibration pass).
+    pub fn quantize_with(&self, tensor: &Tensor, params: QuantParams) -> QuantizedTensor {
+        QuantizedTensor {
+            codes: tensor.data().iter().map(|&v| params.quantize(v)).collect(),
+            shape: tensor.shape().to_vec(),
+            params,
+        }
+    }
+
+    /// Simulates the fixed-point datapath: quantize + dequantize in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unsupported word length or non-finite data.
+    pub fn round_trip(&self, tensor: &Tensor) -> Result<Tensor, FxpError> {
+        Ok(self.quantize_calibrated(tensor)?.dequantize())
+    }
+}
+
+impl Default for Quantizer {
+    /// 8-bit, matching the paper's accelerator word length.
+    fn default() -> Self {
+        Quantizer::new(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(QuantParams::from_range(0.0, 1.0, 0).is_err());
+        assert!(QuantParams::from_range(0.0, 1.0, 17).is_err());
+        assert!(QuantParams::from_range(1.0, 1.0, 8).is_err());
+        assert!(QuantParams::from_range(2.0, 1.0, 8).is_err());
+        assert!(QuantParams::from_range(f32::NAN, 1.0, 8).is_err());
+        assert!(QuantParams::from_range(0.0, 1.0, 8).is_ok());
+    }
+
+    #[test]
+    fn edges_map_to_extreme_codes() {
+        let q = QuantParams::from_range(-2.0, 2.0, 8).unwrap();
+        assert_eq!(q.quantize(-2.0), 0);
+        assert_eq!(q.quantize(2.0), 255);
+        assert_eq!(q.max_code(), 255);
+    }
+
+    #[test]
+    fn quantize_saturates_out_of_range() {
+        let q = QuantParams::from_range(0.0, 1.0, 8).unwrap();
+        assert_eq!(q.quantize(-5.0), 0);
+        assert_eq!(q.quantize(5.0), 255);
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_half_lsb() {
+        let q = QuantParams::from_range(-1.0, 1.0, 8).unwrap();
+        let half_lsb = q.lsb() / 2.0;
+        for i in 0..1000 {
+            let x = -1.0 + 2.0 * i as f32 / 999.0;
+            let err = (q.round_trip(x) - x).abs();
+            assert!(err <= half_lsb + 1e-6, "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn dequantize_is_monotone_in_code() {
+        let q = QuantParams::from_range(0.0, 10.0, 4).unwrap();
+        let mut prev = f32::NEG_INFINITY;
+        for code in 0..=q.max_code() {
+            let v = q.dequantize(code);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn fewer_bits_coarser_lsb() {
+        let q8 = QuantParams::from_range(0.0, 1.0, 8).unwrap();
+        let q4 = QuantParams::from_range(0.0, 1.0, 4).unwrap();
+        assert!(q4.lsb() > q8.lsb());
+    }
+
+    #[test]
+    fn calibrate_constant_tensor_widens_range() {
+        let t = Tensor::full(&[5], 3.0);
+        let q = QuantParams::calibrate(&t, 8).unwrap();
+        assert!(q.min() < 3.0 && q.max() > 3.0);
+        assert!((q.round_trip(3.0) - 3.0).abs() < q.lsb());
+    }
+
+    #[test]
+    fn quantizer_tensor_round_trip() {
+        let t = Tensor::from_slice(&[0.0, 0.25, 0.5, 0.75, 1.0]);
+        let q = Quantizer::new(8);
+        let rt = q.round_trip(&t).unwrap();
+        for (a, b) in t.data().iter().zip(rt.data()) {
+            assert!((a - b).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn quantized_tensor_keeps_shape() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        let q = Quantizer::default().quantize_calibrated(&t).unwrap();
+        assert_eq!(q.shape, vec![2, 3, 4]);
+        assert_eq!(q.dequantize().shape(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn default_quantizer_is_8_bit() {
+        assert_eq!(Quantizer::default().bits(), 8);
+    }
+}

@@ -1,0 +1,51 @@
+//! Weight initialization schemes.
+
+use redcane_tensor::{Tensor, TensorRng};
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Suited to linear/sigmoid-ish
+/// activations (and works well for the squash nonlinearity).
+pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut TensorRng) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    rng.uniform(shape, -a, a)
+}
+
+/// He/Kaiming normal initialization: `N(0, sqrt(2 / fan_in))`, suited to
+/// ReLU activations.
+pub fn he_normal(shape: &[usize], fan_in: usize, rng: &mut TensorRng) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    rng.normal(shape, 0.0, std)
+}
+
+/// Fan-in/fan-out of a conv weight `[C_out, C_in, k, k]`.
+pub fn conv_fans(c_out: usize, c_in: usize, kernel: usize) -> (usize, usize) {
+    (c_in * kernel * kernel, c_out * kernel * kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = TensorRng::from_seed(1);
+        let t = xavier_uniform(&[100, 100], 100, 100, &mut rng);
+        let a = (6.0f32 / 200.0).sqrt();
+        assert!(t.data().iter().all(|&v| v.abs() <= a));
+        // Not degenerate
+        assert!(t.std() > a / 4.0);
+    }
+
+    #[test]
+    fn he_scale_tracks_fan_in() {
+        let mut rng = TensorRng::from_seed(2);
+        let narrow = he_normal(&[10_000], 10, &mut rng);
+        let wide = he_normal(&[10_000], 1000, &mut rng);
+        assert!(narrow.std() > wide.std() * 5.0);
+    }
+
+    #[test]
+    fn conv_fans_formula() {
+        assert_eq!(conv_fans(32, 16, 3), (144, 288));
+    }
+}

@@ -1,0 +1,48 @@
+//! The layer contract shared by all trainable building blocks.
+
+use redcane_tensor::Tensor;
+
+use crate::param::Param;
+
+/// A differentiable building block operating on one sample at a time.
+///
+/// The protocol is the classic cached-forward / chained-backward pair:
+///
+/// 1. `forward(x)` computes the output **and stores whatever the backward
+///    pass needs** (inputs, pre-activations, unrolled matrices).
+/// 2. `backward(grad_out)` consumes the cache, **accumulates** parameter
+///    gradients into [`Param::grad`], and returns the gradient with respect
+///    to the layer input.
+///
+/// Calling `backward` before `forward` is a logic error; implementations
+/// panic with a clear message.
+pub trait Layer {
+    /// Computes the layer output for one sample and caches intermediates.
+    fn forward(&mut self, x: &Tensor) -> Tensor;
+
+    /// Propagates `grad_out` back through the cached forward pass,
+    /// accumulating parameter gradients; returns the input gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Layer::forward`].
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Mutable access to the layer's trainable parameters (empty for
+    /// parameter-free layers).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Resets all parameter gradients to zero.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of trainable scalars.
+    fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+}

@@ -1,0 +1,285 @@
+//! Trainable 2-D convolution (im2col forward, col2im backward).
+
+use redcane_tensor::ops::Conv2dSpec;
+use redcane_tensor::{Tensor, TensorRng};
+
+use crate::init::{conv_fans, he_normal};
+use crate::layer::Layer;
+use crate::param::Param;
+
+/// A 2-D convolution layer over `[C_in, H, W]` samples.
+///
+/// Weight layout is `[C_out, C_in, k, k]`, bias `[C_out]`.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    spec: Conv2dSpec,
+    c_in: usize,
+    c_out: usize,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    cols: Tensor,
+    input_shape: [usize; 3],
+    out_hw: [usize; 2],
+}
+
+impl Conv2d {
+    /// Creates a conv layer with He-normal weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics on impossible geometry (`kernel == 0` or `stride == 0`).
+    pub fn new(
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
+        let spec = Conv2dSpec::new(kernel, stride, padding).expect("valid conv geometry");
+        let (fan_in, _) = conv_fans(c_out, c_in, kernel);
+        let weight = he_normal(&[c_out, c_in, kernel, kernel], fan_in, rng);
+        Conv2d {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[c_out])),
+            spec,
+            c_in,
+            c_out,
+            cache: None,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn spec(&self) -> Conv2dSpec {
+        self.spec
+    }
+
+    /// Input channel count.
+    pub fn c_in(&self) -> usize {
+        self.c_in
+    }
+
+    /// Output channel count.
+    pub fn c_out(&self) -> usize {
+        self.c_out
+    }
+
+    /// Immutable view of the weights (for analysis/serialization).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// Immutable view of the bias.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias.value
+    }
+
+    /// Replaces the weights (e.g. when loading a trained model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn set_weights(&mut self, weight: Tensor, bias: Tensor) {
+        assert_eq!(weight.shape(), self.weight.value.shape(), "weight shape");
+        assert_eq!(bias.shape(), self.bias.value.shape(), "bias shape");
+        self.weight.value = weight;
+        self.bias.value = bias;
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.ndim(), 3, "Conv2d expects [C,H,W]");
+        let (h, w) = (x.shape()[1], x.shape()[2]);
+        let cols = x.im2col(self.spec).expect("valid conv input");
+        let h_out = self.spec.output_size(h).expect("valid geometry");
+        let w_out = self.spec.output_size(w).expect("valid geometry");
+        let k2 = self.c_in * self.spec.kernel * self.spec.kernel;
+        let w_mat = self
+            .weight
+            .value
+            .reshape(&[self.c_out, k2])
+            .expect("weight reshape");
+        let mut out = w_mat.matmul(&cols).expect("conv matmul");
+        // Add bias per output channel.
+        let n = h_out * w_out;
+        for co in 0..self.c_out {
+            let b = self.bias.value.data()[co];
+            if b != 0.0 {
+                for v in &mut out.data_mut()[co * n..(co + 1) * n] {
+                    *v += b;
+                }
+            }
+        }
+        self.cache = Some(Cache {
+            cols,
+            input_shape: [x.shape()[0], h, w],
+            out_hw: [h_out, w_out],
+        });
+        out.into_reshaped(&[self.c_out, h_out, w_out])
+            .expect("conv output reshape")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("Conv2d::backward before forward");
+        let [h_out, w_out] = cache.out_hw;
+        let n = h_out * w_out;
+        let k2 = self.c_in * self.spec.kernel * self.spec.kernel;
+        let dy = grad_out
+            .reshape(&[self.c_out, n])
+            .expect("grad_out shape must match forward output");
+        // dW = dY · colsᵀ
+        let dw = dy.matmul_nt(&cache.cols).expect("dW");
+        self.weight
+            .accumulate(&dw.into_reshaped(self.weight.value.shape()).expect("dW shape"));
+        // db = row sums of dY
+        let db = dy.sum_axis(1).expect("db");
+        self.bias.accumulate(&db);
+        // dX = col2im(Wᵀ · dY)
+        let w_mat = self
+            .weight
+            .value
+            .reshape(&[self.c_out, k2])
+            .expect("weight reshape");
+        let dcols = w_mat.matmul_tn(&dy).expect("dcols");
+        let [c, h, w] = cache.input_shape;
+        dcols.col2im(c, h, w, self.spec).expect("col2im")
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central-difference gradient check of the full layer.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = TensorRng::from_seed(50);
+        let mut layer = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = rng.uniform(&[2, 5, 5], -1.0, 1.0);
+        // Loss = sum of outputs weighted by fixed random coefficients.
+        let coeffs = rng.uniform(&[3, 5, 5], -1.0, 1.0);
+        let loss = |layer: &mut Conv2d, x: &Tensor| -> f32 {
+            layer.forward(x).mul(&coeffs).unwrap().sum()
+        };
+
+        // Analytic gradients.
+        layer.zero_grad();
+        let _ = layer.forward(&x);
+        let dx = layer.backward(&coeffs);
+
+        let eps = 1e-2f32;
+        // Input gradient.
+        for idx in [0usize, 7, 23, 49] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss(&mut layer, &xp) - loss(&mut layer, &xm)) / (2.0 * eps);
+            let ana = dx.data()[idx];
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + num.abs()),
+                "dX[{idx}]: numeric {num} vs analytic {ana}"
+            );
+        }
+        // Weight gradient.
+        layer.zero_grad();
+        let _ = layer.forward(&x);
+        let _ = layer.backward(&coeffs);
+        let wgrad = layer.params_mut()[0].grad.clone();
+        for idx in [0usize, 5, 17, 53] {
+            let orig = layer.weight.value.data()[idx];
+            layer.weight.value.data_mut()[idx] = orig + eps;
+            let lp = loss(&mut layer, &x);
+            layer.weight.value.data_mut()[idx] = orig - eps;
+            let lm = loss(&mut layer, &x);
+            layer.weight.value.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = wgrad.data()[idx];
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + num.abs()),
+                "dW[{idx}]: numeric {num} vs analytic {ana}"
+            );
+        }
+        // Bias gradient.
+        layer.zero_grad();
+        let _ = layer.forward(&x);
+        let _ = layer.backward(&coeffs);
+        let bgrad = layer.params_mut()[1].grad.clone();
+        for idx in 0..3 {
+            let orig = layer.bias.value.data()[idx];
+            layer.bias.value.data_mut()[idx] = orig + eps;
+            let lp = loss(&mut layer, &x);
+            layer.bias.value.data_mut()[idx] = orig - eps;
+            let lm = loss(&mut layer, &x);
+            layer.bias.value.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = bgrad.data()[idx];
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + num.abs()),
+                "db[{idx}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn output_shape_follows_geometry() {
+        let mut rng = TensorRng::from_seed(51);
+        let mut layer = Conv2d::new(3, 8, 3, 2, 1, &mut rng);
+        let y = layer.forward(&Tensor::zeros(&[3, 16, 16]));
+        assert_eq!(y.shape(), &[8, 8, 8]);
+    }
+
+    #[test]
+    fn gradient_accumulates_over_samples() {
+        let mut rng = TensorRng::from_seed(52);
+        let mut layer = Conv2d::new(1, 1, 3, 1, 0, &mut rng);
+        let x = rng.uniform(&[1, 4, 4], -1.0, 1.0);
+        let g = Tensor::ones(&[1, 2, 2]);
+        layer.zero_grad();
+        let _ = layer.forward(&x);
+        let _ = layer.backward(&g);
+        let once = layer.params_mut()[0].grad.clone();
+        let _ = layer.forward(&x);
+        let _ = layer.backward(&g);
+        let twice = layer.params_mut()[0].grad.clone();
+        for (a, b) in once.data().iter().zip(twice.data()) {
+            assert!((2.0 * a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_requires_forward() {
+        let mut rng = TensorRng::from_seed(53);
+        let mut layer = Conv2d::new(1, 1, 3, 1, 0, &mut rng);
+        let _ = layer.backward(&Tensor::zeros(&[1, 2, 2]));
+    }
+
+    #[test]
+    fn set_weights_replaces_and_validates() {
+        let mut rng = TensorRng::from_seed(54);
+        let mut layer = Conv2d::new(1, 2, 3, 1, 0, &mut rng);
+        let w = Tensor::ones(&[2, 1, 3, 3]);
+        let b = Tensor::from_slice(&[1.0, -1.0]);
+        layer.set_weights(w, b);
+        let y = layer.forward(&Tensor::ones(&[1, 3, 3]));
+        assert_eq!(y.data(), &[10.0, 8.0]);
+    }
+
+    #[test]
+    fn param_count_is_correct() {
+        let mut rng = TensorRng::from_seed(55);
+        let mut layer = Conv2d::new(4, 8, 3, 1, 1, &mut rng);
+        assert_eq!(layer.param_count(), 8 * 4 * 9 + 8);
+    }
+}

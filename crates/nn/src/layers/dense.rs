@@ -1,0 +1,185 @@
+//! Fully-connected layer.
+
+use redcane_tensor::{Tensor, TensorRng};
+
+use crate::init::xavier_uniform;
+use crate::layer::Layer;
+use crate::param::Param;
+
+/// A fully-connected layer mapping `[in]` vectors to `[out]` vectors
+/// (`y = W·x + b`, weight layout `[out, in]`).
+#[derive(Debug, Clone)]
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    in_dim: usize,
+    out_dim: usize,
+    cache: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Xavier-uniform weights and zero bias.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut TensorRng) -> Self {
+        let weight = xavier_uniform(&[out_dim, in_dim], in_dim, out_dim, rng);
+        Dense {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_dim])),
+            in_dim,
+            out_dim,
+            cache: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Immutable view of the weights.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// Immutable view of the bias.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias.value
+    }
+
+    /// Replaces the weights (e.g. when loading a trained model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn set_weights(&mut self, weight: Tensor, bias: Tensor) {
+        assert_eq!(weight.shape(), self.weight.value.shape(), "weight shape");
+        assert_eq!(bias.shape(), self.bias.value.shape(), "bias shape");
+        self.weight.value = weight;
+        self.bias.value = bias;
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let x_flat = if x.ndim() == 1 {
+            x.clone()
+        } else {
+            x.flattened()
+        };
+        assert_eq!(x_flat.len(), self.in_dim, "Dense input size");
+        let y = self
+            .weight
+            .value
+            .matvec(&x_flat)
+            .expect("dense matvec")
+            .add(&self.bias.value)
+            .expect("dense bias add");
+        self.cache = Some(x_flat);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache.take().expect("Dense::backward before forward");
+        assert_eq!(grad_out.len(), self.out_dim, "Dense grad size");
+        // dW[o][i] = dy[o] * x[i]
+        let dy_col = grad_out.reshape(&[self.out_dim, 1]).expect("dy col");
+        let x_row = x.reshape(&[1, self.in_dim]).expect("x row");
+        let dw = dy_col.matmul(&x_row).expect("outer product");
+        self.weight.accumulate(&dw);
+        self.bias.accumulate(grad_out);
+        // dx = Wᵀ · dy
+        self.weight
+            .value
+            .transpose2d()
+            .expect("weight transpose")
+            .matvec(grad_out)
+            .expect("dx")
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_computes_affine_map() {
+        let mut rng = TensorRng::from_seed(60);
+        let mut layer = Dense::new(2, 2, &mut rng);
+        layer.set_weights(
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap(),
+            Tensor::from_slice(&[10.0, 20.0]),
+        );
+        let y = layer.forward(&Tensor::from_slice(&[1.0, 1.0]));
+        assert_eq!(y.data(), &[13.0, 27.0]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = TensorRng::from_seed(61);
+        let mut layer = Dense::new(5, 3, &mut rng);
+        let x = rng.uniform(&[5], -1.0, 1.0);
+        let coeffs = rng.uniform(&[3], -1.0, 1.0);
+        let loss =
+            |l: &mut Dense, x: &Tensor| -> f32 { l.forward(x).mul(&coeffs).unwrap().sum() };
+
+        layer.zero_grad();
+        let _ = layer.forward(&x);
+        let dx = layer.backward(&coeffs);
+        let wgrad = layer.params_mut()[0].grad.clone();
+        let bgrad = layer.params_mut()[1].grad.clone();
+
+        let eps = 1e-2f32;
+        for idx in 0..5 {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss(&mut layer, &xp) - loss(&mut layer, &xm)) / (2.0 * eps);
+            assert!((num - dx.data()[idx]).abs() < 1e-2, "dx[{idx}]");
+        }
+        for idx in [0usize, 6, 14] {
+            let orig = layer.weight.value.data()[idx];
+            layer.weight.value.data_mut()[idx] = orig + eps;
+            let lp = loss(&mut layer, &x);
+            layer.weight.value.data_mut()[idx] = orig - eps;
+            let lm = loss(&mut layer, &x);
+            layer.weight.value.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - wgrad.data()[idx]).abs() < 1e-2, "dW[{idx}]");
+        }
+        for idx in 0..3 {
+            let orig = layer.bias.value.data()[idx];
+            layer.bias.value.data_mut()[idx] = orig + eps;
+            let lp = loss(&mut layer, &x);
+            layer.bias.value.data_mut()[idx] = orig - eps;
+            let lm = loss(&mut layer, &x);
+            layer.bias.value.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - bgrad.data()[idx]).abs() < 1e-2, "db[{idx}]");
+        }
+    }
+
+    #[test]
+    fn flattens_multi_dim_input() {
+        let mut rng = TensorRng::from_seed(62);
+        let mut layer = Dense::new(12, 4, &mut rng);
+        let y = layer.forward(&Tensor::ones(&[3, 2, 2]));
+        assert_eq!(y.shape(), &[4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_requires_forward() {
+        let mut rng = TensorRng::from_seed(63);
+        let mut layer = Dense::new(2, 2, &mut rng);
+        let _ = layer.backward(&Tensor::zeros(&[2]));
+    }
+}

@@ -1,0 +1,9 @@
+//! Concrete layers: convolution, dense, and activations.
+
+mod activation;
+mod conv;
+mod dense;
+
+pub use activation::Relu;
+pub use conv::Conv2d;
+pub use dense::Dense;

@@ -1,0 +1,43 @@
+//! # redcane-nn
+//!
+//! A compact CPU training substrate: layers with hand-written
+//! forward/backward passes, optimizers, initializers and losses. It exists
+//! because the ReD-CaNe methodology needs *trained* Capsule Networks to
+//! analyze, and this reproduction trains them from scratch in Rust instead
+//! of TensorFlow.
+//!
+//! Design choices:
+//!
+//! - **Per-sample training.** Layers process one `[C, H, W]` sample at a
+//!   time; the trainer loops over a minibatch accumulating gradients. This
+//!   keeps every backward pass a direct transcription of the chain rule,
+//!   at model sizes where CPU throughput is not the bottleneck.
+//! - **Explicit caches.** Each layer stores exactly the activations its
+//!   backward pass needs; `forward` must precede `backward`.
+//! - **Finite-difference verified.** Every layer's gradient is checked
+//!   against central differences in its unit tests.
+//!
+//! # Example
+//!
+//! ```
+//! use redcane_nn::{layers::Dense, Layer};
+//! use redcane_tensor::{Tensor, TensorRng};
+//!
+//! let mut rng = TensorRng::from_seed(0);
+//! let mut dense = Dense::new(4, 2, &mut rng);
+//! let x = rng.uniform(&[4], -1.0, 1.0);
+//! let y = dense.forward(&x);
+//! assert_eq!(y.shape(), &[2]);
+//! ```
+
+pub mod init;
+pub mod layer;
+pub mod layers;
+pub mod loss;
+pub mod optim;
+pub mod param;
+
+pub use layer::Layer;
+pub use loss::{cross_entropy_loss, margin_loss, MarginLossConfig};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use param::Param;

@@ -1,0 +1,181 @@
+//! First-order optimizers operating on [`Param`] collections.
+//!
+//! Optimizers keep per-parameter state keyed by position, so the caller
+//! must pass the **same parameter list in the same order** on every step
+//! (which is natural when the list comes from a model's `params_mut`).
+
+use redcane_tensor::Tensor;
+
+use crate::param::Param;
+
+/// A first-order optimizer.
+pub trait Optimizer {
+    /// Applies one update step to `params` using their accumulated
+    /// gradients, then the caller typically zeroes the gradients.
+    ///
+    /// `scale` multiplies every gradient (use `1.0 / batch_size` to average
+    /// per-sample gradients).
+    fn step(&mut self, params: &mut [&mut Param], scale: f32);
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (`0.0` disables momentum).
+    pub momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param], scale: f32) {
+        if self.velocity.len() != params.len() {
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
+        }
+        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
+            for ((w, &g), vel) in p
+                .value
+                .data_mut()
+                .iter_mut()
+                .zip(p.grad.data())
+                .zip(v.data_mut())
+            {
+                *vel = self.momentum * *vel + g * scale;
+                *w -= self.lr * *vel;
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical floor.
+    pub eps: f32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    t: u32,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard betas.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param], scale: f32) {
+        if self.m.len() != params.len() {
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
+            self.v = self.m.clone();
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            for (((w, &g), mi), vi) in p
+                .value
+                .data_mut()
+                .iter_mut()
+                .zip(p.grad.data())
+                .zip(m.data_mut())
+                .zip(v.data_mut())
+            {
+                let g = g * scale;
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                let m_hat = *mi / bc1;
+                let v_hat = *vi / bc2;
+                *w -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizing f(w) = (w - 3)^2 must converge to w = 3.
+    fn converges_on_quadratic(opt: &mut dyn Optimizer, iters: usize) -> f32 {
+        let mut p = Param::new(Tensor::from_slice(&[0.0]));
+        for _ in 0..iters {
+            let w = p.value.data()[0];
+            p.zero_grad();
+            p.accumulate(&Tensor::from_slice(&[2.0 * (w - 3.0)]));
+            opt.step(&mut [&mut p], 1.0);
+        }
+        p.value.data()[0]
+    }
+
+    #[test]
+    fn sgd_converges() {
+        let w = converges_on_quadratic(&mut Sgd::new(0.1, 0.0), 100);
+        assert!((w - 3.0).abs() < 1e-3, "w={w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let w = converges_on_quadratic(&mut Sgd::new(0.05, 0.9), 200);
+        assert!((w - 3.0).abs() < 1e-2, "w={w}");
+    }
+
+    #[test]
+    fn adam_converges() {
+        let w = converges_on_quadratic(&mut Adam::new(0.1), 300);
+        assert!((w - 3.0).abs() < 1e-2, "w={w}");
+    }
+
+    #[test]
+    fn scale_averages_batch_gradients() {
+        let mut p = Param::new(Tensor::from_slice(&[1.0]));
+        p.accumulate(&Tensor::from_slice(&[4.0])); // two samples, grad 2 each
+        let mut opt = Sgd::new(0.5, 0.0);
+        opt.step(&mut [&mut p], 0.5); // average: effective grad 2
+        assert!((p.value.data()[0] - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_takes_bounded_first_step() {
+        // Adam's first update is ~lr regardless of gradient magnitude.
+        let mut p = Param::new(Tensor::from_slice(&[0.0]));
+        p.accumulate(&Tensor::from_slice(&[1e6]));
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut [&mut p], 1.0);
+        assert!(p.value.data()[0].abs() < 0.011);
+    }
+}

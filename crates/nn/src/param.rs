@@ -1,0 +1,84 @@
+//! Trainable parameters: a value tensor paired with its gradient
+//! accumulator.
+
+use redcane_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A trainable tensor with an accumulated gradient of the same shape.
+///
+/// Gradients **accumulate** across `backward` calls (per-sample training
+/// sums minibatch gradients); call [`Param::zero_grad`] between optimizer
+/// steps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Current parameter values.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps an initialized value tensor with a zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param { value, grad }
+    }
+
+    /// Resets the gradient accumulator to zero.
+    pub fn zero_grad(&mut self) {
+        for g in self.grad.data_mut() {
+            *g = 0.0;
+        }
+    }
+
+    /// Adds `g` into the gradient accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g`'s shape differs from the parameter's.
+    pub fn accumulate(&mut self, g: &Tensor) {
+        self.grad
+            .add_scaled(g, 1.0)
+            .expect("gradient shape must match parameter shape");
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// `true` for an empty parameter tensor.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Tensor::ones(&[2, 3]));
+        assert_eq!(p.grad.shape(), &[2, 3]);
+        assert!(p.grad.data().iter().all(|&g| g == 0.0));
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn accumulate_sums() {
+        let mut p = Param::new(Tensor::zeros(&[2]));
+        p.accumulate(&Tensor::from_slice(&[1.0, 2.0]));
+        p.accumulate(&Tensor::from_slice(&[0.5, -1.0]));
+        assert_eq!(p.grad.data(), &[1.5, 1.0]);
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn accumulate_rejects_shape_mismatch() {
+        let mut p = Param::new(Tensor::zeros(&[2]));
+        p.accumulate(&Tensor::zeros(&[3]));
+    }
+}

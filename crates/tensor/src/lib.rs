@@ -1,0 +1,47 @@
+//! # redcane-tensor
+//!
+//! A small, dependency-light, row-major `f32` N-dimensional tensor library.
+//! It is the numeric substrate on which the ReD-CaNe reproduction builds its
+//! Capsule-Network training and inference stack.
+//!
+//! The design goals, in order:
+//!
+//! 1. **Correctness and debuggability** — every shape-sensitive operation
+//!    validates its arguments and returns a [`TensorError`] describing the
+//!    mismatch; all types implement `Debug`.
+//! 2. **Determinism** — all random fills go through [`rng::TensorRng`],
+//!    which is seeded explicitly. No global RNG state.
+//! 3. **Sufficiency, not generality** — exactly the operations the CapsNet
+//!    stack needs (conv via im2col, matmul, axis reductions, activations,
+//!    range statistics for the noise model), implemented simply.
+//!
+//! # Example
+//!
+//! ```
+//! use redcane_tensor::{Tensor, TensorRng};
+//!
+//! # fn main() -> Result<(), redcane_tensor::TensorError> {
+//! let mut rng = TensorRng::from_seed(42);
+//! let x = rng.uniform(&[2, 3], -1.0, 1.0);
+//! let w = rng.normal(&[3, 4], 0.0, 0.1);
+//! let y = x.matmul(&w)?;
+//! assert_eq!(y.shape(), &[2, 4]);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod shape;
+mod tensor;
+
+pub mod ops;
+pub mod rng;
+pub mod stats;
+
+pub use error::TensorError;
+pub use rng::TensorRng;
+pub use shape::{strides_for, Shape};
+pub use tensor::Tensor;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

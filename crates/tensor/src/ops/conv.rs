@@ -1,0 +1,428 @@
+//! 2-D convolution via im2col, plus the col2im adjoint used by backprop.
+//!
+//! Convolutions are the MAC-dominated workhorse of CapsNets — the operations
+//! whose outputs form **group #1 (MAC outputs)** of the ReD-CaNe taxonomy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TensorError;
+use crate::ops::matmul::matmul_into;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Geometry of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Conv2dSpec {
+    /// Square kernel side length.
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding on each side of both spatial dimensions.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Creates a spec; `stride` must be non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidConvGeometry`] on a zero stride or
+    /// zero kernel.
+    pub fn new(kernel: usize, stride: usize, padding: usize) -> Result<Self> {
+        if stride == 0 || kernel == 0 {
+            return Err(TensorError::InvalidConvGeometry {
+                reason: format!("kernel {kernel} and stride {stride} must be non-zero"),
+            });
+        }
+        Ok(Conv2dSpec {
+            kernel,
+            stride,
+            padding,
+        })
+    }
+
+    /// Output spatial size for an input of `input` pixels on one axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidConvGeometry`] if the kernel does not
+    /// fit in the padded input.
+    pub fn output_size(&self, input: usize) -> Result<usize> {
+        conv_output_size(input, self.kernel, self.stride, self.padding)
+    }
+}
+
+/// `floor((input + 2*padding - kernel) / stride) + 1`, validated.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidConvGeometry`] when the kernel exceeds the
+/// padded input or stride is zero.
+pub fn conv_output_size(
+    input: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> Result<usize> {
+    if stride == 0 {
+        return Err(TensorError::InvalidConvGeometry {
+            reason: "stride must be non-zero".to_string(),
+        });
+    }
+    let padded = input + 2 * padding;
+    if kernel > padded {
+        return Err(TensorError::InvalidConvGeometry {
+            reason: format!("kernel {kernel} larger than padded input {padded}"),
+        });
+    }
+    Ok((padded - kernel) / stride + 1)
+}
+
+impl Tensor {
+    /// Unrolls a `[C, H, W]` tensor into the im2col matrix
+    /// `[C*k*k, H_out*W_out]`: column `p` holds the receptive field of
+    /// output pixel `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless the tensor is rank 3 and the geometry fits.
+    pub fn im2col(&self, spec: Conv2dSpec) -> Result<Tensor> {
+        if self.ndim() != 3 {
+            return Err(TensorError::RankMismatch {
+                expected: 3,
+                got: self.ndim(),
+                op: "im2col",
+            });
+        }
+        let (c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+        let h_out = spec.output_size(h)?;
+        let w_out = spec.output_size(w)?;
+        let k = spec.kernel;
+        let rows = c * k * k;
+        let cols = h_out * w_out;
+        let src = self.data();
+        let mut out = vec![0.0f32; rows * cols];
+        let pad = spec.padding as isize;
+        let stride = spec.stride;
+        for ci in 0..c {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = (ci * k + ky) * k + kx;
+                    let out_row = &mut out[row * cols..(row + 1) * cols];
+                    for oy in 0..h_out {
+                        let iy = (oy * stride) as isize + ky as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue; // zero padding already in place
+                        }
+                        let src_base = ci * h * w + iy as usize * w;
+                        for ox in 0..w_out {
+                            let ix = (ox * stride) as isize + kx as isize - pad;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            out_row[oy * w_out + ox] = src[src_base + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[rows, cols])
+    }
+
+    /// The adjoint of [`Tensor::im2col`]: folds a `[C*k*k, H_out*W_out]`
+    /// matrix back into a `[C, H, W]` tensor, **accumulating** overlapping
+    /// contributions. Used to propagate gradients through a convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the matrix shape is inconsistent with the
+    /// geometry implied by `(c, h, w)` and `spec`.
+    pub fn col2im(&self, c: usize, h: usize, w: usize, spec: Conv2dSpec) -> Result<Tensor> {
+        if self.ndim() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                got: self.ndim(),
+                op: "col2im",
+            });
+        }
+        let h_out = spec.output_size(h)?;
+        let w_out = spec.output_size(w)?;
+        let k = spec.kernel;
+        let rows = c * k * k;
+        let cols = h_out * w_out;
+        if self.shape() != [rows, cols] {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape().to_vec(),
+                right: vec![rows, cols],
+                op: "col2im",
+            });
+        }
+        let src = self.data();
+        let mut out = Tensor::zeros(&[c, h, w]);
+        let dst = out.data_mut();
+        let pad = spec.padding as isize;
+        let stride = spec.stride;
+        for ci in 0..c {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = (ci * k + ky) * k + kx;
+                    let src_row = &src[row * cols..(row + 1) * cols];
+                    for oy in 0..h_out {
+                        let iy = (oy * stride) as isize + ky as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let dst_base = ci * h * w + iy as usize * w;
+                        for ox in 0..w_out {
+                            let ix = (ox * stride) as isize + kx as isize - pad;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            dst[dst_base + ix as usize] += src_row[oy * w_out + ox];
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// 2-D convolution of a `[C_in, H, W]` input with `[C_out, C_in, k, k]`
+    /// weights and a `[C_out]` bias, producing `[C_out, H_out, W_out]`.
+    ///
+    /// Implemented as `weights_matrix · im2col(input)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank/shape mismatches or impossible geometry.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use redcane_tensor::{ops::Conv2dSpec, Tensor};
+    /// # fn main() -> Result<(), redcane_tensor::TensorError> {
+    /// let input = Tensor::ones(&[1, 4, 4]);
+    /// let weight = Tensor::ones(&[2, 1, 3, 3]);
+    /// let bias = Tensor::zeros(&[2]);
+    /// let spec = Conv2dSpec::new(3, 1, 0)?;
+    /// let out = input.conv2d(&weight, &bias, spec)?;
+    /// assert_eq!(out.shape(), &[2, 2, 2]);
+    /// assert_eq!(out.get(&[0, 0, 0])?, 9.0); // 3x3 window of ones
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn conv2d(&self, weight: &Tensor, bias: &Tensor, spec: Conv2dSpec) -> Result<Tensor> {
+        if self.ndim() != 3 {
+            return Err(TensorError::RankMismatch {
+                expected: 3,
+                got: self.ndim(),
+                op: "conv2d(input)",
+            });
+        }
+        if weight.ndim() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                got: weight.ndim(),
+                op: "conv2d(weight)",
+            });
+        }
+        let (c_in, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+        let (c_out, wc_in, kh, kw) = (
+            weight.shape()[0],
+            weight.shape()[1],
+            weight.shape()[2],
+            weight.shape()[3],
+        );
+        if wc_in != c_in || kh != spec.kernel || kw != spec.kernel {
+            return Err(TensorError::ShapeMismatch {
+                left: weight.shape().to_vec(),
+                right: vec![c_out, c_in, spec.kernel, spec.kernel],
+                op: "conv2d",
+            });
+        }
+        if bias.shape() != [c_out] {
+            return Err(TensorError::ShapeMismatch {
+                left: bias.shape().to_vec(),
+                right: vec![c_out],
+                op: "conv2d(bias)",
+            });
+        }
+        let h_out = spec.output_size(h)?;
+        let w_out = spec.output_size(w)?;
+        let cols = self.im2col(spec)?;
+        let k2 = c_in * spec.kernel * spec.kernel;
+        let n = h_out * w_out;
+        let mut out = vec![0.0f32; c_out * n];
+        matmul_into(weight.data(), cols.data(), &mut out, c_out, k2, n);
+        for co in 0..c_out {
+            let b = bias.data()[co];
+            if b != 0.0 {
+                for v in &mut out[co * n..(co + 1) * n] {
+                    *v += b;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[c_out, h_out, w_out])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::TensorRng;
+
+    /// Direct (quadruple-loop) convolution used as the test oracle.
+    fn naive_conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: Conv2dSpec) -> Tensor {
+        let (c_in, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let c_out = weight.shape()[0];
+        let k = spec.kernel;
+        let h_out = spec.output_size(h).unwrap();
+        let w_out = spec.output_size(w).unwrap();
+        let mut out = Tensor::zeros(&[c_out, h_out, w_out]);
+        for co in 0..c_out {
+            for oy in 0..h_out {
+                for ox in 0..w_out {
+                    let mut acc = bias.data()[co];
+                    for ci in 0..c_in {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += input.get(&[ci, iy as usize, ix as usize]).unwrap()
+                                    * weight.get(&[co, ci, ky, kx]).unwrap();
+                            }
+                        }
+                    }
+                    out.set(&[co, oy, ox], acc).unwrap();
+                }
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn output_size_formula() {
+        assert_eq!(conv_output_size(28, 9, 1, 0).unwrap(), 20);
+        assert_eq!(conv_output_size(20, 9, 2, 0).unwrap(), 6);
+        assert_eq!(conv_output_size(32, 3, 1, 1).unwrap(), 32);
+        assert_eq!(conv_output_size(32, 3, 2, 1).unwrap(), 16);
+    }
+
+    #[test]
+    fn output_size_rejects_impossible() {
+        assert!(conv_output_size(2, 5, 1, 0).is_err());
+        assert!(conv_output_size(8, 3, 0, 0).is_err());
+        assert!(Conv2dSpec::new(3, 0, 1).is_err());
+        assert!(Conv2dSpec::new(0, 1, 1).is_err());
+    }
+
+    #[test]
+    fn conv_matches_naive_no_padding() {
+        let mut rng = TensorRng::from_seed(30);
+        let input = rng.uniform(&[3, 8, 8], -1.0, 1.0);
+        let weight = rng.uniform(&[4, 3, 3, 3], -0.5, 0.5);
+        let bias = rng.uniform(&[4], -0.1, 0.1);
+        let spec = Conv2dSpec::new(3, 1, 0).unwrap();
+        assert_close(
+            &input.conv2d(&weight, &bias, spec).unwrap(),
+            &naive_conv2d(&input, &weight, &bias, spec),
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn conv_matches_naive_padded_strided() {
+        let mut rng = TensorRng::from_seed(31);
+        let input = rng.uniform(&[2, 9, 7], -1.0, 1.0);
+        let weight = rng.uniform(&[5, 2, 3, 3], -0.5, 0.5);
+        let bias = rng.uniform(&[5], -0.1, 0.1);
+        let spec = Conv2dSpec::new(3, 2, 1).unwrap();
+        assert_close(
+            &input.conv2d(&weight, &bias, spec).unwrap(),
+            &naive_conv2d(&input, &weight, &bias, spec),
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn conv_9x9_like_capsnet_stem() {
+        let mut rng = TensorRng::from_seed(32);
+        let input = rng.uniform(&[1, 16, 16], 0.0, 1.0);
+        let weight = rng.uniform(&[6, 1, 9, 9], -0.2, 0.2);
+        let bias = Tensor::zeros(&[6]);
+        let spec = Conv2dSpec::new(9, 1, 0).unwrap();
+        let out = input.conv2d(&weight, &bias, spec).unwrap();
+        assert_eq!(out.shape(), &[6, 8, 8]);
+        assert_close(&out, &naive_conv2d(&input, &weight, &bias, spec), 1e-4);
+    }
+
+    #[test]
+    fn conv_rejects_shape_mismatches() {
+        let input = Tensor::zeros(&[3, 8, 8]);
+        let spec = Conv2dSpec::new(3, 1, 0).unwrap();
+        // wrong in-channels
+        let weight = Tensor::zeros(&[4, 2, 3, 3]);
+        assert!(input.conv2d(&weight, &Tensor::zeros(&[4]), spec).is_err());
+        // wrong kernel
+        let weight = Tensor::zeros(&[4, 3, 5, 5]);
+        assert!(input.conv2d(&weight, &Tensor::zeros(&[4]), spec).is_err());
+        // wrong bias
+        let weight = Tensor::zeros(&[4, 3, 3, 3]);
+        assert!(input.conv2d(&weight, &Tensor::zeros(&[5]), spec).is_err());
+    }
+
+    #[test]
+    fn im2col_shape_and_content() {
+        let input = Tensor::from_fn(&[1, 3, 3], |i| i as f32);
+        let spec = Conv2dSpec::new(2, 1, 0).unwrap();
+        let cols = input.im2col(spec).unwrap();
+        assert_eq!(cols.shape(), &[4, 4]);
+        // First column = top-left 2x2 window [0,1,3,4]
+        assert_eq!(cols.get(&[0, 0]).unwrap(), 0.0);
+        assert_eq!(cols.get(&[1, 0]).unwrap(), 1.0);
+        assert_eq!(cols.get(&[2, 0]).unwrap(), 3.0);
+        assert_eq!(cols.get(&[3, 0]).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of the transpose operator that backprop relies on.
+        let mut rng = TensorRng::from_seed(33);
+        let spec = Conv2dSpec::new(3, 2, 1).unwrap();
+        let x = rng.uniform(&[2, 6, 5], -1.0, 1.0);
+        let cols = x.im2col(spec).unwrap();
+        let y = rng.uniform(cols.shape(), -1.0, 1.0);
+        let lhs: f32 = cols
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        let folded = y.col2im(2, 6, 5, spec).unwrap();
+        let rhs: f32 = x
+            .data()
+            .iter()
+            .zip(folded.data())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_validates_shape() {
+        let spec = Conv2dSpec::new(3, 1, 0).unwrap();
+        let bad = Tensor::zeros(&[5, 5]);
+        assert!(bad.col2im(1, 6, 6, spec).is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! Matrix products: 2-D matmul, transposed variants, and batched matmul.
+//!
+//! The 2-D kernel uses the cache-friendly `i-k-j` loop order with the inner
+//! loop over contiguous rows of the right operand, which is plenty fast for
+//! the model sizes this reproduction trains (im2col turns convolutions into
+//! these products).
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+impl Tensor {
+    /// 2-D matrix product: `self (m×k) · rhs (k×n) -> (m×n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless both operands are rank 2
+    /// and [`TensorError::MatmulMismatch`] unless the inner dims agree.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use redcane_tensor::Tensor;
+    /// # fn main() -> Result<(), redcane_tensor::TensorError> {
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+    /// let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
+    /// assert_eq!(a.matmul(&i)?, a);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        let (m, k) = mat_dims(self, "matmul")?;
+        let (k2, n) = mat_dims(rhs, "matmul")?;
+        if k != k2 {
+            return Err(TensorError::MatmulMismatch {
+                left: self.shape().to_vec(),
+                right: rhs.shape().to_vec(),
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        matmul_into(self.data(), rhs.data(), &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix product with the left operand transposed:
+    /// `selfᵀ (k×m)ᵀ · rhs (k×n) -> (m×n)` where `self` is stored as `k×m`.
+    ///
+    /// Used by backprop (`dW = Xᵀ·dY` patterns) without materializing the
+    /// transpose.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Result<Tensor> {
+        let (k, m) = mat_dims(self, "matmul_tn")?;
+        let (k2, n) = mat_dims(rhs, "matmul_tn")?;
+        if k != k2 {
+            return Err(TensorError::MatmulMismatch {
+                left: self.shape().to_vec(),
+                right: rhs.shape().to_vec(),
+            });
+        }
+        let a = self.data();
+        let b = rhs.data();
+        let mut out = vec![0.0f32; m * n];
+        // out[i][j] = sum_p a[p][i] * b[p][j]
+        for p in 0..k {
+            let arow = &a[p * m..(p + 1) * m];
+            let brow = &b[p * n..(p + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix product with the right operand transposed:
+    /// `self (m×k) · rhsᵀ (n×k)ᵀ -> (m×n)`.
+    ///
+    /// Used by backprop (`dX = dY·Wᵀ` patterns) without materializing the
+    /// transpose.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Result<Tensor> {
+        let (m, k) = mat_dims(self, "matmul_nt")?;
+        let (n, k2) = mat_dims(rhs, "matmul_nt")?;
+        if k != k2 {
+            return Err(TensorError::MatmulMismatch {
+                left: self.shape().to_vec(),
+                right: rhs.shape().to_vec(),
+            });
+        }
+        let a = self.data();
+        let b = rhs.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                *o = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix–vector product: `self (m×k) · v (k) -> (m)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `self` is rank 2, `v` is rank 1 and the
+    /// lengths agree.
+    pub fn matvec(&self, v: &Tensor) -> Result<Tensor> {
+        let (m, k) = mat_dims(self, "matvec")?;
+        if v.ndim() != 1 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                got: v.ndim(),
+                op: "matvec",
+            });
+        }
+        if v.len() != k {
+            return Err(TensorError::MatmulMismatch {
+                left: self.shape().to_vec(),
+                right: v.shape().to_vec(),
+            });
+        }
+        let a = self.data();
+        let x = v.data();
+        let mut out = vec![0.0f32; m];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &a[i * k..(i + 1) * k];
+            *o = row.iter().zip(x).map(|(&r, &xv)| r * xv).sum();
+        }
+        Tensor::from_vec(out, &[m])
+    }
+}
+
+/// Raw `m×k · k×n` product accumulated into `out` (assumed zeroed).
+pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+fn mat_dims(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    if t.ndim() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            got: t.ndim(),
+            op,
+        });
+    }
+    Ok((t.shape()[0], t.shape()[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::TensorRng;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.get(&[i, p]).unwrap() * b.get(&[p, j]).unwrap();
+                }
+                out.set(&[i, j], acc).unwrap();
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = TensorRng::from_seed(1);
+        let a = rng.uniform(&[7, 5], -1.0, 1.0);
+        let b = rng.uniform(&[5, 9], -1.0, 1.0);
+        assert_close(&a.matmul(&b).unwrap(), &naive_matmul(&a, &b), 1e-5);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = TensorRng::from_seed(2);
+        let a = rng.uniform(&[4, 4], -1.0, 1.0);
+        let eye = Tensor::from_fn(&[4, 4], |i| if i / 4 == i % 4 { 1.0 } else { 0.0 });
+        assert_close(&a.matmul(&eye).unwrap(), &a, 1e-6);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(a.matmul(&b).is_err());
+        let v = Tensor::zeros(&[3]);
+        assert!(v.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let mut rng = TensorRng::from_seed(3);
+        let a = rng.uniform(&[6, 4], -1.0, 1.0); // stored k x m with k=6, m=4
+        let b = rng.uniform(&[6, 5], -1.0, 1.0);
+        let at = a.transpose2d().unwrap();
+        assert_close(&a.matmul_tn(&b).unwrap(), &at.matmul(&b).unwrap(), 1e-5);
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let mut rng = TensorRng::from_seed(4);
+        let a = rng.uniform(&[3, 6], -1.0, 1.0);
+        let b = rng.uniform(&[5, 6], -1.0, 1.0); // stored n x k
+        let bt = b.transpose2d().unwrap();
+        assert_close(&a.matmul_nt(&b).unwrap(), &a.matmul(&bt).unwrap(), 1e-5);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = TensorRng::from_seed(5);
+        let a = rng.uniform(&[4, 7], -1.0, 1.0);
+        let v = rng.uniform(&[7], -1.0, 1.0);
+        let as_mat = v.reshape(&[7, 1]).unwrap();
+        let expect = a.matmul(&as_mat).unwrap().into_reshaped(&[4]).unwrap();
+        assert_close(&a.matvec(&v).unwrap(), &expect, 1e-5);
+    }
+
+    #[test]
+    fn matvec_rejects_mismatch() {
+        let a = Tensor::zeros(&[4, 7]);
+        assert!(a.matvec(&Tensor::zeros(&[6])).is_err());
+        assert!(a.matvec(&Tensor::zeros(&[7, 1])).is_err());
+    }
+}

@@ -1,0 +1,19 @@
+//! Tensor operations, grouped by kind.
+//!
+//! All operations are implemented as inherent methods on
+//! [`Tensor`](crate::Tensor); the submodules exist to keep the
+//! implementation navigable:
+//!
+//! - [`matmul`] — 2-D and batched matrix products
+//! - [`conv`] — im2col and 2-D convolution (the MAC workhorse of CapsNets)
+//! - [`reduce`] — axis reductions (sum/mean/max) and axis softmax
+//! - [`activation`] — ReLU, sigmoid, and the capsule `squash` nonlinearity
+//! - [`manip`] — pad, slice, concat, transpose/permute
+
+pub mod activation;
+pub mod conv;
+pub mod manip;
+pub mod matmul;
+pub mod reduce;
+
+pub use conv::{conv_output_size, Conv2dSpec};

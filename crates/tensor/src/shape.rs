@@ -1,0 +1,186 @@
+//! Shape utilities: element counts, row-major strides and index arithmetic.
+
+use crate::error::TensorError;
+
+/// A lightweight owned shape wrapper offering common shape queries.
+///
+/// Most of the crate passes `&[usize]` directly; `Shape` exists for
+/// call-sites that want to carry a shape around with its helper methods
+/// (e.g. model-graph code describing layer geometry).
+///
+/// # Example
+///
+/// ```
+/// use redcane_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.num_elements(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from its dimension sizes.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions (rank).
+    pub fn ndim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of dims; 1 for a scalar shape).
+    pub fn num_elements(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        strides_for(&self.0)
+    }
+
+    /// Consumes the wrapper and returns the underlying dims.
+    pub fn into_inner(self) -> Vec<usize> {
+        self.0
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl AsRef<[usize]> for Shape {
+    fn as_ref(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+/// Computes row-major (C-order) strides for `shape`.
+///
+/// The last axis is contiguous (stride 1). An empty shape yields an empty
+/// stride vector.
+///
+/// # Example
+///
+/// ```
+/// use redcane_tensor::strides_for;
+/// assert_eq!(strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+/// assert_eq!(strides_for(&[]), Vec::<usize>::new());
+/// ```
+pub fn strides_for(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    strides
+}
+
+/// Converts a multi-dimensional index into a flat row-major offset.
+///
+/// Returns an error if the index rank differs from the shape rank or any
+/// component is out of bounds.
+pub(crate) fn flat_index(shape: &[usize], index: &[usize]) -> Result<usize, TensorError> {
+    if index.len() != shape.len() {
+        return Err(TensorError::RankMismatch {
+            expected: shape.len(),
+            got: index.len(),
+            op: "index",
+        });
+    }
+    let mut flat = 0usize;
+    let mut stride = 1usize;
+    for axis in (0..shape.len()).rev() {
+        if index[axis] >= shape[axis] {
+            return Err(TensorError::AxisOutOfRange {
+                axis: index[axis],
+                ndim: shape[axis],
+            });
+        }
+        flat += index[axis] * stride;
+        stride *= shape[axis];
+    }
+    Ok(flat)
+}
+
+/// Total number of elements described by `shape`.
+pub(crate) fn num_elements(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides_for(&[4]), vec![1]);
+        assert_eq!(strides_for(&[2, 3]), vec![3, 1]);
+        assert_eq!(strides_for(&[5, 1, 2]), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn flat_index_round_trip() {
+        let shape = [2, 3, 4];
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    let flat = flat_index(&shape, &[i, j, k]).unwrap();
+                    assert!(flat < 24);
+                    assert!(seen.insert(flat), "duplicate flat index {flat}");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 24);
+    }
+
+    #[test]
+    fn flat_index_rejects_bad_rank() {
+        assert!(flat_index(&[2, 2], &[1]).is_err());
+    }
+
+    #[test]
+    fn flat_index_rejects_out_of_bounds() {
+        assert!(flat_index(&[2, 2], &[2, 0]).is_err());
+    }
+
+    #[test]
+    fn shape_wrapper_queries() {
+        let s = Shape::new(vec![3, 5]);
+        assert_eq!(s.ndim(), 2);
+        assert_eq!(s.num_elements(), 15);
+        assert_eq!(s.dims(), &[3, 5]);
+        assert_eq!(s.to_string(), "[3, 5]");
+        assert_eq!(s.clone().into_inner(), vec![3, 5]);
+        let from_slice: Shape = (&[3usize, 5][..]).into();
+        assert_eq!(from_slice, s);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(vec![]);
+        assert_eq!(s.num_elements(), 1);
+        assert_eq!(s.strides(), Vec::<usize>::new());
+    }
+}
