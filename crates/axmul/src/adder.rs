@@ -105,7 +105,10 @@ mod tests {
                     continue; // saturation region
                 }
                 let approx = a.add(x, y) as i32;
-                assert!((approx - exact).abs() < bound, "{x}+{y}: {approx} vs {exact}");
+                assert!(
+                    (approx - exact).abs() < bound,
+                    "{x}+{y}: {approx} vs {exact}"
+                );
             }
         }
     }

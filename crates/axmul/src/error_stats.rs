@@ -110,7 +110,10 @@ impl ErrorProfile {
         // Histogram domain: symmetric around the mean, ±4σ (or the observed
         // extremes if wider), with a small floor so exact components get a
         // well-formed single-spike histogram.
-        let half = (4.0 * std).max((max - mean).abs()).max((mean - min).abs()).max(0.5);
+        let half = (4.0 * std)
+            .max((max - mean).abs())
+            .max((mean - min).abs())
+            .max(0.5);
         let (hist_lo, hist_hi) = (mean - half, mean + half);
         let mut hist_counts = vec![0u64; bins];
         let width = (hist_hi - hist_lo) / bins as f64;
@@ -209,8 +212,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -325,7 +327,11 @@ mod tests {
         assert!(p9.std > p1.std);
         assert!(p81.std > p9.std);
         // Bias accumulates linearly in chain length.
-        assert!((p9.mean / p1.mean - 9.0).abs() < 1.5, "{}", p9.mean / p1.mean);
+        assert!(
+            (p9.mean / p1.mean - 9.0).abs() < 1.5,
+            "{}",
+            p9.mean / p1.mean
+        );
     }
 
     #[test]

@@ -85,12 +85,7 @@ impl ComponentEntry {
     }
 
     /// Measures the paper's `NM`/`NA` for this component over `dist`.
-    pub fn characterize(
-        &self,
-        dist: &InputDistribution,
-        samples: usize,
-        seed: u64,
-    ) -> NoiseParams {
+    pub fn characterize(&self, dist: &InputDistribution, samples: usize, seed: u64) -> NoiseParams {
         profile_multiplier(self.model(), dist, samples, seed).noise_params()
     }
 }
@@ -120,18 +115,78 @@ impl MultiplierLibrary {
         // --- Table IV-named components (paper power/area as metadata). ---
         let named: [(&str, Arc<dyn Multiplier8>, f64, f64); 15] = [
             ("mul8u_1JFF", Arc::new(ExactMultiplier), 391.0, 710.0),
-            ("mul8u_14VP", Arc::new(TruncatedMultiplier::new(3)), 364.0, 654.0),
-            ("mul8u_GS2", Arc::new(TruncatedMultiplier::new(6)), 356.0, 633.0),
-            ("mul8u_CK5", Arc::new(TruncatedMultiplier::new(4)), 345.0, 604.0),
-            ("mul8u_7C1", Arc::new(TruncatedMultiplier::new(7)), 329.0, 607.0),
-            ("mul8u_96D", Arc::new(TruncatedMultiplier::new(8)), 309.0, 605.0),
-            ("mul8u_2HH", Arc::new(BrokenArrayMultiplier::new(5, 2)), 302.0, 542.0),
-            ("mul8u_NGR", Arc::new(BrokenArrayMultiplier::new(6, 0)), 276.0, 512.0),
-            ("mul8u_19DB", Arc::new(CompressorMultiplier::new(8)), 206.0, 396.0),
-            ("mul8u_DM1", Arc::new(KulkarniMultiplier::new(3)), 195.0, 402.0),
-            ("mul8u_12N4", Arc::new(PerforatedMultiplier::new(1, 2)), 142.0, 390.0),
-            ("mul8u_1AGV", Arc::new(CompressorMultiplier::new(10)), 95.0, 228.0),
-            ("mul8u_YX7", Arc::new(TruncatedMultiplier::new(11)), 61.0, 221.0),
+            (
+                "mul8u_14VP",
+                Arc::new(TruncatedMultiplier::new(3)),
+                364.0,
+                654.0,
+            ),
+            (
+                "mul8u_GS2",
+                Arc::new(TruncatedMultiplier::new(6)),
+                356.0,
+                633.0,
+            ),
+            (
+                "mul8u_CK5",
+                Arc::new(TruncatedMultiplier::new(4)),
+                345.0,
+                604.0,
+            ),
+            (
+                "mul8u_7C1",
+                Arc::new(TruncatedMultiplier::new(7)),
+                329.0,
+                607.0,
+            ),
+            (
+                "mul8u_96D",
+                Arc::new(TruncatedMultiplier::new(8)),
+                309.0,
+                605.0,
+            ),
+            (
+                "mul8u_2HH",
+                Arc::new(BrokenArrayMultiplier::new(5, 2)),
+                302.0,
+                542.0,
+            ),
+            (
+                "mul8u_NGR",
+                Arc::new(BrokenArrayMultiplier::new(6, 0)),
+                276.0,
+                512.0,
+            ),
+            (
+                "mul8u_19DB",
+                Arc::new(CompressorMultiplier::new(8)),
+                206.0,
+                396.0,
+            ),
+            (
+                "mul8u_DM1",
+                Arc::new(KulkarniMultiplier::new(3)),
+                195.0,
+                402.0,
+            ),
+            (
+                "mul8u_12N4",
+                Arc::new(PerforatedMultiplier::new(1, 2)),
+                142.0,
+                390.0,
+            ),
+            (
+                "mul8u_1AGV",
+                Arc::new(CompressorMultiplier::new(10)),
+                95.0,
+                228.0,
+            ),
+            (
+                "mul8u_YX7",
+                Arc::new(TruncatedMultiplier::new(11)),
+                61.0,
+                221.0,
+            ),
             ("mul8u_JV3", Arc::new(DrumMultiplier::new(3)), 34.0, 111.0),
             ("mul8u_QKX", Arc::new(DrumMultiplier::new(2)), 29.0, 112.0),
         ];
@@ -196,8 +251,10 @@ impl MultiplierLibrary {
             entries.push(ComponentEntry::new(
                 format!("mul8u_perf{start}_{count}"),
                 Arc::new(PerforatedMultiplier::new(start, count)) as Arc<dyn Multiplier8>,
-                structure_with_drops(|row, _| row >= start as usize && row < (start + count) as usize)
-                    .cost(),
+                structure_with_drops(|row, _| {
+                    row >= start as usize && row < (start + count) as usize
+                })
+                .cost(),
                 CostSource::Structural,
             ));
         }
@@ -403,7 +460,10 @@ mod tests {
         assert_eq!(lib.find("mul8u_DM1").unwrap().cost().power_uw, 195.0);
         assert_eq!(lib.find("mul8u_QKX").unwrap().cost().area_um2, 112.0);
         let ngr_saving = lib.find("mul8u_NGR").unwrap().cost().power_saving();
-        assert!((ngr_saving - 0.294).abs() < 0.01, "NGR ~ -29%: {ngr_saving}");
+        assert!(
+            (ngr_saving - 0.294).abs() < 0.01,
+            "NGR ~ -29%: {ngr_saving}"
+        );
     }
 
     #[test]
@@ -437,10 +497,10 @@ mod tests {
         // Table IV: NGR has NM ~ 0.0008-0.0009. Our stand-in must stay in
         // the sub-percent regime.
         let lib = MultiplierLibrary::evo_approx_like();
-        let np = lib
-            .find("mul8u_NGR")
-            .unwrap()
-            .characterize(&InputDistribution::Uniform, 30_000, 2);
+        let np =
+            lib.find("mul8u_NGR")
+                .unwrap()
+                .characterize(&InputDistribution::Uniform, 30_000, 2);
         assert!(np.nm > 0.0 && np.nm < 0.01, "NGR nm {}", np.nm);
     }
 

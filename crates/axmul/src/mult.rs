@@ -204,8 +204,7 @@ impl Multiplier8 for KulkarniMultiplier {
                 let bc = (b >> (2 * cj)) & 0b11;
                 // A block is approximate when both chunk positions fall in
                 // the low `approx_levels` chunks.
-                let approx =
-                    ci < self.approx_levels as usize && cj < self.approx_levels as usize;
+                let approx = ci < self.approx_levels as usize && cj < self.approx_levels as usize;
                 acc += (Self::mul2x2(approx, ac, bc) as u32) << (2 * (ci + cj));
             }
         }
@@ -270,7 +269,7 @@ impl Multiplier8 for MitchellLogMultiplier {
         let lsum = ((ka + kb) as u32) * 128 + xa + xb; // Q7 log sum
         let k = (lsum >> 7) as i32; // characteristic
         let f = lsum & 0x7f; // fraction, Q7
-        // antilog: (1 + f) * 2^k, with (1+f) in Q7 = 128 + f
+                             // antilog: (1 + f) * 2^k, with (1+f) in Q7 = 128 + f
         let m = 128 + f;
         let prod = if k >= 7 {
             (m as u64) << (k - 7)
@@ -581,10 +580,7 @@ mod tests {
 
     #[test]
     fn broken_array_zero_breaks_is_exact() {
-        assert_eq!(
-            exhaustive_max_abs_err(&BrokenArrayMultiplier::new(0, 0)),
-            0
-        );
+        assert_eq!(exhaustive_max_abs_err(&BrokenArrayMultiplier::new(0, 0)), 0);
     }
 
     #[test]

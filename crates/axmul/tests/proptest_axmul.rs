@@ -5,7 +5,7 @@ use redcane_axmul::mult::{
     BrokenArrayMultiplier, CompressorMultiplier, DrumMultiplier, KulkarniMultiplier,
     MitchellLogMultiplier, Multiplier8, PerforatedMultiplier, TruncatedMultiplier,
 };
-use redcane_axmul::{ExactMultiplier, LowerOrAdder, Adder16};
+use redcane_axmul::{Adder16, ExactMultiplier, LowerOrAdder};
 
 proptest! {
     #[test]

@@ -1,0 +1,79 @@
+//! Seeded end-to-end ReD-CaNe pipeline smoke benchmark.
+//!
+//! Runs dataset generation → tiny CapsNet training → group extraction →
+//! noise sweep → component selection and prints exactly one JSON line
+//! to stdout (human-readable progress goes to stderr). Usage:
+//!
+//! ```text
+//! pipeline [--benchmark mnist|fashion|svhn|cifar] [--seed N]
+//!          [--train N] [--test N] [--epochs N] [--threads N]
+//! ```
+
+use std::process::ExitCode;
+
+use redcane_bench::cli::{next_parsed, next_value, require_nonzero};
+use redcane_bench::{outcome_to_json, run_pipeline, PipelineConfig};
+use redcane_datasets::Benchmark;
+
+fn parse_args(mut cfg: PipelineConfig) -> Result<PipelineConfig, String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--benchmark" => {
+                cfg.benchmark = match next_value(&mut args, "--benchmark")?.as_str() {
+                    "mnist" => Benchmark::MnistLike,
+                    "fashion" => Benchmark::FashionLike,
+                    "svhn" => Benchmark::SvhnLike,
+                    "cifar" => Benchmark::Cifar10Like,
+                    other => return Err(format!("unknown benchmark '{other}'")),
+                };
+            }
+            "--seed" => cfg.seed = next_parsed(&mut args, "--seed")?,
+            "--train" => cfg.train = next_parsed(&mut args, "--train")?,
+            "--test" => cfg.test = next_parsed(&mut args, "--test")?,
+            "--epochs" => cfg.epochs = next_parsed(&mut args, "--epochs")?,
+            "--threads" => cfg.threads = next_parsed(&mut args, "--threads")?,
+            "--help" | "-h" => {
+                eprintln!(
+                    "pipeline: seeded end-to-end ReD-CaNe smoke benchmark\n\
+                     flags: --benchmark mnist|fashion|svhn|cifar, --seed N, \
+                     --train N, --test N, --epochs N, --threads N"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    // Fail with a clean CLI error rather than tripping run_pipeline's
+    // asserts.
+    require_nonzero(cfg.train, "--train")?;
+    require_nonzero(cfg.test, "--test")?;
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let cfg = match parse_args(PipelineConfig::smoke()) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("pipeline: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "[pipeline] benchmark={} seed={} train={} test={} epochs={}",
+        cfg.benchmark, cfg.seed, cfg.train, cfg.test, cfg.epochs
+    );
+    let outcome = run_pipeline(&cfg);
+    eprintln!(
+        "[pipeline] baseline {:.3}, validated {:.3} (drop {:.2} pp) in {:.2}s \
+         (train {:.2}s, methodology {:.2}s)",
+        outcome.report.group_sweep.baseline_accuracy,
+        outcome.report.design.validated_accuracy,
+        outcome.report.design.validated_drop_pp(),
+        outcome.timings.total_s(),
+        outcome.timings.train_s,
+        outcome.timings.methodology_s,
+    );
+    println!("{}", outcome_to_json(&outcome).dump());
+    ExitCode::SUCCESS
+}

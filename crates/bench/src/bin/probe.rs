@@ -1,11 +1,83 @@
+//! Training/evaluation throughput probe for the two reference models.
+//!
+//! Trains the small CapsNet on the MNIST-like benchmark and the small
+//! DeepCaps on the CIFAR-like benchmark and reports wall-clock times.
+//! Scale the run down for quick checks:
+//!
+//! ```text
+//! probe [--train N] [--test N] [--epochs N] [--quick]
+//! ```
+//!
+//! `--quick` is shorthand for `--train 100 --test 30 --epochs 1`.
+
+use std::process::ExitCode;
 use std::time::Instant;
-use redcane_capsnet::{train, evaluate, CapsModel, CapsNet, CapsNetConfig, DeepCaps, DeepCapsConfig, TrainConfig, inject::NoInjection};
+
+use redcane_bench::cli::{next_parsed, require_nonzero};
+use redcane_capsnet::{
+    evaluate, inject::NoInjection, train, CapsNet, CapsNetConfig, DeepCaps, DeepCapsConfig,
+    TrainConfig,
+};
 use redcane_datasets::{generate, Benchmark, GenerateConfig};
 use redcane_tensor::TensorRng;
 
-fn main() {
-    let cfg = GenerateConfig { train: 1500, test: 300, seed: 1 };
-    let tcfg = TrainConfig { epochs: 6, batch_size: 16, lr: 2e-3, seed: 3, verbose: true };
+struct ProbeConfig {
+    train: usize,
+    test: usize,
+    epochs: usize,
+}
+
+fn parse_args() -> Result<ProbeConfig, String> {
+    let mut cfg = ProbeConfig {
+        train: 1500,
+        test: 300,
+        epochs: 6,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--train" => cfg.train = next_parsed(&mut args, "--train")?,
+            "--test" => cfg.test = next_parsed(&mut args, "--test")?,
+            "--epochs" => cfg.epochs = next_parsed(&mut args, "--epochs")?,
+            "--quick" => {
+                cfg.train = 100;
+                cfg.test = 30;
+                cfg.epochs = 1;
+            }
+            "--help" | "-h" => {
+                eprintln!("probe: train/evaluate throughput microbenchmark");
+                eprintln!("flags: --train N, --test N, --epochs N, --quick");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    // Scaled-down runs must not panic: training needs at least one
+    // sample, and zero test samples simply evaluates to accuracy 0.
+    require_nonzero(cfg.train, "--train")?;
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let probe = match parse_args() {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("probe: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = GenerateConfig {
+        train: probe.train,
+        test: probe.test,
+        seed: 1,
+    };
+    let tcfg = TrainConfig {
+        epochs: probe.epochs,
+        batch_size: 16,
+        lr: 2e-3,
+        seed: 3,
+        verbose: true,
+    };
 
     let pair = generate(Benchmark::MnistLike, &cfg);
     let mut rng = TensorRng::from_seed(42);
@@ -13,12 +85,23 @@ fn main() {
     let t0 = Instant::now();
     let rep = train(&mut m, &pair.train, &tcfg);
     let acc = evaluate(&mut m, &pair.test, &mut NoInjection);
-    println!("CapsNet mnist-like: train_acc={:.3} test_acc={:.3} in {:?}", rep.train_accuracy, acc, t0.elapsed());
+    println!(
+        "CapsNet mnist-like: train_acc={:.3} test_acc={:.3} in {:?}",
+        rep.train_accuracy,
+        acc,
+        t0.elapsed()
+    );
 
     let pair = generate(Benchmark::Cifar10Like, &cfg);
     let mut m = DeepCaps::new(&DeepCapsConfig::small(3, 20), &mut rng);
     let t0 = Instant::now();
     let rep = train(&mut m, &pair.train, &tcfg);
     let acc = evaluate(&mut m, &pair.test, &mut NoInjection);
-    println!("DeepCaps cifar-like: train_acc={:.3} test_acc={:.3} in {:?}", rep.train_accuracy, acc, t0.elapsed());
+    println!(
+        "DeepCaps cifar-like: train_acc={:.3} test_acc={:.3} in {:?}",
+        rep.train_accuracy,
+        acc,
+        t0.elapsed()
+    );
+    ExitCode::SUCCESS
 }

@@ -1,0 +1,79 @@
+//! Tiny flag-parsing helpers shared by the `probe` and `pipeline`
+//! binaries, so their flags parse and fail identically.
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// Pulls the value following `flag` from the argument stream.
+///
+/// # Errors
+///
+/// Returns a user-facing message when the stream is exhausted.
+pub fn next_value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next()
+        .ok_or_else(|| format!("{flag} requires a value"))
+}
+
+/// Pulls and parses the value following `flag`.
+///
+/// # Errors
+///
+/// Returns a user-facing message when the stream is exhausted or the
+/// value does not parse as `T`.
+pub fn next_parsed<T>(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<T, String>
+where
+    T: FromStr,
+    T::Err: Display,
+{
+    next_value(args, flag)?
+        .parse()
+        .map_err(|e| format!("{flag}: {e}"))
+}
+
+/// Rejects a zero count with a consistent message.
+///
+/// # Errors
+///
+/// Returns a user-facing message when `value` is zero.
+pub fn require_nonzero(value: usize, flag: &str) -> Result<usize, String> {
+    if value == 0 {
+        Err(format!("{flag} must be at least 1"))
+    } else {
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(items: &[&str]) -> impl Iterator<Item = String> {
+        items
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn next_parsed_reads_and_reports() {
+        let mut it = args(&["42", "nope"]);
+        assert_eq!(next_parsed::<usize>(&mut it, "--n"), Ok(42));
+        assert!(next_parsed::<usize>(&mut it, "--n")
+            .unwrap_err()
+            .starts_with("--n:"));
+        assert_eq!(
+            next_parsed::<usize>(&mut it, "--n"),
+            Err("--n requires a value".to_string())
+        );
+    }
+
+    #[test]
+    fn require_nonzero_gates_zero() {
+        assert_eq!(require_nonzero(3, "--train"), Ok(3));
+        assert_eq!(
+            require_nonzero(0, "--train"),
+            Err("--train must be at least 1".to_string())
+        );
+    }
+}

@@ -1,1 +1,395 @@
-//! Placeholder; implemented later in the build sequence.
+//! # redcane-bench
+//!
+//! The workspace's benchmark harness. Two binaries build on this crate:
+//!
+//! - **`probe`** — trains the reference CapsNet and DeepCaps on their
+//!   benchmark datasets and reports raw train/evaluate throughput;
+//! - **`pipeline`** — runs the complete ReD-CaNe methodology end to end
+//!   (dataset generation → tiny CapsNet training → group extraction →
+//!   noise sweep → component selection) from a fixed seed and emits one
+//!   machine-readable JSON line. This is the hook future perf-tracking
+//!   (`BENCH_*.json`) builds on.
+//!
+//! The library exposes the pipeline itself ([`run_pipeline`]) so
+//! integration tests can run the exact same code path as the binary and
+//! parse the exact same JSON ([`outcome_to_json`]).
+
+use std::time::Instant;
+
+pub mod cli;
+
+use redcane::prelude::*;
+use redcane::report::json::Value;
+use redcane::report::{group_slug, marking_to_json};
+use redcane::{SelectionConfig, SweepConfig};
+use redcane_capsnet::{evaluate, train, CapsNet, CapsNetConfig, NoInjection, TrainConfig};
+use redcane_datasets::{generate, Benchmark, GenerateConfig};
+use redcane_tensor::TensorRng;
+
+/// Everything a pipeline run needs; fully determined by its fields
+/// (no hidden global state), so equal configs give equal outcomes.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Which benchmark family to synthesize.
+    pub benchmark: Benchmark,
+    /// Training samples to generate.
+    pub train: usize,
+    /// Test samples to generate.
+    pub test: usize,
+    /// Master seed: dataset, weight init, training order, sweeps and
+    /// characterization all derive from it.
+    pub seed: u64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Noise magnitudes for the resilience sweeps.
+    pub nm_values: Vec<f64>,
+    /// Test-subset cap during sweeps.
+    pub max_test_samples: Option<usize>,
+    /// Worker threads for the sweeps.
+    pub threads: usize,
+    /// Samples per library-component characterization.
+    pub characterization_samples: usize,
+}
+
+impl PipelineConfig {
+    /// The fast, seeded smoke configuration: completes in seconds in a
+    /// release build while still exercising every pipeline stage with a
+    /// model that trains well above chance.
+    pub fn smoke() -> Self {
+        PipelineConfig {
+            benchmark: Benchmark::MnistLike,
+            train: 600,
+            test: 150,
+            seed: 1,
+            epochs: 6,
+            batch_size: 16,
+            lr: 2e-3,
+            nm_values: vec![0.5, 0.05, 0.005],
+            max_test_samples: Some(40),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            characterization_samples: 4000,
+        }
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig::smoke()
+    }
+}
+
+/// Wall-clock seconds per pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageTimings {
+    /// Dataset generation.
+    pub generate_s: f64,
+    /// Model construction + training.
+    pub train_s: f64,
+    /// Accurate-network test evaluation.
+    pub evaluate_s: f64,
+    /// The six-step methodology (sweeps dominate).
+    pub methodology_s: f64,
+}
+
+impl StageTimings {
+    /// Total of all stages.
+    pub fn total_s(&self) -> f64 {
+        self.generate_s + self.train_s + self.evaluate_s + self.methodology_s
+    }
+}
+
+/// The result of one end-to-end pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    /// The configuration that produced it.
+    pub config: PipelineConfig,
+    /// Accuracy of the trained accurate network on the full test set.
+    pub test_accuracy: f64,
+    /// Final-epoch training loss.
+    pub final_train_loss: f32,
+    /// The full methodology report.
+    pub report: RedCaNeReport,
+    /// Per-stage wall-clock timings.
+    pub timings: StageTimings,
+}
+
+/// Runs dataset generation → training → the six-step ReD-CaNe
+/// methodology, deterministically from `cfg.seed`.
+///
+/// # Panics
+///
+/// Panics if `cfg.train`, `cfg.test` or `cfg.nm_values` are empty —
+/// the methodology needs data and a sweep grid.
+pub fn run_pipeline(cfg: &PipelineConfig) -> PipelineOutcome {
+    assert!(cfg.train > 0, "pipeline needs training samples");
+    assert!(cfg.test > 0, "pipeline needs test samples");
+    assert!(!cfg.nm_values.is_empty(), "pipeline needs a sweep grid");
+
+    let t = Instant::now();
+    let pair = generate(
+        cfg.benchmark,
+        &GenerateConfig {
+            train: cfg.train,
+            test: cfg.test,
+            seed: cfg.seed,
+        },
+    );
+    let generate_s = t.elapsed().as_secs_f64();
+
+    let (channels, height, _) = cfg.benchmark.geometry();
+    let t = Instant::now();
+    let mut rng = TensorRng::from_seed(cfg.seed.wrapping_mul(0x9e37_79b9).wrapping_add(7));
+    let mut model = CapsNet::new(&CapsNetConfig::small(channels, height), &mut rng);
+    let train_report = train(
+        &mut model,
+        &pair.train,
+        &TrainConfig {
+            epochs: cfg.epochs,
+            batch_size: cfg.batch_size,
+            lr: cfg.lr,
+            seed: cfg.seed ^ 0x71a1,
+            verbose: false,
+        },
+    );
+    let train_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let test_accuracy = evaluate(&mut model, &pair.test, &mut NoInjection);
+    let evaluate_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let methodology = RedCaNe::new(MethodologyConfig {
+        sweep: SweepConfig {
+            nm_values: cfg.nm_values.clone(),
+            na: 0.0,
+            seed: cfg.seed ^ 0x5eed,
+            max_test_samples: cfg.max_test_samples,
+            threads: cfg.threads,
+        },
+        selection: SelectionConfig {
+            characterization_samples: cfg.characterization_samples,
+            seed: cfg.seed ^ 0xc0de,
+            ..Default::default()
+        },
+        input_distribution: None,
+    });
+    let report = methodology.run(&model, &pair.test);
+    let methodology_s = t.elapsed().as_secs_f64();
+
+    PipelineOutcome {
+        config: cfg.clone(),
+        test_accuracy,
+        final_train_loss: train_report.epoch_losses.last().copied().unwrap_or(0.0),
+        report,
+        timings: StageTimings {
+            generate_s,
+            train_s,
+            evaluate_s,
+            methodology_s,
+        },
+    }
+}
+
+/// Serializes an outcome as the pipeline's one-line JSON schema:
+/// run metadata, stage timings, the accuracy drop per group (critical
+/// NM + full sweep curve) and the selected components.
+pub fn outcome_to_json(outcome: &PipelineOutcome) -> Value {
+    let report = &outcome.report;
+    let groups: Vec<Value> = report
+        .group_marking
+        .entries
+        .iter()
+        .map(|(group, critical_nm, resilient)| {
+            let curve = report.group_sweep.curve(*group);
+            Value::Obj(vec![
+                ("group".into(), Value::from(group_slug(*group))),
+                ("critical_nm".into(), Value::from(*critical_nm)),
+                ("resilient".into(), Value::from(*resilient)),
+                (
+                    "drop_pp".into(),
+                    Value::Arr(
+                        curve
+                            .points
+                            .iter()
+                            .map(|p| Value::from(p.drop_pp))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let components: Vec<Value> = report
+        .design
+        .assignments
+        .iter()
+        .map(|a| {
+            Value::Obj(vec![
+                ("layer".into(), Value::from(a.layer.clone())),
+                ("group".into(), Value::from(group_slug(a.group))),
+                ("component".into(), Value::from(a.component.clone())),
+                ("power_uw".into(), Value::from(a.power_uw)),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("bench".into(), Value::from("pipeline")),
+        ("schema_version".into(), Value::from(1usize)),
+        (
+            "benchmark".into(),
+            Value::from(outcome.config.benchmark.name()),
+        ),
+        // As a string: u64 seeds above 2^53 would silently round through
+        // a JSON number, breaking the record's reproducibility.
+        ("seed".into(), Value::from(outcome.config.seed.to_string())),
+        (
+            "model".into(),
+            Value::from(report.inventory.model_name.clone()),
+        ),
+        (
+            "nm_values".into(),
+            Value::Arr(
+                outcome
+                    .config
+                    .nm_values
+                    .iter()
+                    .map(|&v| Value::from(v))
+                    .collect(),
+            ),
+        ),
+        (
+            "timings_s".into(),
+            Value::Obj(vec![
+                ("generate".into(), Value::from(outcome.timings.generate_s)),
+                ("train".into(), Value::from(outcome.timings.train_s)),
+                ("evaluate".into(), Value::from(outcome.timings.evaluate_s)),
+                (
+                    "methodology".into(),
+                    Value::from(outcome.timings.methodology_s),
+                ),
+                ("total".into(), Value::from(outcome.timings.total_s())),
+            ]),
+        ),
+        ("test_accuracy".into(), Value::from(outcome.test_accuracy)),
+        (
+            "final_train_loss".into(),
+            Value::from(f64::from(outcome.final_train_loss)),
+        ),
+        (
+            "baseline_accuracy".into(),
+            Value::from(report.group_sweep.baseline_accuracy),
+        ),
+        ("groups".into(), Value::Arr(groups)),
+        ("marking".into(), marking_to_json(&report.group_marking)),
+        ("components".into(), Value::Arr(components)),
+        (
+            "mean_power_saving".into(),
+            Value::from(report.design.mean_power_saving),
+        ),
+        (
+            "validated_accuracy".into(),
+            Value::from(report.design.validated_accuracy),
+        ),
+        (
+            "validated_drop_pp".into(),
+            Value::from(report.design.validated_drop_pp()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcane::report::json;
+
+    #[test]
+    fn smoke_config_is_fast_shaped() {
+        let cfg = PipelineConfig::smoke();
+        assert!(cfg.train <= 1000);
+        assert!(cfg.nm_values.len() <= 4);
+        assert!(cfg.max_test_samples.is_some());
+    }
+
+    #[test]
+    fn pipeline_json_schema_is_stable() {
+        // A tiny but real run; keeps the schema test honest without
+        // needing minutes of training.
+        let cfg = PipelineConfig {
+            train: 40,
+            test: 20,
+            epochs: 1,
+            characterization_samples: 1000,
+            max_test_samples: Some(10),
+            nm_values: vec![0.5, 0.005],
+            ..PipelineConfig::smoke()
+        };
+        let outcome = run_pipeline(&cfg);
+        let line = outcome_to_json(&outcome).dump();
+        assert!(!line.contains('\n'), "must be a single line");
+        let parsed = json::parse(&line).unwrap();
+        for key in [
+            "bench",
+            "schema_version",
+            "benchmark",
+            "seed",
+            "timings_s",
+            "test_accuracy",
+            "baseline_accuracy",
+            "groups",
+            "components",
+            "validated_accuracy",
+        ] {
+            assert!(parsed.get(key).is_some(), "missing key {key}");
+        }
+        let groups = parsed.get("groups").unwrap().as_arr().unwrap();
+        assert_eq!(groups.len(), 4, "accuracy drop per group");
+        for g in groups {
+            assert!(g.get("critical_nm").unwrap().as_f64().is_some());
+            assert_eq!(
+                g.get("drop_pp").unwrap().as_arr().unwrap().len(),
+                cfg.nm_values.len()
+            );
+        }
+        assert!(!parsed
+            .get("components")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn equal_seeds_give_equal_json() {
+        let cfg = PipelineConfig {
+            train: 30,
+            test: 12,
+            epochs: 1,
+            characterization_samples: 500,
+            max_test_samples: Some(8),
+            nm_values: vec![0.5],
+            threads: 2,
+            ..PipelineConfig::smoke()
+        };
+        let a = outcome_to_json(&run_pipeline(&cfg));
+        let mut cfg_b = cfg.clone();
+        cfg_b.threads = 1; // determinism must not depend on parallelism
+        let b = outcome_to_json(&run_pipeline(&cfg_b));
+        // Timings differ run to run; compare everything else.
+        let strip = |v: &Value| match v {
+            Value::Obj(fields) => Value::Obj(
+                fields
+                    .iter()
+                    .filter(|(k, _)| k != "timings_s")
+                    .cloned()
+                    .collect(),
+            ),
+            other => other.clone(),
+        };
+        assert_eq!(strip(&a), strip(&b));
+    }
+}

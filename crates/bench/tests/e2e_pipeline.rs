@@ -1,0 +1,112 @@
+//! Workspace-level integration test: the tiny end-to-end ReD-CaNe
+//! pipeline, run deterministically from a fixed seed through the same
+//! code path as the `pipeline` binary.
+
+use redcane::report::json;
+use redcane::Group;
+use redcane_bench::{outcome_to_json, run_pipeline, PipelineConfig};
+use redcane_datasets::Benchmark;
+
+fn tiny_config() -> PipelineConfig {
+    PipelineConfig {
+        benchmark: Benchmark::MnistLike,
+        train: 120,
+        test: 40,
+        seed: 77,
+        epochs: 3,
+        batch_size: 16,
+        lr: 2e-3,
+        nm_values: vec![0.5, 0.05, 0.005],
+        max_test_samples: Some(25),
+        threads: 4,
+        characterization_samples: 2000,
+    }
+}
+
+#[test]
+fn pipeline_runs_end_to_end_and_is_deterministic() {
+    let cfg = tiny_config();
+    let outcome = run_pipeline(&cfg);
+
+    // The model trained above chance (10 classes).
+    assert!(
+        outcome.test_accuracy > 0.2,
+        "test accuracy {}",
+        outcome.test_accuracy
+    );
+
+    // Step 1 found all four operation groups of Table III.
+    assert_eq!(outcome.report.inventory.sites.len(), 4);
+    for group in Group::all() {
+        assert!(
+            !outcome.report.inventory.group_layers(group).is_empty(),
+            "group {group} has no layers"
+        );
+    }
+
+    // Step 2 swept every group over the requested grid.
+    assert_eq!(outcome.report.group_sweep.curves.len(), 4);
+    for curve in &outcome.report.group_sweep.curves {
+        assert_eq!(curve.points.len(), cfg.nm_values.len());
+    }
+
+    // Steps 4/5 covered exactly the non-resilient groups.
+    assert_eq!(
+        outcome.report.layer_sweeps.len(),
+        outcome.report.group_marking.non_resilient().len()
+    );
+
+    // Step 6 assigned a component everywhere and validated it.
+    assert!(!outcome.report.design.assignments.is_empty());
+    assert!(outcome.report.design.baseline_accuracy > 0.0);
+
+    // Same seed, same everything (including across thread counts).
+    let mut replay_cfg = cfg.clone();
+    replay_cfg.threads = 1;
+    let replay = run_pipeline(&replay_cfg);
+    assert_eq!(outcome.report, replay.report);
+    assert_eq!(outcome.test_accuracy, replay.test_accuracy);
+}
+
+#[test]
+fn pipeline_json_line_round_trips_and_carries_the_paper_quantities() {
+    let outcome = run_pipeline(&tiny_config());
+    let line = outcome_to_json(&outcome).dump();
+    assert!(!line.contains('\n'));
+    let parsed = json::parse(&line).expect("pipeline emits valid JSON");
+
+    // Accuracy drop per group…
+    let groups = parsed.get("groups").unwrap().as_arr().unwrap();
+    assert_eq!(groups.len(), 4);
+    let slugs: Vec<&str> = groups
+        .iter()
+        .map(|g| g.get("group").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(
+        slugs,
+        ["mac_outputs", "activations", "softmax", "logits_update"]
+    );
+    for g in groups {
+        let drops = g.get("drop_pp").unwrap().as_arr().unwrap();
+        assert_eq!(drops.len(), 3);
+        assert!(drops.iter().all(|d| d.as_f64().is_some()));
+    }
+
+    // …and selected components.
+    let components = parsed.get("components").unwrap().as_arr().unwrap();
+    assert_eq!(components.len(), outcome.report.design.assignments.len());
+    for c in components {
+        assert!(c
+            .get("component")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .starts_with("mul8u_"));
+        assert!(c.get("power_uw").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    // The marking in the JSON round-trips into the in-memory marking.
+    let marking = redcane::report::marking_from_json(parsed.get("marking").unwrap())
+        .expect("marking decodes");
+    assert_eq!(marking, outcome.report.group_marking);
+}

@@ -168,7 +168,10 @@ impl ConvCaps3d {
     ///
     /// Panics if called before `forward`.
     pub fn backward(&mut self, d_out: &Tensor) -> Tensor {
-        let cache = self.cache.take().expect("ConvCaps3d::backward before forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("ConvCaps3d::backward before forward");
         let (h_out, w_out) = cache.out_hw;
         let (h, w) = cache.in_hw;
         let p = h_out * w_out;

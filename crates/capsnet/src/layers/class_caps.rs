@@ -138,7 +138,10 @@ impl ClassCaps {
     ///
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dv: &Tensor) -> Tensor {
-        let (u, cache) = self.cache.take().expect("ClassCaps::backward before forward");
+        let (u, cache) = self
+            .cache
+            .take()
+            .expect("ClassCaps::backward before forward");
         let dv3 = dv
             .reshape(&[self.j_caps, self.d_out, 1])
             .expect("restore P=1");
@@ -163,9 +166,8 @@ impl ClassCaps {
                 }
             }
         }
-        self.weight.accumulate(
-            &Tensor::from_vec(dw, self.weight.value.shape()).expect("sized"),
-        );
+        self.weight
+            .accumulate(&Tensor::from_vec(dw, self.weight.value.shape()).expect("sized"));
         Tensor::from_vec(du, &[self.i_caps, self.d_in]).expect("sized")
     }
 
@@ -213,6 +215,9 @@ mod tests {
 
     #[test]
     fn backward_matches_finite_differences_on_input() {
+        // The routing backward is exact, so the analytic input gradient
+        // must match central differences of the full routed loss
+        // coordinate-wise.
         let mut rng = TensorRng::from_seed(142);
         let mut layer = ClassCaps::new(0, "CC", 5, 3, 4, 4, 3, &mut rng);
         let u = rng.uniform(&[5, 4], -1.0, 1.0);
@@ -222,34 +227,28 @@ mod tests {
         let _ = layer.forward(&u, &mut NoInjection);
         let du = layer.backward(&coeffs);
         let wgrad = layer.params_mut()[0].grad.clone();
+        assert!(wgrad.sq_norm() > 0.0);
 
-        // Finite differences with FROZEN coupling coefficients: rerun the
-        // forward and freeze k by replaying the weighted sum by hand.
-        // Simpler: because coefficient detachment makes loss(u) only
-        // approximately equal to the true routing loss, use a relaxed
-        // tolerance and small eps.
         let loss = |layer: &mut ClassCaps, u: &Tensor| -> f32 {
-            layer.forward(u, &mut NoInjection).mul(&coeffs).unwrap().sum()
+            layer
+                .forward(u, &mut NoInjection)
+                .mul(&coeffs)
+                .unwrap()
+                .sum()
         };
-        // The detached-coefficient gradient is an approximation of the true
-        // routing gradient (coefficients do depend on the input); require
-        // strong *directional* agreement with finite differences rather
-        // than coordinate-wise equality.
         let eps = 5e-3f32;
-        let mut numeric = Vec::with_capacity(u.len());
         for idx in 0..u.len() {
             let mut up = u.clone();
             up.data_mut()[idx] += eps;
             let mut um = u.clone();
             um.data_mut()[idx] -= eps;
-            numeric.push((loss(&mut layer, &up) - loss(&mut layer, &um)) / (2.0 * eps));
+            let num = (loss(&mut layer, &up) - loss(&mut layer, &um)) / (2.0 * eps);
+            let ana = du.data()[idx];
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + num.abs()),
+                "du[{idx}]: {num} vs {ana}"
+            );
         }
-        let dot: f32 = numeric.iter().zip(du.data()).map(|(a, b)| a * b).sum();
-        let n1: f32 = numeric.iter().map(|a| a * a).sum::<f32>().sqrt();
-        let n2 = du.sq_norm().sqrt();
-        let cosine = dot / (n1 * n2).max(1e-9);
-        assert!(cosine > 0.9, "gradient direction cosine {cosine}");
-        assert!(wgrad.sq_norm() > 0.0);
     }
 
     #[test]
@@ -268,9 +267,17 @@ mod tests {
         for idx in [0usize, 17, 52, 89, 107] {
             let orig = layer.weight.value.data()[idx];
             layer.weight.value.data_mut()[idx] = orig + eps;
-            let lp = layer.forward(&u, &mut NoInjection).mul(&coeffs).unwrap().sum();
+            let lp = layer
+                .forward(&u, &mut NoInjection)
+                .mul(&coeffs)
+                .unwrap()
+                .sum();
             layer.weight.value.data_mut()[idx] = orig - eps;
-            let lm = layer.forward(&u, &mut NoInjection).mul(&coeffs).unwrap().sum();
+            let lm = layer
+                .forward(&u, &mut NoInjection)
+                .mul(&coeffs)
+                .unwrap()
+                .sum();
             layer.weight.value.data_mut()[idx] = orig;
             let num = (lp - lm) / (2.0 * eps);
             let ana = wgrad.data()[idx];

@@ -73,7 +73,7 @@ impl ConvCaps2d {
             c_out,
             d_out,
             apply_squash,
-            layer_index: layer_index,
+            layer_index,
             name: name.into(),
             s_cache: None,
             out_hw: None,
@@ -197,8 +197,7 @@ mod tests {
     #[test]
     fn forward_shapes_and_squash_bound() {
         let mut rng = TensorRng::from_seed(130);
-        let mut layer =
-            ConvCaps2d::new(0, "Caps2D1", 2, 4, 3, 4, 3, 2, 1, true, &mut rng);
+        let mut layer = ConvCaps2d::new(0, "Caps2D1", 2, 4, 3, 4, 3, 2, 1, true, &mut rng);
         let x = rng.uniform(&[2, 4, 8, 8], -1.0, 1.0);
         let y = layer.forward(&x, &mut NoInjection);
         assert_eq!(y.shape(), &[3, 4, 4, 4]);

@@ -5,9 +5,7 @@ use redcane_nn::layers::{Conv2d, Relu};
 use redcane_nn::{Layer, Param};
 use redcane_tensor::{Tensor, TensorRng};
 
-use crate::census::{
-    conv_ops, fc_votes_ops, routing_ops, squash_ops, LayerCensus, OpCount,
-};
+use crate::census::{conv_ops, fc_votes_ops, routing_ops, squash_ops, LayerCensus, OpCount};
 use crate::config::{CapsNetConfig, DeepCapsConfig};
 use crate::inject::{Injector, NoInjection, OpKind, OpSite};
 use crate::layers::{ClassCaps, ConvCaps2d, ConvCaps3d};
@@ -197,7 +195,11 @@ impl CapsModel for CapsNet {
     fn forward(&mut self, x: &Tensor, injector: &mut dyn Injector) -> Tensor {
         assert_eq!(
             x.shape(),
-            [self.cfg.input_channels, self.cfg.input_hw, self.cfg.input_hw],
+            [
+                self.cfg.input_channels,
+                self.cfg.input_hw,
+                self.cfg.input_hw
+            ],
             "CapsNet input"
         );
         if injector.observes_inputs() {
@@ -238,13 +240,7 @@ impl CapsModel for CapsNet {
             .expect("drop P");
         let du = self.class_caps.backward(&dv);
         let hw = self.primary_hw;
-        let dprim = units_to_caps(
-            &du,
-            self.cfg.primary_ctypes,
-            self.cfg.primary_dim,
-            hw,
-            hw,
-        );
+        let dprim = units_to_caps(&du, self.cfg.primary_ctypes, self.cfg.primary_dim, hw, hw);
         let dstem = self.primary.backward(&dprim);
         let h1 = self.cfg.conv1_out_hw();
         let dstem = dstem
@@ -276,7 +272,13 @@ impl CapsModel for CapsNet {
         let mut out = Vec::new();
         out.push(LayerCensus {
             name: "Conv1".into(),
-            ops: conv_ops(cfg.input_channels, cfg.conv1_filters, cfg.conv1_kernel, h1, h1),
+            ops: conv_ops(
+                cfg.input_channels,
+                cfg.conv1_filters,
+                cfg.conv1_kernel,
+                h1,
+                h1,
+            ),
         });
         let primary_conv = conv_ops(
             cfg.conv1_filters,
@@ -518,7 +520,11 @@ impl CapsModel for DeepCaps {
     fn forward(&mut self, x: &Tensor, injector: &mut dyn Injector) -> Tensor {
         assert_eq!(
             x.shape(),
-            [self.cfg.input_channels, self.cfg.input_hw, self.cfg.input_hw],
+            [
+                self.cfg.input_channels,
+                self.cfg.input_hw,
+                self.cfg.input_hw
+            ],
             "DeepCaps input"
         );
         let (h, w) = (x.shape()[1], x.shape()[2]);
@@ -608,11 +614,14 @@ impl CapsModel for DeepCaps {
         let hw0 = cfg.input_hw;
         out.push(LayerCensus {
             name: "Conv2D".into(),
-            ops: conv_ops(cfg.input_channels, sc * sd, 3, hw0, hw0)
-                + squash_ops(sc, sd, hw0 * hw0),
+            ops: conv_ops(cfg.input_channels, sc * sd, 3, hw0, hw0) + squash_ops(sc, sd, hw0 * hw0),
         });
         let cell_hw = cfg.cell_input_hw();
         let mut in_ch = sc * sd;
+        // The index addresses three parallel per-cell arrays
+        // (`cells`, `cell_strides`, `cell_hw`), so a range loop is
+        // clearer than zipping them.
+        #[allow(clippy::needless_range_loop)]
         for cell_idx in 0..3 {
             let (c, d) = cfg.cells[cell_idx];
             let ch = c * d;
@@ -662,9 +671,7 @@ impl CapsModel for DeepCaps {
         });
         // Caps3D: per-type vote convs + routing over [I=c4, J=c4, D=d4, P].
         let p4 = hw4 * hw4;
-        let caps3d_votes: OpCount = (0..c4)
-            .map(|_| conv_ops(d4, c4 * d4, 3, hw4, hw4))
-            .sum();
+        let caps3d_votes: OpCount = (0..c4).map(|_| conv_ops(d4, c4 * d4, 3, hw4, hw4)).sum();
         out.push(LayerCensus {
             name: "Caps3D".into(),
             ops: caps3d_votes + routing_ops(c4, c4, d4, p4, cfg.routing_iters),

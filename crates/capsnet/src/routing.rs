@@ -10,26 +10,44 @@
 //! 3. `v_j = squash(s_j)` — **Activation tap** (group #2);
 //! 4. `b_ij += û_{j|i} · v_j` — **LogitsUpdate tap** (group #4).
 //!
-//! The backward pass treats the final coupling coefficients as constants
-//! (standard practice for training CapsNets): gradients flow through the
-//! weighted sum and the squash, not through the coefficient updates.
+//! The backward pass is **exact**: gradients flow through every routing
+//! iteration — the coupling softmax, the agreement (logits) updates, the
+//! weighted sums and the squashes — not just through the final iteration
+//! with detached coefficients.
 
 use redcane_tensor::Tensor;
 
 use crate::inject::{Injector, OpKind, OpSite};
 use crate::squash::{squash_caps, squash_caps_backward};
 
+/// Per-iteration state recorded by the forward pass (post any injection
+/// by the caller, i.e. exactly the values downstream computation saw).
+#[derive(Debug, Clone)]
+pub struct RoutingIterState {
+    /// Coupling coefficients `[I, J, P]` of this iteration.
+    pub k: Tensor,
+    /// Pre-squash weighted sum `[J, D, P]` of this iteration.
+    pub s: Tensor,
+    /// Squashed output capsules `[J, D, P]` of this iteration.
+    pub v: Tensor,
+}
+
 /// Everything the forward pass produces and the backward pass needs.
 #[derive(Debug, Clone)]
 pub struct RoutingCache {
     /// The votes actually used (post any injection by the caller).
     pub votes: Tensor,
-    /// Final coupling coefficients `[I, J, P]`.
-    pub k_last: Tensor,
-    /// Final pre-squash weighted sum `[J, D, P]`.
-    pub s_last: Tensor,
+    /// Per-iteration routing state, first iteration first.
+    pub history: Vec<RoutingIterState>,
     /// Final output capsules `[J, D, P]`.
     pub v: Tensor,
+}
+
+impl RoutingCache {
+    /// Final coupling coefficients `[I, J, P]`.
+    pub fn k_last(&self) -> &Tensor {
+        &self.history.last().expect("iterations >= 1").k
+    }
 }
 
 /// Runs `iterations` rounds of routing-by-agreement over `votes`
@@ -54,8 +72,7 @@ pub fn dynamic_routing(
         votes.shape()[3],
     );
     let mut b = Tensor::zeros(&[i_caps, j_caps, p]);
-    let mut k_last = Tensor::zeros(&[i_caps, j_caps, p]);
-    let mut s_last = Tensor::zeros(&[j_caps, d, p]);
+    let mut history: Vec<RoutingIterState> = Vec::with_capacity(iterations);
     let mut v = Tensor::zeros(&[j_caps, d, p]);
     let vd = votes.data();
     for r in 0..iterations {
@@ -94,8 +111,7 @@ pub fn dynamic_routing(
             &OpSite::routing(layer_index, layer_name, OpKind::Activation, iter),
             &mut v,
         );
-        k_last = k;
-        s_last = s;
+        history.push(RoutingIterState { k, s, v: v.clone() });
         // 4. Agreement update (skipped after the last iteration).
         if r + 1 < iterations {
             let vd2 = v.data();
@@ -120,45 +136,118 @@ pub fn dynamic_routing(
             );
         }
     }
-    RoutingCache {
-        votes,
-        k_last,
-        s_last,
-        v,
-    }
+    RoutingCache { votes, history, v }
 }
 
-/// Backward pass with detached coupling coefficients: given `dv` on the
-/// routing output, returns `d_votes` (`[I, J, D, P]`).
+/// Exact backward pass through the whole routing procedure: given `dv`
+/// on the routing output, returns `d_votes` (`[I, J, D, P]`).
+///
+/// Walks the recorded iterations in reverse, propagating through each
+/// squash, weighted sum, coupling softmax and agreement update, so the
+/// returned gradient is the true derivative of the routing output with
+/// respect to the votes.
 ///
 /// # Panics
 ///
 /// Panics if `dv`'s shape differs from the cached output.
 pub fn dynamic_routing_backward(cache: &RoutingCache, dv: &Tensor) -> Tensor {
     assert_eq!(dv.shape(), cache.v.shape(), "dv must match routing output");
-    let ds = squash_caps_backward(&cache.s_last, dv);
     let (i_caps, j_caps, d, p) = (
         cache.votes.shape()[0],
         cache.votes.shape()[1],
         cache.votes.shape()[2],
         cache.votes.shape()[3],
     );
-    let kd = cache.k_last.data();
-    let dsd = ds.data();
-    let mut out = vec![0.0f32; i_caps * j_caps * d * p];
-    for i in 0..i_caps {
-        for j in 0..j_caps {
-            for di in 0..d {
-                let orow = ((i * j_caps + j) * d + di) * p;
-                let krow = (i * j_caps + j) * p;
-                let srow = (j * d + di) * p;
-                for pi in 0..p {
-                    out[orow + pi] = kd[krow + pi] * dsd[srow + pi];
+    let vd = cache.votes.data();
+    let iters = cache.history.len();
+    let mut dvotes = vec![0.0f32; i_caps * j_caps * d * p];
+    // Gradient w.r.t. b_{r+1}, carried backwards across iterations.
+    let mut db_next: Option<Tensor> = None;
+    for r in (0..iters).rev() {
+        let it = &cache.history[r];
+        // Gradient reaching v_r: the caller's dv on the last iteration;
+        // for earlier iterations, v_r only feeds the agreement update
+        // b_{r+1}[i,j,p] += Σ_d votes[i,j,d,p] · v_r[j,d,p].
+        let mut dv_r = if r + 1 == iters {
+            dv.clone()
+        } else {
+            Tensor::zeros(&[j_caps, d, p])
+        };
+        if let Some(db) = &db_next {
+            let dbd = db.data();
+            let vrd = it.v.data();
+            let dvd = dv_r.data_mut();
+            for i in 0..i_caps {
+                for j in 0..j_caps {
+                    for di in 0..d {
+                        let vrow = ((i * j_caps + j) * d + di) * p;
+                        let brow = (i * j_caps + j) * p;
+                        let orow = (j * d + di) * p;
+                        for pi in 0..p {
+                            dvd[orow + pi] += dbd[brow + pi] * vd[vrow + pi];
+                            dvotes[vrow + pi] += dbd[brow + pi] * vrd[orow + pi];
+                        }
+                    }
                 }
             }
         }
+        // Through the squash: ds_r.
+        let ds = squash_caps_backward(&it.s, &dv_r);
+        let dsd = ds.data();
+        // Through the weighted sum s_r = Σ_i k_r · votes: contributions to
+        // both the votes and the coupling coefficients.
+        let kd = it.k.data();
+        // b_0 is the zero constant, so the softmax/logits gradient of the
+        // first iteration would only be discarded — skip computing it.
+        let need_db = r > 0;
+        let mut dk = vec![0.0f32; if need_db { i_caps * j_caps * p } else { 0 }];
+        for i in 0..i_caps {
+            for j in 0..j_caps {
+                for di in 0..d {
+                    let vrow = ((i * j_caps + j) * d + di) * p;
+                    let krow = (i * j_caps + j) * p;
+                    let srow = (j * d + di) * p;
+                    for pi in 0..p {
+                        dvotes[vrow + pi] += kd[krow + pi] * dsd[srow + pi];
+                        if need_db {
+                            dk[krow + pi] += vd[vrow + pi] * dsd[srow + pi];
+                        }
+                    }
+                }
+            }
+        }
+        if !need_db {
+            break;
+        }
+        // Through the coupling softmax over J:
+        // db[i,j,p] = k[i,j,p] · (dk[i,j,p] − Σ_j' k[i,j',p] · dk[i,j',p]).
+        let mut db_r = Tensor::zeros(&[i_caps, j_caps, p]);
+        {
+            let dbd = db_r.data_mut();
+            for i in 0..i_caps {
+                for pi in 0..p {
+                    let mut weighted = 0.0f32;
+                    for j in 0..j_caps {
+                        let off = (i * j_caps + j) * p + pi;
+                        weighted += kd[off] * dk[off];
+                    }
+                    for j in 0..j_caps {
+                        let off = (i * j_caps + j) * p + pi;
+                        dbd[off] = kd[off] * (dk[off] - weighted);
+                    }
+                }
+            }
+        }
+        // Identity path of the additive update b_{r+1} = b_r + agreement.
+        if let Some(db) = &db_next {
+            let dbd = db_r.data_mut();
+            for (o, g) in dbd.iter_mut().zip(db.data()) {
+                *o += g;
+            }
+        }
+        db_next = Some(db_r);
     }
-    Tensor::from_vec(out, cache.votes.shape()).expect("sized")
+    Tensor::from_vec(dvotes, cache.votes.shape()).expect("sized")
 }
 
 #[cfg(test)]
@@ -182,7 +271,7 @@ mod tests {
         let mut rng = TensorRng::from_seed(121);
         let votes = rng.uniform(&[5, 4, 3, 2], -1.0, 1.0);
         let cache = dynamic_routing(votes, 3, 0, "TestCaps", &mut NoInjection);
-        let sums = cache.k_last.sum_axis(1).unwrap();
+        let sums = cache.k_last().sum_axis(1).unwrap();
         for &s in sums.data() {
             assert!((s - 1.0).abs() < 1e-4, "k must sum to 1 over J: {s}");
         }
@@ -193,7 +282,7 @@ mod tests {
         let mut rng = TensorRng::from_seed(122);
         let votes = rng.uniform(&[4, 2, 3, 1], -1.0, 1.0);
         let cache = dynamic_routing(votes, 1, 0, "TestCaps", &mut NoInjection);
-        for &k in cache.k_last.data() {
+        for &k in cache.k_last().data() {
             assert!((k - 0.5).abs() < 1e-5, "uniform over 2 types: {k}");
         }
     }
@@ -209,7 +298,10 @@ mod tests {
         for i in 0..i_caps {
             for di in 0..d {
                 votes
-                    .set(&[i, 0, di, 0], shared.data()[di] + rng.next_uniform(-0.05, 0.05))
+                    .set(
+                        &[i, 0, di, 0],
+                        shared.data()[di] + rng.next_uniform(-0.05, 0.05),
+                    )
                     .unwrap();
                 votes
                     .set(&[i, 1, di, 0], rng.next_uniform(-1.0, 1.0))
@@ -217,9 +309,14 @@ mod tests {
             }
         }
         let cache = dynamic_routing(votes, 3, 0, "TestCaps", &mut NoInjection);
-        let k_to_0: f32 =
-            (0..i_caps).map(|i| cache.k_last.get(&[i, 0, 0]).unwrap()).sum::<f32>() / i_caps as f32;
-        assert!(k_to_0 > 0.55, "agreed type should attract coupling: {k_to_0}");
+        let k_to_0: f32 = (0..i_caps)
+            .map(|i| cache.k_last().get(&[i, 0, 0]).unwrap())
+            .sum::<f32>()
+            / i_caps as f32;
+        assert!(
+            k_to_0 > 0.55,
+            "agreed type should attract coupling: {k_to_0}"
+        );
     }
 
     #[test]
@@ -228,9 +325,21 @@ mod tests {
         let votes = rng.uniform(&[3, 2, 2, 1], -1.0, 1.0);
         let mut rec = RecordingInjector::sites_only();
         let _ = dynamic_routing(votes, 3, 5, "Caps3D", &mut rec);
-        let softmax = rec.visits.iter().filter(|s| s.kind == OpKind::Softmax).count();
-        let mac = rec.visits.iter().filter(|s| s.kind == OpKind::MacOutput).count();
-        let act = rec.visits.iter().filter(|s| s.kind == OpKind::Activation).count();
+        let softmax = rec
+            .visits
+            .iter()
+            .filter(|s| s.kind == OpKind::Softmax)
+            .count();
+        let mac = rec
+            .visits
+            .iter()
+            .filter(|s| s.kind == OpKind::MacOutput)
+            .count();
+        let act = rec
+            .visits
+            .iter()
+            .filter(|s| s.kind == OpKind::Activation)
+            .count();
         let upd = rec
             .visits
             .iter()
@@ -249,37 +358,25 @@ mod tests {
         let mut rng = TensorRng::from_seed(125);
         let votes = rng.uniform(&[4, 3, 3, 2], -1.0, 1.0);
         let coeffs = rng.uniform(&[3, 3, 2], -1.0, 1.0);
-        // Loss as a function of votes, with coupling coefficients FROZEN to
-        // the unperturbed forward's final k (that is the detachment the
-        // backward pass assumes).
+        // The backward pass is exact, so the analytic gradient must match
+        // central differences of the FULL routing loss — coupling
+        // coefficient dependence on the votes included.
         let base = dynamic_routing(votes.clone(), 3, 0, "T", &mut NoInjection);
         let dvotes = dynamic_routing_backward(&base, &coeffs);
-        let k_frozen = base.k_last.clone();
-        let loss_frozen = |votes: &Tensor| -> f32 {
-            // Recompute s with frozen k, then squash, then dot with coeffs.
-            let (i_caps, j_caps, d, p) = (4usize, 3usize, 3usize, 2usize);
-            let mut s = Tensor::zeros(&[j_caps, d, p]);
-            for i in 0..i_caps {
-                for j in 0..j_caps {
-                    for di in 0..d {
-                        for pi in 0..p {
-                            let add = k_frozen.get(&[i, j, pi]).unwrap()
-                                * votes.get(&[i, j, di, pi]).unwrap();
-                            let cur = s.get(&[j, di, pi]).unwrap();
-                            s.set(&[j, di, pi], cur + add).unwrap();
-                        }
-                    }
-                }
-            }
-            squash_caps(&s).mul(&coeffs).unwrap().sum()
+        let loss = |votes: &Tensor| -> f32 {
+            dynamic_routing(votes.clone(), 3, 0, "T", &mut NoInjection)
+                .v
+                .mul(&coeffs)
+                .unwrap()
+                .sum()
         };
         let eps = 1e-2f32;
-        for idx in [0usize, 11, 29, 47, 63] {
+        for idx in 0..votes.len() {
             let mut vp = votes.clone();
             vp.data_mut()[idx] += eps;
             let mut vm = votes.clone();
             vm.data_mut()[idx] -= eps;
-            let num = (loss_frozen(&vp) - loss_frozen(&vm)) / (2.0 * eps);
+            let num = (loss(&vp) - loss(&vm)) / (2.0 * eps);
             let ana = dvotes.data()[idx];
             assert!(
                 (num - ana).abs() < 5e-3 * (1.0 + num.abs()),

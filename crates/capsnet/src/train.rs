@@ -48,6 +48,9 @@ pub struct TrainReport {
 /// Deterministic given the model's initial weights and `cfg.seed`.
 pub fn train(model: &mut dyn CapsModel, data: &Dataset, cfg: &TrainConfig) -> TrainReport {
     assert!(!data.is_empty(), "cannot train on an empty dataset");
+    // Degenerate scaled-down configs must not panic: a zero batch size
+    // behaves like per-sample training.
+    let batch_size = cfg.batch_size.max(1);
     let mut opt = Adam::new(cfg.lr);
     let mut rng = TensorRng::from_seed(cfg.seed);
     let loss_cfg = MarginLossConfig::default();
@@ -55,7 +58,7 @@ pub fn train(model: &mut dyn CapsModel, data: &Dataset, cfg: &TrainConfig) -> Tr
     for epoch in 0..cfg.epochs {
         let order = rng.permutation(data.len());
         let mut total_loss = 0.0f32;
-        for chunk in order.chunks(cfg.batch_size) {
+        for chunk in order.chunks(batch_size) {
             model.zero_grad();
             for &idx in chunk {
                 let sample = &data.samples[idx];

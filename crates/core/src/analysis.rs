@@ -200,8 +200,11 @@ pub fn group_sweep<M: CapsModel + Clone + Send + Sync>(
 ) -> GroupSweep {
     let data = subset(data, cfg);
     let mut baseline_model = model.clone();
-    let baseline =
-        evaluate(&mut baseline_model, &data, &mut redcane_capsnet::NoInjection);
+    let baseline = evaluate(
+        &mut baseline_model,
+        &data,
+        &mut redcane_capsnet::NoInjection,
+    );
     let mut tasks = Vec::new();
     for group in Group::all() {
         for &nm in &cfg.nm_values {
@@ -253,8 +256,11 @@ pub fn layer_sweep<M: CapsModel + Clone + Send + Sync>(
 ) -> LayerSweep {
     let data = subset(data, cfg);
     let mut baseline_model = model.clone();
-    let baseline =
-        evaluate(&mut baseline_model, &data, &mut redcane_capsnet::NoInjection);
+    let baseline = evaluate(
+        &mut baseline_model,
+        &data,
+        &mut redcane_capsnet::NoInjection,
+    );
     let mut tasks = Vec::new();
     for layer in layers {
         for &nm in &cfg.nm_values {

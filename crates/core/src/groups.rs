@@ -162,7 +162,10 @@ mod tests {
     #[test]
     fn site_classification_matches_table3() {
         let mk = |kind| OpSite::new(0, "x", kind);
-        assert_eq!(Group::of_site(&mk(OpKind::MacOutput)), Some(Group::MacOutputs));
+        assert_eq!(
+            Group::of_site(&mk(OpKind::MacOutput)),
+            Some(Group::MacOutputs)
+        );
         assert_eq!(Group::of_site(&mk(OpKind::Softmax)), Some(Group::Softmax));
         assert_eq!(Group::of_site(&mk(OpKind::MacInput)), None);
     }

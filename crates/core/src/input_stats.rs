@@ -61,8 +61,7 @@ impl InputProfile {
             w
         };
         let (wlo, whi) = min_max(&weights);
-        let wparams =
-            QuantParams::from_range(wlo, whi.max(wlo + 1e-3), 8).expect("finite weights");
+        let wparams = QuantParams::from_range(wlo, whi.max(wlo + 1e-3), 8).expect("finite weights");
         let weight_codes: Vec<u8> = weights.iter().map(|&v| wparams.quantize(v) as u8).collect();
         // Per-layer histograms over the code domain.
         let mut layer_histograms = Vec::new();
@@ -73,9 +72,7 @@ impl InputProfile {
             }
         }
         for name in layer_names {
-            let values = rec.values_where(|s| {
-                s.kind == OpKind::MacInput && s.layer_name == name
-            });
+            let values = rec.values_where(|s| s.kind == OpKind::MacInput && s.layer_name == name);
             let codes: Vec<f32> = values.iter().map(|&v| params.quantize(v) as f32).collect();
             layer_histograms.push((name, Histogram::of_values(&codes, 64, 0.0, 256.0)));
         }

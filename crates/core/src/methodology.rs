@@ -7,11 +7,10 @@ use redcane_capsnet::CapsModel;
 use redcane_datasets::Dataset;
 use serde::{Deserialize, Serialize};
 
-use crate::analysis::{group_sweep, layer_sweep, GroupSweep, LayerSweep, SweepConfig};
-use crate::groups::{extract_groups, GroupInventory};
+use crate::analysis::{group_sweep, layer_sweep, SweepConfig};
+use crate::groups::extract_groups;
 use crate::selection::{
-    inventory_layers, mark_groups, mark_layers, select_components, ApproxDesign, GroupMarking,
-    LayerMarking, SelectionConfig, ToleranceTable,
+    inventory_layers, mark_groups, mark_layers, select_components, SelectionConfig, ToleranceTable,
 };
 
 /// Configuration of a full methodology run.
@@ -26,54 +25,7 @@ pub struct MethodologyConfig {
     pub input_distribution: Option<InputDistribution>,
 }
 
-/// Everything the six steps produce.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct RedCaNeReport {
-    /// Step 1: the operation groups.
-    pub inventory: GroupInventory,
-    /// Step 2: group-wise resilience curves.
-    pub group_sweep: GroupSweep,
-    /// Step 3: group marking.
-    pub group_marking: GroupMarking,
-    /// Step 4: layer-wise curves of each non-resilient group.
-    pub layer_sweeps: Vec<LayerSweep>,
-    /// Step 5: layer markings.
-    pub layer_markings: Vec<LayerMarking>,
-    /// Step 6: the approximate CapsNet design, validated.
-    pub design: ApproxDesign,
-}
-
-impl RedCaNeReport {
-    /// A short human-readable summary of the run's outcome.
-    pub fn summary(&self) -> String {
-        let resilient: Vec<String> = self
-            .group_marking
-            .entries
-            .iter()
-            .filter(|(_, _, r)| *r)
-            .map(|(g, nm, _)| format!("{g} (critical NM {nm:.3})"))
-            .collect();
-        let non_resilient: Vec<String> = self
-            .group_marking
-            .entries
-            .iter()
-            .filter(|(_, _, r)| !*r)
-            .map(|(g, nm, _)| format!("{g} (critical NM {nm:.4})"))
-            .collect();
-        format!(
-            "ReD-CaNe on {}: baseline {:.2}% | resilient groups: [{}] | \
-             non-resilient groups: [{}] | design: mean multiplier power \
-             saving {:.1}%, validated accuracy {:.2}% (drop {:.2} pp)",
-            self.inventory.model_name,
-            self.group_sweep.baseline_accuracy * 100.0,
-            resilient.join(", "),
-            non_resilient.join(", "),
-            self.design.mean_power_saving * 100.0,
-            self.design.validated_accuracy * 100.0,
-            self.design.validated_drop_pp(),
-        )
-    }
-}
+pub use crate::report::RedCaNeReport;
 
 /// The methodology driver.
 #[derive(Debug, Clone, Default)]
@@ -132,11 +84,7 @@ impl RedCaNe {
             layer_sweeps.push(ls);
         }
         // Step 6: component selection + validation.
-        let table = ToleranceTable::build(
-            &inventory_layers(&inventory),
-            &marking,
-            &layer_markings,
-        );
+        let table = ToleranceTable::build(&inventory_layers(&inventory), &marking, &layer_markings);
         let dist = self
             .cfg
             .input_distribution

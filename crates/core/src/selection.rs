@@ -215,7 +215,14 @@ pub fn select_components<M: CapsModel + Clone + Send + Sync>(
     let characterized: Vec<(String, NoiseParams, f64, f64)> = library
         .characterize_all(dist, cfg.characterization_samples, cfg.seed)
         .into_iter()
-        .map(|(e, np)| (e.name().to_string(), np, e.cost().power_uw, e.cost().area_um2))
+        .map(|(e, np)| {
+            (
+                e.name().to_string(),
+                np,
+                e.cost().power_uw,
+                e.cost().area_um2,
+            )
+        })
         .collect();
     let exact_power = library.exact().cost().power_uw;
 
@@ -283,9 +290,7 @@ pub fn select_components<M: CapsModel + Clone + Send + Sync>(
 }
 
 /// Groups the inventory's layers for [`ToleranceTable::build`].
-pub fn inventory_layers(
-    inventory: &crate::groups::GroupInventory,
-) -> Vec<(Group, Vec<String>)> {
+pub fn inventory_layers(inventory: &crate::groups::GroupInventory) -> Vec<(Group, Vec<String>)> {
     Group::all()
         .into_iter()
         .map(|g| (g, inventory.group_layers(g)))

@@ -63,7 +63,7 @@ pub fn render(class: usize, h: usize, w: usize, rng: &mut TensorRng) -> Tensor {
             let period = rng.next_uniform(3.0, 4.5);
             let phase = rng.next_uniform(0.0, period);
             for y in 0..h {
-                if ((y as f32 + phase) / period) as usize % 2 == 0 {
+                if (((y as f32 + phase) / period) as usize).is_multiple_of(2) {
                     mask.fill_rect(y as f32, 0.0, y as f32, wf - 1.0, 1.0);
                 }
             }
@@ -72,7 +72,7 @@ pub fn render(class: usize, h: usize, w: usize, rng: &mut TensorRng) -> Tensor {
             let period = rng.next_uniform(3.0, 4.5);
             let phase = rng.next_uniform(0.0, period);
             for x in 0..w {
-                if ((x as f32 + phase) / period) as usize % 2 == 0 {
+                if (((x as f32 + phase) / period) as usize).is_multiple_of(2) {
                     mask.fill_rect(0.0, x as f32, hf - 1.0, x as f32, 1.0);
                 }
             }
@@ -83,7 +83,7 @@ pub fn render(class: usize, h: usize, w: usize, rng: &mut TensorRng) -> Tensor {
                 for x in 0..w {
                     let cyi = (y as f32 / cell) as usize;
                     let cxi = (x as f32 / cell) as usize;
-                    if (cyi + cxi) % 2 == 0 {
+                    if (cyi + cxi).is_multiple_of(2) {
                         mask.stamp(y as isize, x as isize, 1.0);
                     }
                 }

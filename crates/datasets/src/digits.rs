@@ -9,16 +9,16 @@ use crate::canvas::Canvas;
 /// (A = top bar, B = top-right, C = bottom-right, D = bottom bar,
 /// E = bottom-left, F = top-left, G = middle bar).
 const SEGMENTS: [[bool; 7]; 10] = [
-    [true, true, true, true, true, true, false],    // 0
+    [true, true, true, true, true, true, false],     // 0
     [false, true, true, false, false, false, false], // 1
-    [true, true, false, true, true, false, true],   // 2
-    [true, true, true, true, false, false, true],   // 3
-    [false, true, true, false, false, true, true],  // 4
-    [true, false, true, true, false, true, true],   // 5
-    [true, false, true, true, true, true, true],    // 6
-    [true, true, true, false, false, false, false], // 7
-    [true, true, true, true, true, true, true],     // 8
-    [true, true, true, true, false, true, true],    // 9
+    [true, true, false, true, true, false, true],    // 2
+    [true, true, true, true, false, false, true],    // 3
+    [false, true, true, false, false, true, true],   // 4
+    [true, false, true, true, false, true, true],    // 5
+    [true, false, true, true, true, true, true],     // 6
+    [true, true, true, false, false, false, false],  // 7
+    [true, true, true, true, true, true, true],      // 8
+    [true, true, true, true, false, true, true],     // 9
 ];
 
 /// Renders a digit `0..=9` onto a `[1, h, w]` tensor.

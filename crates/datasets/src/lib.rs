@@ -138,12 +138,7 @@ fn benchmark_salt(benchmark: Benchmark) -> u64 {
     }
 }
 
-fn generate_split(
-    benchmark: Benchmark,
-    n: usize,
-    rng: &mut TensorRng,
-    split: &str,
-) -> Dataset {
+fn generate_split(benchmark: Benchmark, n: usize, rng: &mut TensorRng, split: &str) -> Dataset {
     let (c, h, w) = benchmark.geometry();
     let mut samples = Vec::with_capacity(n);
     for i in 0..n {

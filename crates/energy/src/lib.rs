@@ -1,1 +1,224 @@
-//! Placeholder; implemented later in the build sequence.
+//! # redcane-energy
+//!
+//! Power/area accounting for approximate CapsNet designs.
+//!
+//! Step 6 of the methodology assigns one library component per
+//! `(layer, group)` operation; this crate turns that assignment into a
+//! whole-design estimate by weighting each assignment with the number
+//! of tagged operation sites the Step-1 inventory found for it (a layer
+//! whose MACs fire in every routing iteration counts more than a
+//! single softmax site), mirroring how the paper reports total
+//! multiplier power of the selected design.
+
+use redcane::report::group_slug;
+use redcane::{GroupInventory, RedCaNeReport};
+use redcane_axmul::library::MultiplierLibrary;
+
+/// One `(layer, group)` row of the design's energy breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyRow {
+    /// Layer name.
+    pub layer: String,
+    /// Group slug (`mac_outputs`, …).
+    pub group: String,
+    /// Selected component name.
+    pub component: String,
+    /// Number of inventory sites this assignment covers.
+    pub sites: usize,
+    /// Selected component power, µW per site.
+    pub power_uw: f64,
+    /// Selected component area, µm² per site.
+    pub area_um2: f64,
+}
+
+/// The whole-design energy estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Per-assignment rows, in assignment order.
+    pub rows: Vec<EnergyRow>,
+    /// Site-weighted total power of the approximate design, µW.
+    pub total_power_uw: f64,
+    /// Site-weighted total power with the exact multiplier everywhere, µW.
+    pub exact_total_power_uw: f64,
+    /// Site-weighted total area of the approximate design, µm².
+    pub total_area_um2: f64,
+}
+
+impl EnergyBreakdown {
+    /// Fraction of multiplier power saved vs the all-exact design, in
+    /// `[0, 1]`; `0.0` when the design has no sites.
+    pub fn power_saving(&self) -> f64 {
+        if self.exact_total_power_uw <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.total_power_uw / self.exact_total_power_uw
+        }
+    }
+}
+
+fn sites_for(inventory: &GroupInventory, group: redcane::Group, layer: &str) -> usize {
+    inventory
+        .group_sites(group)
+        .iter()
+        .filter(|s| s.layer_name == layer)
+        .count()
+}
+
+/// Builds the site-weighted energy breakdown of a report's design.
+///
+/// Assignments whose `(layer, group)` has no inventory sites (possible
+/// when a report was assembled by hand) count as one site, so every
+/// assignment contributes.
+pub fn breakdown(report: &RedCaNeReport, library: &MultiplierLibrary) -> EnergyBreakdown {
+    let exact_power = library.exact().cost().power_uw;
+    let mut rows = Vec::with_capacity(report.design.assignments.len());
+    let mut total_power_uw = 0.0;
+    let mut exact_total_power_uw = 0.0;
+    let mut total_area_um2 = 0.0;
+    for a in &report.design.assignments {
+        let sites = sites_for(&report.inventory, a.group, &a.layer).max(1);
+        total_power_uw += a.power_uw * sites as f64;
+        exact_total_power_uw += exact_power * sites as f64;
+        total_area_um2 += a.area_um2 * sites as f64;
+        rows.push(EnergyRow {
+            layer: a.layer.clone(),
+            group: group_slug(a.group).to_string(),
+            component: a.component.clone(),
+            sites,
+            power_uw: a.power_uw,
+            area_um2: a.area_um2,
+        });
+    }
+    EnergyBreakdown {
+        rows,
+        total_power_uw,
+        exact_total_power_uw,
+        total_area_um2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcane::analysis::{Curve, GroupSweep, SweepPoint};
+    use redcane::selection::{ApproxDesign, Assignment, GroupMarking};
+    use redcane::Group;
+    use redcane_capsnet::inject::OpSite;
+
+    fn fake_report() -> RedCaNeReport {
+        let sites = vec![
+            (
+                Group::MacOutputs,
+                vec![
+                    OpSite::new(0, "Conv1", Group::MacOutputs.op_kind()),
+                    OpSite::routing(2, "ClassCaps", Group::MacOutputs.op_kind(), 0),
+                    OpSite::routing(2, "ClassCaps", Group::MacOutputs.op_kind(), 1),
+                ],
+            ),
+            (
+                Group::Softmax,
+                vec![OpSite::routing(2, "ClassCaps", Group::Softmax.op_kind(), 0)],
+            ),
+            (Group::Activations, vec![]),
+            (Group::LogitsUpdate, vec![]),
+        ];
+        let assignments = vec![
+            Assignment {
+                layer: "Conv1".into(),
+                group: Group::MacOutputs,
+                tolerable_nm: 0.01,
+                component: "mul8u_1JFF".into(),
+                component_noise: (0.0, 0.0),
+                power_uw: 391.0,
+                area_um2: 700.0,
+            },
+            Assignment {
+                layer: "ClassCaps".into(),
+                group: Group::MacOutputs,
+                tolerable_nm: 0.05,
+                component: "mul8u_NGR".into(),
+                component_noise: (0.0001, 0.004),
+                power_uw: 276.0,
+                area_um2: 500.0,
+            },
+            Assignment {
+                layer: "ClassCaps".into(),
+                group: Group::Softmax,
+                tolerable_nm: 0.5,
+                component: "mul8u_2P7".into(),
+                component_noise: (0.001, 0.05),
+                power_uw: 100.0,
+                area_um2: 200.0,
+            },
+        ];
+        RedCaNeReport {
+            inventory: GroupInventory {
+                model_name: "test".into(),
+                sites,
+            },
+            group_sweep: GroupSweep {
+                model_name: "test".into(),
+                dataset_name: "test".into(),
+                baseline_accuracy: 0.9,
+                curves: Group::all()
+                    .into_iter()
+                    .map(|g| Curve {
+                        target: g,
+                        points: vec![SweepPoint {
+                            nm: 0.5,
+                            accuracy: 0.8,
+                            drop_pp: 10.0,
+                        }],
+                    })
+                    .collect(),
+            },
+            group_marking: GroupMarking { entries: vec![] },
+            layer_sweeps: vec![],
+            layer_markings: vec![],
+            design: ApproxDesign {
+                model_name: "test".into(),
+                assignments,
+                mean_power_saving: 0.2,
+                baseline_accuracy: 0.9,
+                validated_accuracy: 0.88,
+            },
+        }
+    }
+
+    #[test]
+    fn breakdown_weights_by_site_count() {
+        let report = fake_report();
+        let lib = MultiplierLibrary::evo_approx_like();
+        let bd = breakdown(&report, &lib);
+        assert_eq!(bd.rows.len(), 3);
+        assert_eq!(bd.rows[0].sites, 1); // Conv1 MAC
+        assert_eq!(bd.rows[1].sites, 2); // ClassCaps MAC, 2 routing iters
+        assert_eq!(bd.rows[2].sites, 1); // ClassCaps softmax
+        let expected_power = 391.0 + 276.0 * 2.0 + 100.0;
+        assert!((bd.total_power_uw - expected_power).abs() < 1e-9);
+        let exact = lib.exact().cost().power_uw;
+        assert!((bd.exact_total_power_uw - exact * 4.0).abs() < 1e-9);
+        assert!((bd.total_area_um2 - (700.0 + 500.0 * 2.0 + 200.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saving_is_positive_for_cheaper_components() {
+        let report = fake_report();
+        let lib = MultiplierLibrary::evo_approx_like();
+        let bd = breakdown(&report, &lib);
+        let exact = lib.exact().cost().power_uw;
+        // The fake components are all at or below the exact power.
+        assert!(bd.rows.iter().all(|r| r.power_uw <= exact));
+        assert!(bd.power_saving() > 0.0);
+        assert!(bd.power_saving() < 1.0);
+    }
+
+    #[test]
+    fn empty_design_saves_nothing() {
+        let mut report = fake_report();
+        report.design.assignments.clear();
+        let bd = breakdown(&report, &MultiplierLibrary::evo_approx_like());
+        assert_eq!(bd.rows.len(), 0);
+        assert_eq!(bd.power_saving(), 0.0);
+    }
+}

@@ -5,7 +5,12 @@ use redcane_tensor::{Tensor, TensorRng};
 /// Xavier/Glorot uniform initialization: `U(-a, a)` with
 /// `a = sqrt(6 / (fan_in + fan_out))`. Suited to linear/sigmoid-ish
 /// activations (and works well for the squash nonlinearity).
-pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut TensorRng) -> Tensor {
+pub fn xavier_uniform(
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut TensorRng,
+) -> Tensor {
     let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
     rng.uniform(shape, -a, a)
 }

@@ -135,8 +135,10 @@ impl Layer for Conv2d {
             .expect("grad_out shape must match forward output");
         // dW = dY · colsᵀ
         let dw = dy.matmul_nt(&cache.cols).expect("dW");
-        self.weight
-            .accumulate(&dw.into_reshaped(self.weight.value.shape()).expect("dW shape"));
+        self.weight.accumulate(
+            &dw.into_reshaped(self.weight.value.shape())
+                .expect("dW shape"),
+        );
         // db = row sums of dY
         let db = dy.sum_axis(1).expect("db");
         self.bias.accumulate(&db);

@@ -127,8 +127,7 @@ mod tests {
         let mut layer = Dense::new(5, 3, &mut rng);
         let x = rng.uniform(&[5], -1.0, 1.0);
         let coeffs = rng.uniform(&[3], -1.0, 1.0);
-        let loss =
-            |l: &mut Dense, x: &Tensor| -> f32 { l.forward(x).mul(&coeffs).unwrap().sum() };
+        let loss = |l: &mut Dense, x: &Tensor| -> f32 { l.forward(x).mul(&coeffs).unwrap().sum() };
 
         layer.zero_grad();
         let _ = layer.forward(&x);

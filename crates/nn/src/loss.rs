@@ -36,11 +36,7 @@ impl Default for MarginLossConfig {
 /// # Panics
 ///
 /// Panics if `target` is out of range or `lengths` is not rank 1.
-pub fn margin_loss(
-    lengths: &Tensor,
-    target: usize,
-    cfg: MarginLossConfig,
-) -> (f32, Tensor) {
+pub fn margin_loss(lengths: &Tensor, target: usize, cfg: MarginLossConfig) -> (f32, Tensor) {
     assert_eq!(lengths.ndim(), 1, "margin loss expects a length vector");
     let k = lengths.len();
     assert!(target < k, "target {target} out of range for {k} classes");
@@ -152,8 +148,7 @@ mod tests {
             lp.data_mut()[i] += eps;
             let mut lm = logits.clone();
             lm.data_mut()[i] -= eps;
-            let num =
-                (cross_entropy_loss(&lp, 2).0 - cross_entropy_loss(&lm, 2).0) / (2.0 * eps);
+            let num = (cross_entropy_loss(&lp, 2).0 - cross_entropy_loss(&lm, 2).0) / (2.0 * eps);
             assert!((num - grad.data()[i]).abs() < 1e-3, "i={i}");
         }
     }

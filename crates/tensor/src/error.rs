@@ -103,10 +103,9 @@ impl fmt::Display for TensorError {
             TensorError::RankMismatch { expected, got, op } => {
                 write!(f, "`{op}` expects rank {expected}, got rank {got}")
             }
-            TensorError::MatmulMismatch { left, right } => write!(
-                f,
-                "matmul inner dimensions disagree: {left:?} x {right:?}"
-            ),
+            TensorError::MatmulMismatch { left, right } => {
+                write!(f, "matmul inner dimensions disagree: {left:?} x {right:?}")
+            }
             TensorError::InvalidConvGeometry { reason } => {
                 write!(f, "invalid convolution geometry: {reason}")
             }

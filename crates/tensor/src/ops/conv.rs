@@ -403,12 +403,7 @@ mod tests {
         let x = rng.uniform(&[2, 6, 5], -1.0, 1.0);
         let cols = x.im2col(spec).unwrap();
         let y = rng.uniform(cols.shape(), -1.0, 1.0);
-        let lhs: f32 = cols
-            .data()
-            .iter()
-            .zip(y.data())
-            .map(|(&a, &b)| a * b)
-            .sum();
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(&a, &b)| a * b).sum();
         let folded = y.col2im(2, 6, 5, spec).unwrap();
         let rhs: f32 = x
             .data()

@@ -231,7 +231,8 @@ impl Tensor {
                 reason: format!("unpad_spatial: pad {pad} too large for {h}x{w}"),
             });
         }
-        self.slice_axis(1, pad, h - pad)?.slice_axis(2, pad, w - pad)
+        self.slice_axis(1, pad, h - pad)?
+            .slice_axis(2, pad, w - pad)
     }
 }
 

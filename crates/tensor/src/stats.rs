@@ -158,8 +158,7 @@ impl Tensor {
             return 0.0;
         }
         let mean = self.mean();
-        let var =
-            self.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / self.len() as f32;
+        let var = self.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / self.len() as f32;
         var.sqrt()
     }
 

@@ -349,10 +349,8 @@ impl Tensor {
         let mut best: Option<(usize, f32)> = None;
         for (i, &v) in self.data.iter().enumerate() {
             match best {
-                None => {
-                    if !v.is_nan() {
-                        best = Some((i, v));
-                    }
+                None if !v.is_nan() => {
+                    best = Some((i, v));
                 }
                 Some((_, bv)) if v > bv => best = Some((i, v)),
                 _ => {}

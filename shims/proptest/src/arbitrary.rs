@@ -1,0 +1,66 @@
+//! Default value generation for bare-typed `proptest!` parameters and
+//! `any::<T>()`.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain generator.
+pub trait Arbitrary: Sized {
+    /// Draws one value covering the type's whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    /// Finite floats, roughly log-uniform across magnitudes.
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let mantissa = rng.unit_f64() as f32 * 2.0 - 1.0;
+        let exp = (rng.below(61) as i32 - 30) as f32;
+        mantissa * exp.exp2()
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite floats, roughly log-uniform across magnitudes.
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let mantissa = rng.unit_f64() * 2.0 - 1.0;
+        let exp = (rng.below(121) as i32 - 60) as f64;
+        mantissa * exp.exp2()
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}

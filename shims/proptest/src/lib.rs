@@ -1,0 +1,99 @@
+//! Offline shim for `proptest`.
+//!
+//! Random-sampling property testing without shrinking: each `proptest!`
+//! test runs `PROPTEST_CASES` (default 64) cases drawn from a generator
+//! seeded deterministically by the test's name, so failures reproduce
+//! across runs. The API mirrors the subset of real proptest the
+//! workspace's property tests use: `Strategy` with `prop_map` /
+//! `prop_flat_map`, range strategies, `any::<T>()` / bare typed
+//! parameters, `prop::collection::vec`, and the `prop_assert*` macros.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Expands property-test functions whose parameters are drawn from
+/// strategies (`x in strat`) or from [`arbitrary::Arbitrary`] (`x: T`).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $($crate::__proptest_one!($(#[$meta])* fn $name($($params)*) $body);)*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_one {
+    ($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut __pt_rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __pt_case in 0..$crate::test_runner::cases() {
+                $crate::__proptest_bind!(__pt_rng, [] [$($params)*] $body);
+            }
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, [$($lets:tt)*] [] $body:block) => {{ $($lets)* $body }};
+    ($rng:ident, [$($lets:tt)*] [,] $body:block) => {{ $($lets)* $body }};
+    ($rng:ident, [$($lets:tt)*] [$id:ident in $strat:expr, $($rest:tt)*] $body:block) => {
+        $crate::__proptest_bind!(
+            $rng,
+            [$($lets)* let $id = $crate::strategy::Strategy::sample(&($strat), &mut $rng);]
+            [$($rest)*] $body
+        )
+    };
+    ($rng:ident, [$($lets:tt)*] [$id:ident in $strat:expr] $body:block) => {
+        $crate::__proptest_bind!(
+            $rng,
+            [$($lets)* let $id = $crate::strategy::Strategy::sample(&($strat), &mut $rng);]
+            [] $body
+        )
+    };
+    ($rng:ident, [$($lets:tt)*] [$id:ident : $ty:ty, $($rest:tt)*] $body:block) => {
+        $crate::__proptest_bind!(
+            $rng,
+            [$($lets)* let $id: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);]
+            [$($rest)*] $body
+        )
+    };
+    ($rng:ident, [$($lets:tt)*] [$id:ident : $ty:ty] $body:block) => {
+        $crate::__proptest_bind!(
+            $rng,
+            [$($lets)* let $id: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);]
+            [] $body
+        )
+    };
+}
+
+/// Asserts a property; alias of `assert!` (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality; alias of `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality; alias of `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}

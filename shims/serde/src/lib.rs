@@ -1,0 +1,27 @@
+//! Offline shim for `serde`.
+//!
+//! Exposes `Serialize` / `Deserialize` as blanket-implemented marker
+//! traits plus no-op derive macros, which is all the workspace uses
+//! today (types are annotated for future serialization, but reports
+//! hand-roll their JSON). Replace this path dependency with the real
+//! crates.io `serde` once network access exists; no source changes
+//! elsewhere are required.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; implemented by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; implemented by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Namespace mirror of `serde::de` for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}
