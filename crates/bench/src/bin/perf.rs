@@ -1,0 +1,80 @@
+//! Hot-path kernel benchmark and perf-regression tripwire.
+//!
+//! Times the blocked GEMM, conv and routing kernels against their naive
+//! reference twins, one training epoch, and one full seeded pipeline
+//! run, then writes the results to `BENCH_perf.json` (and echoes the
+//! JSON line to stdout). Usage:
+//!
+//! ```text
+//! perf [--quick] [--out PATH] [--budget-s SECONDS] [--threads N]
+//! ```
+//!
+//! With `--budget-s`, the binary exits non-zero if the seeded pipeline
+//! exceeds the given wall-clock budget — CI uses this as a generous
+//! regression tripwire.
+
+use std::process::ExitCode;
+
+use redcane_bench::cli::{next_parsed, next_value};
+use redcane_bench::perf::{perf_to_json, run_perf};
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out_path = "BENCH_perf.json".to_string();
+    let mut budget_s: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let parsed: Result<(), String> = match flag.as_str() {
+            "--quick" => {
+                quick = true;
+                Ok(())
+            }
+            "--out" => next_value(&mut args, "--out").map(|v| out_path = v),
+            "--budget-s" => next_parsed(&mut args, "--budget-s").map(|v| budget_s = Some(v)),
+            "--threads" => next_parsed(&mut args, "--threads")
+                .map(|v: usize| redcane_tensor::par::set_threads(v)),
+            "--help" | "-h" => {
+                eprintln!(
+                    "perf: hot-path kernel benchmark\n\
+                     flags: --quick, --out PATH, --budget-s SECONDS, --threads N"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag '{other}'")),
+        };
+        if let Err(msg) = parsed {
+            eprintln!("perf: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let report = run_perf(quick);
+    for probe in &report.probes {
+        match probe.speedup_vs_naive() {
+            Some(speedup) => eprintln!(
+                "[perf] {:<32} {:>12.0} ns/op  ({speedup:.2}x vs naive)",
+                probe.name, probe.ns_per_op
+            ),
+            None => eprintln!("[perf] {:<32} {:>12.0} ns/op", probe.name, probe.ns_per_op),
+        }
+    }
+    eprintln!(
+        "[perf] pipeline total {:.2}s (train {:.2}s) on {} thread(s)",
+        report.pipeline_total_s, report.pipeline_train_s, report.threads
+    );
+    let line = perf_to_json(&report).dump();
+    if let Err(e) = std::fs::write(&out_path, format!("{line}\n")) {
+        eprintln!("perf: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{line}");
+    if let Some(budget) = budget_s {
+        if report.pipeline_total_s > budget {
+            eprintln!(
+                "perf: pipeline took {:.2}s, exceeding the {budget:.2}s budget",
+                report.pipeline_total_s
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

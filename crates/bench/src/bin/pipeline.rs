@@ -32,7 +32,12 @@ fn parse_args(mut cfg: PipelineConfig) -> Result<PipelineConfig, String> {
             "--train" => cfg.train = next_parsed(&mut args, "--train")?,
             "--test" => cfg.test = next_parsed(&mut args, "--test")?,
             "--epochs" => cfg.epochs = next_parsed(&mut args, "--epochs")?,
-            "--threads" => cfg.threads = next_parsed(&mut args, "--threads")?,
+            "--threads" => {
+                cfg.threads = next_parsed(&mut args, "--threads")?;
+                // Also applies to the kernel/trainer backend, not just
+                // the sweep workers.
+                redcane_tensor::par::set_threads(cfg.threads);
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "pipeline: seeded end-to-end ReD-CaNe smoke benchmark\n\

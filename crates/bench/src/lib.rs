@@ -17,12 +17,13 @@
 use std::time::Instant;
 
 pub mod cli;
+pub mod perf;
 
 use redcane::prelude::*;
 use redcane::report::json::Value;
 use redcane::report::{group_slug, marking_to_json};
 use redcane::{SelectionConfig, SweepConfig};
-use redcane_capsnet::{evaluate, train, CapsNet, CapsNetConfig, NoInjection, TrainConfig};
+use redcane_capsnet::{evaluate_clean, train, CapsNet, CapsNetConfig, TrainConfig};
 use redcane_datasets::{generate, Benchmark, GenerateConfig};
 use redcane_tensor::TensorRng;
 
@@ -70,9 +71,7 @@ impl PipelineConfig {
             lr: 2e-3,
             nm_values: vec![0.5, 0.05, 0.005],
             max_test_samples: Some(40),
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            threads: redcane_tensor::par::num_threads(),
             characterization_samples: 4000,
         }
     }
@@ -160,7 +159,7 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> PipelineOutcome {
     let train_s = t.elapsed().as_secs_f64();
 
     let t = Instant::now();
-    let test_accuracy = evaluate(&mut model, &pair.test, &mut NoInjection);
+    let test_accuracy = evaluate_clean(&model, &pair.test);
     let evaluate_s = t.elapsed().as_secs_f64();
 
     let t = Instant::now();

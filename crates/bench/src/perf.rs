@@ -1,0 +1,284 @@
+//! Kernel and end-to-end timing harness behind the `perf` binary.
+//!
+//! Each probe times one hot-path kernel against its naive reference
+//! twin (the correctness oracle the blocked kernels are tested against)
+//! and reports ns/op plus the speedup. The end-to-end probes time one
+//! training epoch and the full seeded pipeline, which is the number the
+//! CI regression tripwire watches.
+
+use std::time::Instant;
+
+use redcane::report::json::Value;
+use redcane_capsnet::routing::{
+    dynamic_routing, dynamic_routing_backward, reference as routing_reference,
+};
+use redcane_capsnet::{train, CapsNet, CapsNetConfig, NoInjection, TrainConfig};
+use redcane_datasets::{generate, Benchmark, GenerateConfig};
+use redcane_tensor::ops::gemm;
+use redcane_tensor::ops::Conv2dSpec;
+use redcane_tensor::{Tensor, TensorRng};
+
+use crate::{run_pipeline, PipelineConfig};
+
+/// One timed probe: the optimized path, and optionally its naive twin.
+#[derive(Debug, Clone)]
+pub struct PerfProbe {
+    /// Stable probe name (also the JSON key).
+    pub name: String,
+    /// Nanoseconds per operation of the optimized path.
+    pub ns_per_op: f64,
+    /// Nanoseconds per operation of the naive reference, if it exists.
+    pub naive_ns_per_op: Option<f64>,
+}
+
+impl PerfProbe {
+    /// `naive / fast`, when a reference twin was timed.
+    pub fn speedup_vs_naive(&self) -> Option<f64> {
+        self.naive_ns_per_op.map(|naive| {
+            if self.ns_per_op > 0.0 {
+                naive / self.ns_per_op
+            } else {
+                0.0
+            }
+        })
+    }
+}
+
+/// The full perf report: kernel probes plus end-to-end numbers.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Kernel-level probes.
+    pub probes: Vec<PerfProbe>,
+    /// Wall-clock seconds of one full seeded pipeline run.
+    pub pipeline_total_s: f64,
+    /// Wall-clock seconds of the training stage of that run.
+    pub pipeline_train_s: f64,
+    /// Worker threads the run used.
+    pub threads: usize,
+}
+
+/// Times `f` by running it `reps` times after one warmup call and
+/// returns the **minimum** ns per call (least-noise estimator).
+fn time_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        let ns = t.elapsed().as_nanos() as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+fn gemm_probe(name: &str, m: usize, k: usize, n: usize, reps: usize) -> PerfProbe {
+    let mut rng = TensorRng::from_seed(77);
+    let a: Vec<f32> = (0..m * k).map(|_| rng.next_uniform(-1.0, 1.0)).collect();
+    let b: Vec<f32> = (0..k * n).map(|_| rng.next_uniform(-1.0, 1.0)).collect();
+    let mut c = vec![0.0f32; m * n];
+    let fast = time_ns(reps, || {
+        c.fill(0.0);
+        gemm::gemm_nn(&a, &b, &mut c, m, k, n);
+        std::hint::black_box(&c);
+    });
+    let naive = time_ns(reps, || {
+        c.fill(0.0);
+        gemm::reference::gemm_nn(&a, &b, &mut c, m, k, n);
+        std::hint::black_box(&c);
+    });
+    PerfProbe {
+        name: name.to_string(),
+        ns_per_op: fast,
+        naive_ns_per_op: Some(naive),
+    }
+}
+
+fn conv_probe(reps: usize) -> PerfProbe {
+    // The small-config stem geometry: 1×16×16 input, 24 7×7 filters.
+    let mut rng = TensorRng::from_seed(78);
+    let input = rng.uniform(&[1, 16, 16], 0.0, 1.0);
+    let weight = rng.uniform(&[24, 1, 7, 7], -0.2, 0.2);
+    let bias = rng.uniform(&[24], -0.1, 0.1);
+    let spec = Conv2dSpec::new(7, 1, 0).expect("valid spec");
+    let fast = time_ns(reps, || {
+        std::hint::black_box(input.conv2d(&weight, &bias, spec).expect("conv"));
+    });
+    // Naive twin: same im2col lowering, naive GEMM.
+    let k2 = 49;
+    let n = 10 * 10;
+    let naive = time_ns(reps, || {
+        let cols = input.im2col(spec).expect("im2col");
+        let mut out = vec![0.0f32; 24 * n];
+        gemm::reference::gemm_nn(weight.data(), cols.data(), &mut out, 24, k2, n);
+        for (co, orow) in out.chunks_exact_mut(n).enumerate() {
+            let b = bias.data()[co];
+            for v in orow {
+                *v += b;
+            }
+        }
+        std::hint::black_box(Tensor::from_vec(out, &[24, 10, 10]).expect("shape"));
+    });
+    PerfProbe {
+        name: "conv2d_fwd_1x16x16_k7x24".to_string(),
+        ns_per_op: fast,
+        naive_ns_per_op: Some(naive),
+    }
+}
+
+fn routing_probes(reps: usize) -> Vec<PerfProbe> {
+    // The ClassCaps geometry of the small CapsNet: [72, 10, 8, 1].
+    let mut rng = TensorRng::from_seed(79);
+    let votes = rng.uniform(&[72, 10, 8, 1], -1.0, 1.0);
+    let coeffs = rng.uniform(&[10, 8, 1], -1.0, 1.0);
+    let fwd_fast = time_ns(reps, || {
+        std::hint::black_box(dynamic_routing(votes.clone(), 3, 0, "P", &mut NoInjection));
+    });
+    let fwd_naive = time_ns(reps, || {
+        std::hint::black_box(routing_reference::dynamic_routing(
+            votes.clone(),
+            3,
+            0,
+            "P",
+            &mut NoInjection,
+        ));
+    });
+    let cache = dynamic_routing(votes.clone(), 3, 0, "P", &mut NoInjection);
+    let bwd_fast = time_ns(reps, || {
+        std::hint::black_box(dynamic_routing_backward(&cache, &coeffs));
+    });
+    let bwd_naive = time_ns(reps, || {
+        std::hint::black_box(routing_reference::dynamic_routing_backward(&cache, &coeffs));
+    });
+    vec![
+        PerfProbe {
+            name: "routing_fwd_72x10x8x1".to_string(),
+            ns_per_op: fwd_fast,
+            naive_ns_per_op: Some(fwd_naive),
+        },
+        PerfProbe {
+            name: "routing_bwd_72x10x8x1".to_string(),
+            ns_per_op: bwd_fast,
+            naive_ns_per_op: Some(bwd_naive),
+        },
+    ]
+}
+
+fn epoch_probe() -> PerfProbe {
+    // One epoch over a small seeded set; no naive twin (the naive
+    // kernels only exist at the kernel level).
+    let pair = generate(
+        Benchmark::MnistLike,
+        &GenerateConfig {
+            train: 120,
+            test: 1,
+            seed: 5,
+        },
+    );
+    let mut rng = TensorRng::from_seed(80);
+    let mut model = CapsNet::new(&CapsNetConfig::small(1, 16), &mut rng);
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 16,
+        lr: 2e-3,
+        seed: 3,
+        verbose: false,
+    };
+    let t = Instant::now();
+    let _ = train(&mut model, &pair.train, &cfg);
+    PerfProbe {
+        name: "train_epoch_120x1_capsnet_small".to_string(),
+        ns_per_op: t.elapsed().as_nanos() as f64,
+        naive_ns_per_op: None,
+    }
+}
+
+/// Runs every probe plus one full pipeline and assembles the report.
+pub fn run_perf(quick: bool) -> PerfReport {
+    let reps = if quick { 5 } else { 40 };
+    let mut probes = vec![
+        // The two GEMM shapes the small CapsNet actually runs, plus a
+        // square shape for context.
+        gemm_probe("matmul_24x49x100_stem", 24, 49, 100, reps),
+        gemm_probe("matmul_32x600x9_primary", 32, 600, 9, reps),
+        gemm_probe("matmul_128x128x128", 128, 128, 128, reps),
+        conv_probe(reps),
+    ];
+    probes.extend(routing_probes(reps));
+    probes.push(epoch_probe());
+    let mut cfg = PipelineConfig::smoke();
+    if quick {
+        cfg.train = 60;
+        cfg.test = 20;
+        cfg.epochs = 1;
+        cfg.characterization_samples = 500;
+        cfg.max_test_samples = Some(10);
+    }
+    let outcome = run_pipeline(&cfg);
+    PerfReport {
+        probes,
+        pipeline_total_s: outcome.timings.total_s(),
+        pipeline_train_s: outcome.timings.train_s,
+        threads: redcane_tensor::par::num_threads(),
+    }
+}
+
+/// Serializes the report as the one-line `BENCH_perf.json` schema.
+pub fn perf_to_json(report: &PerfReport) -> Value {
+    let probes: Vec<Value> = report
+        .probes
+        .iter()
+        .map(|p| {
+            let mut fields = vec![
+                ("name".into(), Value::from(p.name.clone())),
+                ("ns_per_op".into(), Value::from(p.ns_per_op)),
+            ];
+            if let Some(naive) = p.naive_ns_per_op {
+                fields.push(("naive_ns_per_op".into(), Value::from(naive)));
+                fields.push((
+                    "speedup_vs_naive".into(),
+                    Value::from(p.speedup_vs_naive().unwrap_or(0.0)),
+                ));
+            }
+            Value::Obj(fields)
+        })
+        .collect();
+    Value::Obj(vec![
+        ("bench".into(), Value::from("perf")),
+        ("schema_version".into(), Value::from(1usize)),
+        ("threads".into(), Value::from(report.threads)),
+        ("kernels".into(), Value::Arr(probes)),
+        (
+            "pipeline_total_s".into(),
+            Value::from(report.pipeline_total_s),
+        ),
+        (
+            "pipeline_train_s".into(),
+            Value::from(report.pipeline_train_s),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcane::report::json;
+
+    #[test]
+    fn quick_perf_report_schema() {
+        let report = run_perf(true);
+        assert!(!report.probes.is_empty());
+        assert!(report.pipeline_total_s > 0.0);
+        let line = perf_to_json(&report).dump();
+        assert!(!line.contains('\n'));
+        let parsed = json::parse(&line).unwrap();
+        assert_eq!(parsed.get("bench").unwrap().as_str().unwrap(), "perf");
+        let kernels = parsed.get("kernels").unwrap().as_arr().unwrap();
+        assert!(kernels.len() >= 6);
+        for k in kernels {
+            assert!(k.get("ns_per_op").unwrap().as_f64().unwrap() > 0.0);
+        }
+        assert!(parsed.get("pipeline_total_s").unwrap().as_f64().is_some());
+    }
+}

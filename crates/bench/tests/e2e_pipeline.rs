@@ -68,6 +68,43 @@ fn pipeline_runs_end_to_end_and_is_deterministic() {
     assert_eq!(outcome.test_accuracy, replay.test_accuracy);
 }
 
+/// `REDCANE_THREADS=1` and `REDCANE_THREADS=4` must produce the same
+/// pipeline JSON bit for bit. The test drives the same knob through
+/// `par::set_threads` (the runtime override the env var feeds), which —
+/// unlike mutating the process environment — is race-free under the
+/// multi-threaded test harness.
+#[test]
+fn pipeline_json_is_bitwise_identical_across_worker_counts() {
+    let cfg = PipelineConfig {
+        train: 60,
+        test: 20,
+        epochs: 1,
+        characterization_samples: 500,
+        max_test_samples: Some(10),
+        nm_values: vec![0.5, 0.005],
+        ..tiny_config()
+    };
+    let strip_timings = |line: &str| {
+        let parsed = json::parse(line).expect("valid JSON");
+        let json::Value::Obj(fields) = parsed else {
+            panic!("pipeline JSON must be an object");
+        };
+        json::Value::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "timings_s")
+                .collect(),
+        )
+        .dump()
+    };
+    redcane_tensor::par::set_threads(1);
+    let one = strip_timings(&outcome_to_json(&run_pipeline(&cfg)).dump());
+    redcane_tensor::par::set_threads(4);
+    let four = strip_timings(&outcome_to_json(&run_pipeline(&cfg)).dump());
+    redcane_tensor::par::set_threads(0);
+    assert_eq!(one, four, "worker count must not perturb a single bit");
+}
+
 #[test]
 fn pipeline_json_line_round_trips_and_carries_the_paper_quantities() {
     let outcome = run_pipeline(&tiny_config());

@@ -12,7 +12,9 @@ use redcane_nn::{Layer, Param};
 use redcane_tensor::{Tensor, TensorRng};
 
 use crate::inject::{Injector, OpKind, OpSite};
-use crate::routing::{dynamic_routing, dynamic_routing_backward, RoutingCache};
+use crate::routing::{
+    dynamic_routing_backward_scratched, dynamic_routing_scratched, RoutingCache, RoutingScratch,
+};
 
 /// Routing conv-caps layer mapping `[C_in, D_in, H, W]` to
 /// `[C_out, D_out, H', W']`.
@@ -28,6 +30,7 @@ pub struct ConvCaps3d {
     layer_index: usize,
     name: String,
     cache: Option<Caps3dCache>,
+    scratch: RoutingScratch,
 }
 
 #[derive(Debug, Clone)]
@@ -74,6 +77,7 @@ impl ConvCaps3d {
             layer_index,
             name: name.into(),
             cache: None,
+            scratch: RoutingScratch::new(),
         }
     }
 
@@ -114,16 +118,14 @@ impl ConvCaps3d {
                 &mut copy,
             );
         }
-        // Per-type vote convolutions.
+        // Per-type vote convolutions, each reading its contiguous
+        // `[D_in, H, W]` chunk of the input storage directly.
         let mut per_type: Vec<Tensor> = Vec::with_capacity(self.c_in);
         let mut out_hw = (0usize, 0usize);
+        let type_len = self.d_in * h * w;
         for (i, conv) in self.convs.iter_mut().enumerate() {
-            let xi = x
-                .slice_axis(0, i, i + 1)
-                .expect("type slice")
-                .into_reshaped(&[self.d_in, h, w])
-                .expect("drop type axis");
-            let vi = conv.forward(&xi); // [C_out*D_out, H', W']
+            let xi = &x.data()[i * type_len..(i + 1) * type_len];
+            let vi = conv.forward_chw(xi, h, w); // [C_out*D_out, H', W']
             out_hw = (vi.shape()[1], vi.shape()[2]);
             per_type.push(vi);
         }
@@ -143,7 +145,8 @@ impl ConvCaps3d {
             &OpSite::new(self.layer_index, self.name.clone(), OpKind::MacOutput),
             &mut votes,
         );
-        let routing = dynamic_routing(
+        let routing = dynamic_routing_scratched(
+            &mut self.scratch,
             votes,
             self.iterations,
             self.layer_index,
@@ -178,7 +181,7 @@ impl ConvCaps3d {
         let dv = d_out
             .reshape(&[self.c_out, self.d_out, p])
             .expect("gradient capsule fold");
-        let dvotes = dynamic_routing_backward(&cache.routing, &dv);
+        let dvotes = dynamic_routing_backward_scratched(&mut self.scratch, &cache.routing, &dv);
         // Scatter per-type vote gradients through each conv.
         let mut dx = Tensor::zeros(&[self.c_in, self.d_in, h, w]);
         let stride_i = self.c_out * self.d_out * p;
@@ -192,6 +195,7 @@ impl ConvCaps3d {
             let dst_base = i * self.d_in * h * w;
             dx.data_mut()[dst_base..dst_base + dxi.len()].copy_from_slice(dxi.data());
         }
+        let _ = self.scratch.recycle(cache.routing);
         dx
     }
 

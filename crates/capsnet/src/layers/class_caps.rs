@@ -2,10 +2,13 @@
 //! CapsNet / `ClassCaps` of DeepCaps).
 
 use redcane_nn::Param;
+use redcane_tensor::ops::gemm;
 use redcane_tensor::{Tensor, TensorRng};
 
 use crate::inject::{Injector, OpKind, OpSite};
-use crate::routing::{dynamic_routing, dynamic_routing_backward, RoutingCache};
+use crate::routing::{
+    dynamic_routing_backward_scratched, dynamic_routing_scratched, RoutingCache, RoutingScratch,
+};
 
 /// Maps `I` input capsules of dimension `D_in` to `J` class capsules of
 /// dimension `D_out` through per-pair transformation matrices and
@@ -24,6 +27,10 @@ pub struct ClassCaps {
     layer_index: usize,
     name: String,
     cache: Option<(Tensor, RoutingCache)>,
+    scratch: RoutingScratch,
+    /// Recycled vote buffer (reclaimed from the routing cache each
+    /// backward); contents are stale between uses.
+    votes_pool: Vec<f32>,
 }
 
 impl ClassCaps {
@@ -51,6 +58,8 @@ impl ClassCaps {
             layer_index,
             name: name.into(),
             cache: None,
+            scratch: RoutingScratch::new(),
+            votes_pool: Vec::new(),
         }
     }
 
@@ -94,29 +103,34 @@ impl ClassCaps {
                 &mut copy,
             );
         }
-        // Votes û_{j|i} = W_ij u_i  ->  [I, J, D_out, P=1]
-        let wd = self.weight.value.data();
-        let ud = u.data();
-        let mut votes = vec![0.0f32; self.i_caps * self.j_caps * self.d_out];
-        for i in 0..self.i_caps {
-            for j in 0..self.j_caps {
-                for do_ in 0..self.d_out {
-                    let wrow = ((i * self.j_caps + j) * self.d_out + do_) * self.d_in;
-                    let mut acc = 0.0f32;
-                    for di in 0..self.d_in {
-                        acc += wd[wrow + di] * ud[i * self.d_in + di];
-                    }
-                    votes[(i * self.j_caps + j) * self.d_out + do_] = acc;
-                }
-            }
+        // Inference-only callers never run backward; reclaim the
+        // previous forward's vote and history buffers before the cache
+        // drops them.
+        if let Some((_, old)) = self.cache.take() {
+            self.votes_pool = self.scratch.recycle(old);
         }
+        // Votes û_{j|i} = W_ij u_i  ->  [I, J, D_out, P=1]: a batched
+        // GEMM of I independent (J·D_out × D_in) · (D_in × 1) products,
+        // overwriting the recycled (stale) vote buffer.
+        let mut votes = std::mem::take(&mut self.votes_pool);
+        votes.resize(self.i_caps * self.j_caps * self.d_out, 0.0);
+        gemm::gemm_nn_batched_over(
+            self.weight.value.data(),
+            u.data(),
+            &mut votes,
+            self.i_caps,
+            self.j_caps * self.d_out,
+            self.d_in,
+            1,
+        );
         let mut votes =
             Tensor::from_vec(votes, &[self.i_caps, self.j_caps, self.d_out, 1]).expect("sized");
         injector.inject(
             &OpSite::new(self.layer_index, self.name.clone(), OpKind::MacOutput),
             &mut votes,
         );
-        let cache = dynamic_routing(
+        let cache = dynamic_routing_scratched(
+            &mut self.scratch,
             votes,
             self.iterations,
             self.layer_index,
@@ -145,29 +159,39 @@ impl ClassCaps {
         let dv3 = dv
             .reshape(&[self.j_caps, self.d_out, 1])
             .expect("restore P=1");
-        let dvotes = dynamic_routing_backward(&cache, &dv3);
+        let dvotes = dynamic_routing_backward_scratched(&mut self.scratch, &cache, &dv3);
         let dvd = dvotes.data();
         let wd = self.weight.value.data();
         let ud = u.data();
-        let mut dw = vec![0.0f32; wd.len()];
+        let gd = self.weight.grad.data_mut();
         let mut du = vec![0.0f32; ud.len()];
+        let rows = self.j_caps * self.d_out;
+        let wstride = rows * self.d_in;
         for i in 0..self.i_caps {
-            for j in 0..self.j_caps {
-                for do_ in 0..self.d_out {
-                    let g = dvd[(i * self.j_caps + j) * self.d_out + do_];
-                    if g == 0.0 {
-                        continue;
-                    }
-                    let wrow = ((i * self.j_caps + j) * self.d_out + do_) * self.d_in;
-                    for di in 0..self.d_in {
-                        dw[wrow + di] += g * ud[i * self.d_in + di];
-                        du[i * self.d_in + di] += g * wd[wrow + di];
-                    }
-                }
-            }
+            let dv_i = &dvd[i * rows..(i + 1) * rows];
+            let u_i = &ud[i * self.d_in..(i + 1) * self.d_in];
+            // dW_i += dv_i · u_iᵀ — a rank-1 (k = 1) update, so writing
+            // straight into the gradient accumulator matches the
+            // build-then-accumulate order bit for bit.
+            gemm::gemm_nn(
+                dv_i,
+                u_i,
+                &mut gd[i * wstride..(i + 1) * wstride],
+                rows,
+                1,
+                self.d_in,
+            );
+            // du_i = W_iᵀ · dv_i.
+            gemm::gemm_tn(
+                dv_i,
+                &wd[i * wstride..(i + 1) * wstride],
+                &mut du[i * self.d_in..(i + 1) * self.d_in],
+                1,
+                rows,
+                self.d_in,
+            );
         }
-        self.weight
-            .accumulate(&Tensor::from_vec(dw, self.weight.value.shape()).expect("sized"));
+        self.votes_pool = self.scratch.recycle(cache);
         Tensor::from_vec(du, &[self.i_caps, self.d_in]).expect("sized")
     }
 
@@ -189,11 +213,8 @@ mod tests {
         let u = rng.uniform(&[12, 4], -1.0, 1.0);
         let v = layer.forward(&u, &mut NoInjection);
         assert_eq!(v.shape(), &[10, 8]);
-        for j in 0..10 {
-            let n: f32 = (0..8)
-                .map(|d| v.get(&[j, d]).unwrap().powi(2))
-                .sum::<f32>()
-                .sqrt();
+        for row in v.data().chunks_exact(8) {
+            let n: f32 = row.iter().map(|x| x * x).sum::<f32>().sqrt();
             assert!(n < 1.0);
         }
     }

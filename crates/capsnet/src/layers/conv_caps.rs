@@ -115,17 +115,18 @@ impl ConvCaps2d {
         assert_eq!(x.shape()[0], self.c_in, "capsule types");
         assert_eq!(x.shape()[1], self.d_in, "capsule dims");
         let (h, w) = (x.shape()[2], x.shape()[3]);
-        let flat = x
-            .reshape(&[self.c_in * self.d_in, h, w])
-            .expect("channel fold");
         if injector.observes_inputs() {
-            let mut copy = flat.clone();
+            // The `[C·D, H, W]` channel fold is a pure metadata change, so
+            // the conv reads `x`'s storage directly; materialize the
+            // folded view only for the observing injector.
+            let mut copy = Tensor::from_vec(x.data().to_vec(), &[self.c_in * self.d_in, h, w])
+                .expect("channel fold");
             injector.inject(
                 &OpSite::new(self.layer_index, self.name.clone(), OpKind::MacInput),
                 &mut copy,
             );
         }
-        let mut conv_out = self.conv.forward(&flat);
+        let mut conv_out = self.conv.forward_chw(x.data(), h, w);
         injector.inject(
             &OpSite::new(self.layer_index, self.name.clone(), OpKind::MacOutput),
             &mut conv_out,

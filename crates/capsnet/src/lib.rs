@@ -41,4 +41,4 @@ pub mod train;
 pub use config::{CapsNetConfig, DeepCapsConfig};
 pub use inject::{Injector, NoInjection, OpKind, OpSite, RecordingInjector};
 pub use model::{CapsModel, CapsNet, DeepCaps};
-pub use train::{evaluate, train, TrainConfig, TrainReport};
+pub use train::{evaluate, evaluate_clean, train, TrainConfig, TrainReport};

@@ -23,6 +23,29 @@ pub fn squash_caps(s: &Tensor) -> Tensor {
     s.squash_axis(1).expect("rank checked")
 }
 
+/// Allocation-free squash over raw `[C, D, P]` slices into a scratch
+/// output buffer; arithmetic is identical to `Tensor::squash_axis(1)`
+/// (the routing hot path relies on that for bitwise stability).
+pub(crate) fn squash_slices(sd: &[f32], out: &mut [f32], c_types: usize, d: usize, p: usize) {
+    debug_assert_eq!(sd.len(), c_types * d * p);
+    debug_assert_eq!(out.len(), sd.len());
+    for ci in 0..c_types {
+        for pi in 0..p {
+            let mut sq = 0.0f32;
+            for di in 0..d {
+                let v = sd[(ci * d + di) * p + pi];
+                sq += v * v;
+            }
+            let norm = (sq + EPS).sqrt();
+            let factor = (sq / (1.0 + sq)) / norm;
+            for di in 0..d {
+                let off = (ci * d + di) * p + pi;
+                out[off] = sd[off] * factor;
+            }
+        }
+    }
+}
+
 /// Backward squash: given the pre-squash input `s` and upstream gradient
 /// `dv`, returns `ds`.
 ///
@@ -39,9 +62,25 @@ pub fn squash_caps_backward(s: &Tensor, dv: &Tensor) -> Tensor {
     assert_eq!(s.ndim(), 3, "squash_caps_backward expects [C, D, P]");
     assert_eq!(s.shape(), dv.shape(), "gradient shape must match input");
     let (c_types, d, p) = (s.shape()[0], s.shape()[1], s.shape()[2]);
-    let sd = s.data();
-    let gd = dv.data();
-    let mut out = vec![0.0f32; sd.len()];
+    let mut out = vec![0.0f32; s.len()];
+    squash_backward_slices(s.data(), dv.data(), &mut out, c_types, d, p);
+    Tensor::from_vec(out, s.shape()).expect("sized")
+}
+
+/// Allocation-free form of [`squash_caps_backward`] over raw `[C, D, P]`
+/// slices, used by the routing hot path with a scratch output buffer.
+/// Arithmetic (and accumulation order) is identical to the tensor form.
+pub(crate) fn squash_backward_slices(
+    sd: &[f32],
+    gd: &[f32],
+    out: &mut [f32],
+    c_types: usize,
+    d: usize,
+    p: usize,
+) {
+    debug_assert_eq!(sd.len(), c_types * d * p);
+    debug_assert_eq!(gd.len(), sd.len());
+    debug_assert_eq!(out.len(), sd.len());
     for ci in 0..c_types {
         for pi in 0..p {
             // Gather the D-vector at (ci, :, pi).
@@ -62,7 +101,6 @@ pub fn squash_caps_backward(s: &Tensor, dv: &Tensor) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(out, s.shape()).expect("sized")
 }
 
 /// Capsule lengths `‖v‖` along axis 1: `[C, D, P] -> [C, P]`.

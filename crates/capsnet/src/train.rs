@@ -1,8 +1,24 @@
 //! Training and evaluation loops for capsule models.
+//!
+//! # Parallelism and determinism
+//!
+//! Both the trainer and the accurate-network evaluator fan samples out
+//! over scoped worker threads (see [`redcane_tensor::par`]): each worker
+//! owns a clone of the model, and per-sample results are reduced **in
+//! sample order** on the calling thread. A sample's forward/backward
+//! depends only on the weights — never on gradient state — so every
+//! per-sample gradient is identical to what the serial loop computes,
+//! and the ordered reduction reproduces the serial accumulation bit for
+//! bit at any `REDCANE_THREADS` setting (the pipeline determinism test
+//! asserts this end to end).
+//!
+//! Injector-driven (noisy) evaluation stays serial: a stateful injector
+//! draws its noise stream in visit order, so parallelizing across
+//! samples would change which noise hits which sample.
 
 use redcane_datasets::Dataset;
 use redcane_nn::{margin_loss, Adam, MarginLossConfig, Optimizer};
-use redcane_tensor::TensorRng;
+use redcane_tensor::{par, Tensor, TensorRng};
 
 use crate::inject::{Injector, NoInjection};
 use crate::model::CapsModel;
@@ -43,10 +59,101 @@ pub struct TrainReport {
     pub train_accuracy: f64,
 }
 
+/// One sample's contribution: margin loss plus a gradient snapshot per
+/// parameter (in `params_mut` order).
+type SampleGrad = (f32, Vec<Tensor>);
+
+/// Runs forward/backward for one sample on `model` (whose gradients must
+/// be zeroed) and snapshots the accumulated gradients, re-zeroing them.
+fn sample_gradient<M: CapsModel>(
+    model: &mut M,
+    image: &Tensor,
+    label: usize,
+    loss_cfg: MarginLossConfig,
+) -> SampleGrad {
+    let lengths = model.forward(image, &mut NoInjection);
+    let (loss, dl) = margin_loss(&lengths, label, loss_cfg);
+    model.backward_from_lengths(&dl);
+    let grads = model
+        .params_mut()
+        .into_iter()
+        .map(|p| {
+            let shape = p.grad.shape().to_vec();
+            std::mem::replace(&mut p.grad, Tensor::zeros(&shape))
+        })
+        .collect();
+    (loss, grads)
+}
+
+/// Processes one minibatch, accumulating gradients into `model` and
+/// per-sample losses into `total_loss` exactly as the serial per-sample
+/// loop would (the running loss sum spans batches, so it is threaded
+/// through rather than subtotaled — subtotaling would reorder the adds).
+fn run_batch<M: CapsModel + Clone + Send + Sync>(
+    model: &mut M,
+    data: &Dataset,
+    chunk: &[usize],
+    loss_cfg: MarginLossConfig,
+    total_loss: &mut f32,
+) {
+    let workers = par::num_threads().min(chunk.len());
+    if workers <= 1 {
+        // Serial fast path: accumulate straight into the model.
+        for &idx in chunk {
+            let sample = &data.samples[idx];
+            let lengths = model.forward(&sample.image, &mut NoInjection);
+            let (loss, dl) = margin_loss(&lengths, sample.label, loss_cfg);
+            *total_loss += loss;
+            model.backward_from_lengths(&dl);
+        }
+        return;
+    }
+    // Parallel path: per-sample gradients on worker clones, reduced in
+    // sample order so the sum matches the serial accumulation bitwise.
+    let spans = par::spans(chunk.len(), workers);
+    let mut per_sample: Vec<Option<SampleGrad>> = Vec::with_capacity(chunk.len());
+    per_sample.resize_with(chunk.len(), || None);
+    std::thread::scope(|scope| {
+        let mut rest: &mut [Option<SampleGrad>] = &mut per_sample;
+        let mut consumed = 0;
+        for &(start, end) in &spans {
+            let (head, tail) = rest.split_at_mut(end - consumed);
+            rest = tail;
+            consumed = end;
+            let model_ref = &*model;
+            scope.spawn(move || {
+                let mut local = model_ref.clone();
+                local.zero_grad();
+                for (slot, ci) in head.iter_mut().zip(start..end) {
+                    let sample = &data.samples[chunk[ci]];
+                    *slot = Some(sample_gradient(
+                        &mut local,
+                        &sample.image,
+                        sample.label,
+                        loss_cfg,
+                    ));
+                }
+            });
+        }
+    });
+    for slot in per_sample {
+        let (loss, grads) = slot.expect("every sample processed");
+        *total_loss += loss;
+        for (p, g) in model.params_mut().into_iter().zip(&grads) {
+            p.accumulate(g);
+        }
+    }
+}
+
 /// Trains `model` on `data` with Adam and the CapsNet margin loss.
 ///
-/// Deterministic given the model's initial weights and `cfg.seed`.
-pub fn train(model: &mut dyn CapsModel, data: &Dataset, cfg: &TrainConfig) -> TrainReport {
+/// Deterministic given the model's initial weights and `cfg.seed`,
+/// independent of the worker-thread count.
+pub fn train<M: CapsModel + Clone + Send + Sync>(
+    model: &mut M,
+    data: &Dataset,
+    cfg: &TrainConfig,
+) -> TrainReport {
     assert!(!data.is_empty(), "cannot train on an empty dataset");
     // Degenerate scaled-down configs must not panic: a zero batch size
     // behaves like per-sample training.
@@ -60,13 +167,7 @@ pub fn train(model: &mut dyn CapsModel, data: &Dataset, cfg: &TrainConfig) -> Tr
         let mut total_loss = 0.0f32;
         for chunk in order.chunks(batch_size) {
             model.zero_grad();
-            for &idx in chunk {
-                let sample = &data.samples[idx];
-                let lengths = model.forward(&sample.image, &mut NoInjection);
-                let (loss, dl) = margin_loss(&lengths, sample.label, loss_cfg);
-                total_loss += loss;
-                model.backward_from_lengths(&dl);
-            }
+            run_batch(model, data, chunk, loss_cfg, &mut total_loss);
             let mut params = model.params_mut();
             opt.step(&mut params, 1.0 / chunk.len() as f32);
         }
@@ -82,7 +183,7 @@ pub fn train(model: &mut dyn CapsModel, data: &Dataset, cfg: &TrainConfig) -> Tr
             );
         }
     }
-    let train_accuracy = evaluate(model, data, &mut NoInjection);
+    let train_accuracy = evaluate_clean(model, data);
     TrainReport {
         epoch_losses,
         train_accuracy,
@@ -91,6 +192,9 @@ pub fn train(model: &mut dyn CapsModel, data: &Dataset, cfg: &TrainConfig) -> Tr
 
 /// Classification accuracy of `model` on `data` under `injector`
 /// (pass [`NoInjection`] for the accurate network).
+///
+/// Runs serially: a stateful injector's noise stream depends on visit
+/// order. Use [`evaluate_clean`] for the parallel accurate-network path.
 pub fn evaluate(model: &mut dyn CapsModel, data: &Dataset, injector: &mut dyn Injector) -> f64 {
     if data.is_empty() {
         return 0.0;
@@ -100,6 +204,43 @@ pub fn evaluate(model: &mut dyn CapsModel, data: &Dataset, injector: &mut dyn In
         .iter()
         .filter(|s| model.predict_with(&s.image, injector) == s.label)
         .count();
+    correct as f64 / data.len() as f64
+}
+
+/// Accurate-network (no-injection) accuracy, fanned out over worker
+/// threads. Bitwise identical to `evaluate(.., NoInjection)` at every
+/// thread count: predictions depend only on the weights, and a count of
+/// correct labels has no reduction order to disturb.
+pub fn evaluate_clean<M: CapsModel + Clone + Send + Sync>(model: &M, data: &Dataset) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let workers = par::num_threads().min(data.len());
+    if workers <= 1 {
+        let mut local = model.clone();
+        let correct = data
+            .samples
+            .iter()
+            .filter(|s| local.predict_with(&s.image, &mut NoInjection) == s.label)
+            .count();
+        return correct as f64 / data.len() as f64;
+    }
+    let spans = par::spans(data.len(), workers);
+    let counts = std::sync::Mutex::new(vec![0usize; spans.len()]);
+    std::thread::scope(|scope| {
+        for (w, &(start, end)) in spans.iter().enumerate() {
+            let counts = &counts;
+            scope.spawn(move || {
+                let mut local = model.clone();
+                let correct = data.samples[start..end]
+                    .iter()
+                    .filter(|s| local.predict_with(&s.image, &mut NoInjection) == s.label)
+                    .count();
+                counts.lock().expect("no poisoned lock")[w] = correct;
+            });
+        }
+    });
+    let correct: usize = counts.into_inner().expect("no poisoned lock").iter().sum();
     correct as f64 / data.len() as f64
 }
 
@@ -148,6 +289,72 @@ mod tests {
         assert!(test_acc > 0.2, "test accuracy {test_acc}");
     }
 
+    /// Serializes the tests that mutate the process-wide thread-count
+    /// override — without it, one test's `set_threads(0)` could land
+    /// mid-way through another's 1-thread leg and make the determinism
+    /// comparison vacuous.
+    static THREADS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// The whole point of the ordered per-sample reduction: training is
+    /// bitwise identical at 1 and 4 worker threads.
+    #[test]
+    fn training_is_bitwise_identical_across_thread_counts() {
+        let _guard = THREADS_LOCK.lock().unwrap();
+        let pair = generate(
+            Benchmark::MnistLike,
+            &GenerateConfig {
+                train: 48,
+                test: 8,
+                seed: 21,
+            },
+        );
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            lr: 2e-3,
+            seed: 5,
+            verbose: false,
+        };
+        let run = |threads: usize| {
+            par::set_threads(threads);
+            let mut rng = TensorRng::from_seed(172);
+            let mut model = CapsNet::new(&CapsNetConfig::small(1, 16), &mut rng);
+            let report = train(&mut model, &pair.train, &cfg);
+            par::set_threads(0);
+            let weights: Vec<f32> = model
+                .params_mut()
+                .into_iter()
+                .flat_map(|p| p.value.data().to_vec())
+                .collect();
+            (report, weights)
+        };
+        let (rep1, w1) = run(1);
+        let (rep4, w4) = run(4);
+        assert_eq!(rep1.epoch_losses, rep4.epoch_losses);
+        assert_eq!(rep1.train_accuracy, rep4.train_accuracy);
+        assert_eq!(w1, w4, "weights must match bit for bit");
+    }
+
+    #[test]
+    fn evaluate_clean_matches_serial_evaluate() {
+        let _guard = THREADS_LOCK.lock().unwrap();
+        let pair = generate(
+            Benchmark::MnistLike,
+            &GenerateConfig {
+                train: 20,
+                test: 30,
+                seed: 9,
+            },
+        );
+        let mut rng = TensorRng::from_seed(173);
+        let mut model = CapsNet::new(&CapsNetConfig::small(1, 16), &mut rng);
+        let serial = evaluate(&mut model, &pair.test, &mut NoInjection);
+        par::set_threads(4);
+        let parallel = evaluate_clean(&model, &pair.test);
+        par::set_threads(0);
+        assert_eq!(serial, parallel);
+    }
+
     #[test]
     fn evaluate_empty_dataset_is_zero() {
         let pair = generate(
@@ -161,5 +368,6 @@ mod tests {
         let mut rng = TensorRng::from_seed(171);
         let mut model = CapsNet::new(&CapsNetConfig::small(1, 16), &mut rng);
         assert_eq!(evaluate(&mut model, &pair.test, &mut NoInjection), 0.0);
+        assert_eq!(evaluate_clean(&model, &pair.test), 0.0);
     }
 }

@@ -199,12 +199,7 @@ pub fn group_sweep<M: CapsModel + Clone + Send + Sync>(
     cfg: &SweepConfig,
 ) -> GroupSweep {
     let data = subset(data, cfg);
-    let mut baseline_model = model.clone();
-    let baseline = evaluate(
-        &mut baseline_model,
-        &data,
-        &mut redcane_capsnet::NoInjection,
-    );
+    let baseline = redcane_capsnet::evaluate_clean(model, &data);
     let mut tasks = Vec::new();
     for group in Group::all() {
         for &nm in &cfg.nm_values {
@@ -237,7 +232,7 @@ pub fn group_sweep<M: CapsModel + Clone + Send + Sync>(
         });
     }
     GroupSweep {
-        model_name: baseline_model.name(),
+        model_name: model.name(),
         dataset_name: data.name.clone(),
         baseline_accuracy: baseline,
         curves,
@@ -255,12 +250,7 @@ pub fn layer_sweep<M: CapsModel + Clone + Send + Sync>(
     cfg: &SweepConfig,
 ) -> LayerSweep {
     let data = subset(data, cfg);
-    let mut baseline_model = model.clone();
-    let baseline = evaluate(
-        &mut baseline_model,
-        &data,
-        &mut redcane_capsnet::NoInjection,
-    );
+    let baseline = redcane_capsnet::evaluate_clean(model, &data);
     let mut tasks = Vec::new();
     for layer in layers {
         for &nm in &cfg.nm_values {
@@ -293,7 +283,7 @@ pub fn layer_sweep<M: CapsModel + Clone + Send + Sync>(
         });
     }
     LayerSweep {
-        model_name: baseline_model.name(),
+        model_name: model.name(),
         group,
         baseline_accuracy: baseline,
         curves,

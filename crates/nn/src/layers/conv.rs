@@ -1,6 +1,11 @@
 //! Trainable 2-D convolution (im2col forward, col2im backward).
+//!
+//! The weight tensor's `[C_out, C_in, k, k]` layout is already the
+//! `[C_out, C_in·k·k]` GEMM operand, so forward and backward feed the
+//! flat weight storage straight into the blocked [`gemm`] kernels —
+//! no reshape copies on the hot path.
 
-use redcane_tensor::ops::Conv2dSpec;
+use redcane_tensor::ops::{gemm, Conv2dSpec};
 use redcane_tensor::{Tensor, TensorRng};
 
 use crate::init::{conv_fans, he_normal};
@@ -18,6 +23,13 @@ pub struct Conv2d {
     c_in: usize,
     c_out: usize,
     cache: Option<Cache>,
+    /// Recycled im2col buffer (handed to the cache each forward and
+    /// reclaimed in backward); contents are stale between uses.
+    cols_pool: Vec<f32>,
+    /// Recycled dW scratch (overwrite-mode GEMM output).
+    dw_pool: Vec<f32>,
+    /// Recycled dcols scratch (overwrite-mode GEMM output).
+    dcols_pool: Vec<f32>,
 }
 
 #[derive(Debug, Clone)]
@@ -51,6 +63,9 @@ impl Conv2d {
             c_in,
             c_out,
             cache: None,
+            cols_pool: Vec::new(),
+            dw_pool: Vec::new(),
+            dcols_pool: Vec::new(),
         }
     }
 
@@ -92,37 +107,64 @@ impl Conv2d {
     }
 }
 
-impl Layer for Conv2d {
-    fn forward(&mut self, x: &Tensor) -> Tensor {
-        assert_eq!(x.ndim(), 3, "Conv2d expects [C,H,W]");
-        let (h, w) = (x.shape()[1], x.shape()[2]);
-        let cols = x.im2col(self.spec).expect("valid conv input");
+impl Conv2d {
+    /// Forward pass over a raw `[C_in, H, W]` slice — the shape-free twin
+    /// of [`Layer::forward`] used by capsule layers whose tensors carry a
+    /// `[C, D, H, W]` shape (channel folding becomes free instead of a
+    /// reshape copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `data.len() == c_in * h * w` with valid geometry.
+    pub fn forward_chw(&mut self, data: &[f32], h: usize, w: usize) -> Tensor {
+        assert_eq!(data.len(), self.c_in * h * w, "Conv2d input size");
         let h_out = self.spec.output_size(h).expect("valid geometry");
         let w_out = self.spec.output_size(w).expect("valid geometry");
         let k2 = self.c_in * self.spec.kernel * self.spec.kernel;
-        let w_mat = self
-            .weight
-            .value
-            .reshape(&[self.c_out, k2])
-            .expect("weight reshape");
-        let mut out = w_mat.matmul(&cols).expect("conv matmul");
-        // Add bias per output channel.
         let n = h_out * w_out;
-        for co in 0..self.c_out {
+        // Inference-only callers never run backward, so reclaim the
+        // previous forward's im2col buffer before it is dropped.
+        if let Some(old) = self.cache.take() {
+            self.cols_pool = old.cols.into_vec();
+        }
+        // Unroll into the recycled buffer (im2col writes every slot).
+        let mut cols_buf = std::mem::take(&mut self.cols_pool);
+        cols_buf.resize(k2 * n, 0.0);
+        redcane_tensor::ops::conv::im2col_slice(data, self.c_in, h, w, self.spec, &mut cols_buf)
+            .expect("valid conv input");
+        let cols = Tensor::from_vec(cols_buf, &[k2, n]).expect("cols shape");
+        let mut out = vec![0.0f32; self.c_out * n];
+        gemm::gemm_nn(
+            self.weight.value.data(),
+            cols.data(),
+            &mut out,
+            self.c_out,
+            k2,
+            n,
+        );
+        // Add bias per output channel.
+        for (co, orow) in out.chunks_exact_mut(n).enumerate() {
             let b = self.bias.value.data()[co];
             if b != 0.0 {
-                for v in &mut out.data_mut()[co * n..(co + 1) * n] {
+                for v in orow {
                     *v += b;
                 }
             }
         }
         self.cache = Some(Cache {
             cols,
-            input_shape: [x.shape()[0], h, w],
+            input_shape: [self.c_in, h, w],
             out_hw: [h_out, w_out],
         });
-        out.into_reshaped(&[self.c_out, h_out, w_out])
-            .expect("conv output reshape")
+        Tensor::from_vec(out, &[self.c_out, h_out, w_out]).expect("conv output shape")
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.ndim(), 3, "Conv2d expects [C,H,W]");
+        assert_eq!(x.shape()[0], self.c_in, "Conv2d input channels");
+        self.forward_chw(x.data(), x.shape()[1], x.shape()[2])
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -130,27 +172,37 @@ impl Layer for Conv2d {
         let [h_out, w_out] = cache.out_hw;
         let n = h_out * w_out;
         let k2 = self.c_in * self.spec.kernel * self.spec.kernel;
-        let dy = grad_out
-            .reshape(&[self.c_out, n])
-            .expect("grad_out shape must match forward output");
-        // dW = dY · colsᵀ
-        let dw = dy.matmul_nt(&cache.cols).expect("dW");
-        self.weight.accumulate(
-            &dw.into_reshaped(self.weight.value.shape())
-                .expect("dW shape"),
+        assert_eq!(
+            grad_out.len(),
+            self.c_out * n,
+            "grad_out shape must match forward output"
         );
+        let dy = grad_out.data(); // flat [C_out, H_out·W_out]
+                                  // dW = dY · colsᵀ, built in a (recycled) temp and then summed
+                                  // into the accumulator so the gradient order matches per-sample
+                                  // accumulation exactly.
+        let mut dw = std::mem::take(&mut self.dw_pool);
+        dw.resize(self.c_out * k2, 0.0);
+        gemm::gemm_nt_over(dy, cache.cols.data(), &mut dw, self.c_out, n, k2);
+        for (g, &d) in self.weight.grad.data_mut().iter_mut().zip(&dw) {
+            *g += d;
+        }
+        self.dw_pool = dw;
         // db = row sums of dY
-        let db = dy.sum_axis(1).expect("db");
-        self.bias.accumulate(&db);
+        for (g, row) in self.bias.grad.data_mut().iter_mut().zip(dy.chunks_exact(n)) {
+            *g += row.iter().sum::<f32>();
+        }
         // dX = col2im(Wᵀ · dY)
-        let w_mat = self
-            .weight
-            .value
-            .reshape(&[self.c_out, k2])
-            .expect("weight reshape");
-        let dcols = w_mat.matmul_tn(&dy).expect("dcols");
+        let mut dcols = std::mem::take(&mut self.dcols_pool);
+        dcols.resize(k2 * n, 0.0);
+        gemm::gemm_tn_over(self.weight.value.data(), dy, &mut dcols, k2, self.c_out, n);
         let [c, h, w] = cache.input_shape;
-        dcols.col2im(c, h, w, self.spec).expect("col2im")
+        let dcols = Tensor::from_vec(dcols, &[k2, n]).expect("dcols shape");
+        let dx = dcols.col2im(c, h, w, self.spec).expect("col2im");
+        // Reclaim the scratch buffers for the next sample.
+        self.dcols_pool = dcols.into_vec();
+        self.cols_pool = cache.cols.into_vec();
+        dx
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

@@ -1,5 +1,6 @@
 //! Fully-connected layer.
 
+use redcane_tensor::ops::gemm;
 use redcane_tensor::{Tensor, TensorRng};
 
 use crate::init::xavier_uniform;
@@ -71,33 +72,50 @@ impl Layer for Dense {
             x.flattened()
         };
         assert_eq!(x_flat.len(), self.in_dim, "Dense input size");
-        let y = self
-            .weight
-            .value
-            .matvec(&x_flat)
-            .expect("dense matvec")
-            .add(&self.bias.value)
-            .expect("dense bias add");
+        // y = W·x + b through the blocked kernel (n = 1 column).
+        let mut y = vec![0.0f32; self.out_dim];
+        gemm::gemm_nn(
+            self.weight.value.data(),
+            x_flat.data(),
+            &mut y,
+            self.out_dim,
+            self.in_dim,
+            1,
+        );
+        for (o, &b) in y.iter_mut().zip(self.bias.value.data()) {
+            *o += b;
+        }
         self.cache = Some(x_flat);
-        y
+        Tensor::from_vec(y, &[self.out_dim]).expect("dense output")
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let x = self.cache.take().expect("Dense::backward before forward");
         assert_eq!(grad_out.len(), self.out_dim, "Dense grad size");
-        // dW[o][i] = dy[o] * x[i]
-        let dy_col = grad_out.reshape(&[self.out_dim, 1]).expect("dy col");
-        let x_row = x.reshape(&[1, self.in_dim]).expect("x row");
-        let dw = dy_col.matmul(&x_row).expect("outer product");
-        self.weight.accumulate(&dw);
-        self.bias.accumulate(grad_out);
-        // dx = Wᵀ · dy
+        // dW = dy · xᵀ (rank-1 update).
+        let mut dw = vec![0.0f32; self.out_dim * self.in_dim];
+        gemm::gemm_nn(
+            grad_out.data(),
+            x.data(),
+            &mut dw,
+            self.out_dim,
+            1,
+            self.in_dim,
+        );
         self.weight
-            .value
-            .transpose2d()
-            .expect("weight transpose")
-            .matvec(grad_out)
-            .expect("dx")
+            .accumulate(&Tensor::from_vec(dw, self.weight.value.shape()).expect("dW shape"));
+        self.bias.accumulate(grad_out);
+        // dx = Wᵀ · dy, with the transpose folded into the kernel.
+        let mut dx = vec![0.0f32; self.in_dim];
+        gemm::gemm_tn(
+            self.weight.value.data(),
+            grad_out.data(),
+            &mut dx,
+            self.in_dim,
+            self.out_dim,
+            1,
+        );
+        Tensor::from_vec(dx, &[self.in_dim]).expect("dx shape")
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

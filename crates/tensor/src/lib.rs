@@ -35,6 +35,7 @@ mod shape;
 mod tensor;
 
 pub mod ops;
+pub mod par;
 pub mod rng;
 pub mod stats;
 

@@ -7,8 +7,13 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::TensorError;
 use crate::ops::matmul::matmul_into;
+use crate::par;
 use crate::tensor::Tensor;
 use crate::Result;
+
+/// Below this many output elements the im2col/col2im loops run serially:
+/// the work is too small to amortize spawning scoped worker threads.
+const PAR_MIN_ELEMENTS: usize = 32_768;
 
 /// Geometry of a 2-D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -21,6 +26,17 @@ pub struct Conv2dSpec {
     pub padding: usize,
 }
 
+/// The one kernel/stride validity check, shared by [`Conv2dSpec::new`]
+/// and [`Conv2dSpec::output_size`] so the two can never disagree.
+fn check_kernel_stride(kernel: usize, stride: usize) -> Result<()> {
+    if stride == 0 || kernel == 0 {
+        return Err(TensorError::InvalidConvGeometry {
+            reason: format!("kernel {kernel} and stride {stride} must be non-zero"),
+        });
+    }
+    Ok(())
+}
+
 impl Conv2dSpec {
     /// Creates a spec; `stride` must be non-zero.
     ///
@@ -29,11 +45,7 @@ impl Conv2dSpec {
     /// Returns [`TensorError::InvalidConvGeometry`] on a zero stride or
     /// zero kernel.
     pub fn new(kernel: usize, stride: usize, padding: usize) -> Result<Self> {
-        if stride == 0 || kernel == 0 {
-            return Err(TensorError::InvalidConvGeometry {
-                reason: format!("kernel {kernel} and stride {stride} must be non-zero"),
-            });
-        }
+        check_kernel_stride(kernel, stride)?;
         Ok(Conv2dSpec {
             kernel,
             stride,
@@ -41,41 +53,136 @@ impl Conv2dSpec {
         })
     }
 
-    /// Output spatial size for an input of `input` pixels on one axis.
+    /// Output spatial size for an input of `input` pixels on one axis:
+    /// `floor((input + 2*padding - kernel) / stride) + 1`.
     ///
     /// # Errors
     ///
-    /// Returns [`TensorError::InvalidConvGeometry`] if the kernel does not
-    /// fit in the padded input.
+    /// Returns [`TensorError::InvalidConvGeometry`] if the kernel does
+    /// not fit in the padded input — or on a zero kernel/stride, which
+    /// the public fields (and serde) allow to bypass
+    /// [`Conv2dSpec::new`]'s construction check.
     pub fn output_size(&self, input: usize) -> Result<usize> {
-        conv_output_size(input, self.kernel, self.stride, self.padding)
+        check_kernel_stride(self.kernel, self.stride)?;
+        let padded = input + 2 * self.padding;
+        if self.kernel > padded {
+            return Err(TensorError::InvalidConvGeometry {
+                reason: format!("kernel {} larger than padded input {padded}", self.kernel),
+            });
+        }
+        Ok((padded - self.kernel) / self.stride + 1)
     }
 }
 
 /// `floor((input + 2*padding - kernel) / stride) + 1`, validated.
 ///
+/// Free-function convenience over [`Conv2dSpec::new`] +
+/// [`Conv2dSpec::output_size`] — the spec constructor is the single
+/// validation path, so this can never disagree with construction.
+///
 /// # Errors
 ///
 /// Returns [`TensorError::InvalidConvGeometry`] when the kernel exceeds the
-/// padded input or stride is zero.
+/// padded input, or the kernel or stride is zero.
 pub fn conv_output_size(
     input: usize,
     kernel: usize,
     stride: usize,
     padding: usize,
 ) -> Result<usize> {
-    if stride == 0 {
-        return Err(TensorError::InvalidConvGeometry {
-            reason: "stride must be non-zero".to_string(),
+    Conv2dSpec::new(kernel, stride, padding)?.output_size(input)
+}
+
+/// Raw-slice im2col over a `[C, H, W]` buffer (see
+/// [`Tensor::im2col_into`]); lets layer code unroll without first
+/// wrapping (and copying) its data into a tensor. Writes every slot of
+/// `out`, so stale scratch buffers are fine. Returns `[rows, cols]`.
+///
+/// # Errors
+///
+/// Returns an error unless the geometry fits and both slice lengths
+/// match it.
+pub fn im2col_slice(
+    src: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: Conv2dSpec,
+    out: &mut [f32],
+) -> Result<[usize; 2]> {
+    if src.len() != c * h * w {
+        return Err(TensorError::LengthMismatch {
+            shape: vec![c, h, w],
+            len: src.len(),
         });
     }
-    let padded = input + 2 * padding;
-    if kernel > padded {
-        return Err(TensorError::InvalidConvGeometry {
-            reason: format!("kernel {kernel} larger than padded input {padded}"),
+    let h_out = spec.output_size(h)?;
+    let w_out = spec.output_size(w)?;
+    let rows = c * spec.kernel * spec.kernel;
+    let cols = h_out * w_out;
+    if out.len() != rows * cols {
+        return Err(TensorError::LengthMismatch {
+            shape: vec![rows, cols],
+            len: out.len(),
         });
     }
-    Ok((padded - kernel) / stride + 1)
+    im2col_fill(src, c, h, w, spec, h_out, w_out, out);
+    Ok([rows, cols])
+}
+
+/// Raw im2col fill: writes **every** slot of `out` (padded positions get
+/// an explicit zero), so callers can recycle stale scratch buffers.
+#[allow(clippy::too_many_arguments)]
+fn im2col_fill(
+    src: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: Conv2dSpec,
+    h_out: usize,
+    w_out: usize,
+    out: &mut [f32],
+) {
+    let k = spec.kernel;
+    let cols = h_out * w_out;
+    let pad = spec.padding as isize;
+    let stride = spec.stride;
+    let fill_row = |row: usize, out_row: &mut [f32]| {
+        let kx = row % k;
+        let ky = (row / k) % k;
+        let ci = row / (k * k);
+        for oy in 0..h_out {
+            let iy = (oy * stride) as isize + ky as isize - pad;
+            let dst = &mut out_row[oy * w_out..(oy + 1) * w_out];
+            if iy < 0 || iy >= h as isize {
+                dst.fill(0.0); // fully padded output row
+                continue;
+            }
+            let src_base = ci * h * w + iy as usize * w;
+            // The stride-1 unpadded interior is a contiguous copy.
+            if stride == 1 && pad == 0 {
+                let s0 = src_base + kx;
+                dst.copy_from_slice(&src[s0..s0 + w_out]);
+                continue;
+            }
+            for (ox, slot) in dst.iter_mut().enumerate() {
+                let ix = (ox * stride) as isize + kx as isize - pad;
+                *slot = if ix < 0 || ix >= w as isize {
+                    0.0
+                } else {
+                    src[src_base + ix as usize]
+                };
+            }
+        }
+    };
+    let rows = c * k * k;
+    if rows * cols >= PAR_MIN_ELEMENTS {
+        par::for_each_chunk_mut(out, cols, fill_row);
+    } else {
+        for (row, out_row) in out.chunks_mut(cols).enumerate() {
+            fill_row(row, out_row);
+        }
+    }
 }
 
 impl Tensor {
@@ -100,33 +207,40 @@ impl Tensor {
         let k = spec.kernel;
         let rows = c * k * k;
         let cols = h_out * w_out;
-        let src = self.data();
         let mut out = vec![0.0f32; rows * cols];
-        let pad = spec.padding as isize;
-        let stride = spec.stride;
-        for ci in 0..c {
-            for ky in 0..k {
-                for kx in 0..k {
-                    let row = (ci * k + ky) * k + kx;
-                    let out_row = &mut out[row * cols..(row + 1) * cols];
-                    for oy in 0..h_out {
-                        let iy = (oy * stride) as isize + ky as isize - pad;
-                        if iy < 0 || iy >= h as isize {
-                            continue; // zero padding already in place
-                        }
-                        let src_base = ci * h * w + iy as usize * w;
-                        for ox in 0..w_out {
-                            let ix = (ox * stride) as isize + kx as isize - pad;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            out_row[oy * w_out + ox] = src[src_base + ix as usize];
-                        }
-                    }
-                }
-            }
-        }
+        im2col_fill(self.data(), c, h, w, spec, h_out, w_out, &mut out);
         Tensor::from_vec(out, &[rows, cols])
+    }
+
+    /// Unrolls into a caller-provided buffer (see [`Tensor::im2col`]).
+    /// `out` may hold stale data: every position is written, including
+    /// the zeros of padded positions. Returns `[rows, cols]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless the tensor is rank 3, the geometry fits
+    /// and `out.len() == rows * cols`.
+    pub fn im2col_into(&self, spec: Conv2dSpec, out: &mut [f32]) -> Result<[usize; 2]> {
+        if self.ndim() != 3 {
+            return Err(TensorError::RankMismatch {
+                expected: 3,
+                got: self.ndim(),
+                op: "im2col_into",
+            });
+        }
+        let (c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+        let h_out = spec.output_size(h)?;
+        let w_out = spec.output_size(w)?;
+        let rows = c * spec.kernel * spec.kernel;
+        let cols = h_out * w_out;
+        if out.len() != rows * cols {
+            return Err(TensorError::LengthMismatch {
+                shape: vec![rows, cols],
+                len: out.len(),
+            });
+        }
+        im2col_fill(self.data(), c, h, w, spec, h_out, w_out, out);
+        Ok([rows, cols])
     }
 
     /// The adjoint of [`Tensor::im2col`]: folds a `[C*k*k, H_out*W_out]`
@@ -162,7 +276,11 @@ impl Tensor {
         let dst = out.data_mut();
         let pad = spec.padding as isize;
         let stride = spec.stride;
-        for ci in 0..c {
+        // Each worker owns one input channel: the (ky, kx, oy, ox)
+        // accumulation order within a channel is the serial order, and
+        // channels write disjoint `h*w` chunks, so results are bitwise
+        // identical at every thread count.
+        let fold_channel = |ci: usize, dst_ch: &mut [f32]| {
             for ky in 0..k {
                 for kx in 0..k {
                     let row = (ci * k + ky) * k + kx;
@@ -172,16 +290,33 @@ impl Tensor {
                         if iy < 0 || iy >= h as isize {
                             continue;
                         }
-                        let dst_base = ci * h * w + iy as usize * w;
+                        let dst_base = iy as usize * w;
+                        // The stride-1 unpadded interior is a contiguous
+                        // vector add.
+                        if stride == 1 && pad == 0 {
+                            let dst = &mut dst_ch[dst_base + kx..dst_base + kx + w_out];
+                            let srow = &src_row[oy * w_out..(oy + 1) * w_out];
+                            for (d, &s) in dst.iter_mut().zip(srow) {
+                                *d += s;
+                            }
+                            continue;
+                        }
                         for ox in 0..w_out {
                             let ix = (ox * stride) as isize + kx as isize - pad;
                             if ix < 0 || ix >= w as isize {
                                 continue;
                             }
-                            dst[dst_base + ix as usize] += src_row[oy * w_out + ox];
+                            dst_ch[dst_base + ix as usize] += src_row[oy * w_out + ox];
                         }
                     }
                 }
+            }
+        };
+        if c * h * w >= PAR_MIN_ELEMENTS {
+            par::for_each_chunk_mut(dst, h * w, fold_channel);
+        } else {
+            for (ci, dst_ch) in dst.chunks_mut(h * w).enumerate() {
+                fold_channel(ci, dst_ch);
             }
         }
         Ok(out)
@@ -324,6 +459,14 @@ mod tests {
         assert!(conv_output_size(8, 3, 0, 0).is_err());
         assert!(Conv2dSpec::new(3, 0, 1).is_err());
         assert!(Conv2dSpec::new(0, 1, 1).is_err());
+        // Literal construction (or serde) can bypass `new`; output_size
+        // must still error rather than divide by zero.
+        let rogue = Conv2dSpec {
+            kernel: 3,
+            stride: 0,
+            padding: 0,
+        };
+        assert!(rogue.output_size(8).is_err());
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! Matrix products: 2-D matmul, transposed variants, and batched matmul.
 //!
-//! The 2-D kernel uses the cache-friendly `i-k-j` loop order with the inner
-//! loop over contiguous rows of the right operand, which is plenty fast for
-//! the model sizes this reproduction trains (im2col turns convolutions into
-//! these products).
+//! All variants lower onto the blocked, register-tiled micro-kernels in
+//! [`crate::ops::gemm`], which are bit-identical to the naive loops they
+//! replaced (see that module's reproducibility notes) while vectorizing
+//! the im2col convolutions and capsule vote transforms that dominate
+//! training time.
 
 use crate::error::TensorError;
+use crate::ops::gemm;
 use crate::tensor::Tensor;
 use crate::Result;
 
@@ -60,23 +62,8 @@ impl Tensor {
                 right: rhs.shape().to_vec(),
             });
         }
-        let a = self.data();
-        let b = rhs.data();
         let mut out = vec![0.0f32; m * n];
-        // out[i][j] = sum_p a[p][i] * b[p][j]
-        for p in 0..k {
-            let arow = &a[p * m..(p + 1) * m];
-            let brow = &b[p * n..(p + 1) * n];
-            for (i, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
+        gemm::gemm_tn(self.data(), rhs.data(), &mut out, m, k, n);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -98,22 +85,45 @@ impl Tensor {
                 right: rhs.shape().to_vec(),
             });
         }
-        let a = self.data();
-        let b = rhs.data();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in arow.iter().zip(brow) {
-                    acc += av * bv;
-                }
-                *o = acc;
-            }
-        }
+        gemm::gemm_nt(self.data(), rhs.data(), &mut out, m, k, n);
         Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Batched matrix product: `self [B, m, k] · rhs [B, k, n] -> [B, m, n]`
+    /// (one independent product per leading index).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless both operands are rank 3
+    /// and [`TensorError::MatmulMismatch`] unless the batch and inner dims
+    /// agree.
+    pub fn matmul_batched(&self, rhs: &Tensor) -> Result<Tensor> {
+        if self.ndim() != 3 {
+            return Err(TensorError::RankMismatch {
+                expected: 3,
+                got: self.ndim(),
+                op: "matmul_batched",
+            });
+        }
+        if rhs.ndim() != 3 {
+            return Err(TensorError::RankMismatch {
+                expected: 3,
+                got: rhs.ndim(),
+                op: "matmul_batched",
+            });
+        }
+        let (batch, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+        if rhs.shape()[0] != batch || rhs.shape()[1] != k {
+            return Err(TensorError::MatmulMismatch {
+                left: self.shape().to_vec(),
+                right: rhs.shape().to_vec(),
+            });
+        }
+        let n = rhs.shape()[2];
+        let mut out = vec![0.0f32; batch * m * n];
+        gemm::gemm_nn_batched(self.data(), rhs.data(), &mut out, batch, m, k, n);
+        Tensor::from_vec(out, &[batch, m, n])
     }
 
     /// Matrix–vector product: `self (m×k) · v (k) -> (m)`.
@@ -150,22 +160,7 @@ impl Tensor {
 
 /// Raw `m×k · k×n` product accumulated into `out` (assumed zeroed).
 pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    }
+    gemm::gemm_nn(a, b, out, m, k, n);
 }
 
 fn mat_dims(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
@@ -248,6 +243,43 @@ mod tests {
         let b = rng.uniform(&[5, 6], -1.0, 1.0); // stored n x k
         let bt = b.transpose2d().unwrap();
         assert_close(&a.matmul_nt(&b).unwrap(), &a.matmul(&bt).unwrap(), 1e-5);
+    }
+
+    #[test]
+    fn matmul_batched_matches_per_slice() {
+        let mut rng = TensorRng::from_seed(6);
+        let a = rng.uniform(&[4, 3, 5], -1.0, 1.0);
+        let b = rng.uniform(&[4, 5, 2], -1.0, 1.0);
+        let c = a.matmul_batched(&b).unwrap();
+        assert_eq!(c.shape(), &[4, 3, 2]);
+        for t in 0..4 {
+            let at = a
+                .slice_axis(0, t, t + 1)
+                .unwrap()
+                .into_reshaped(&[3, 5])
+                .unwrap();
+            let bt = b
+                .slice_axis(0, t, t + 1)
+                .unwrap()
+                .into_reshaped(&[5, 2])
+                .unwrap();
+            let ct = c
+                .slice_axis(0, t, t + 1)
+                .unwrap()
+                .into_reshaped(&[3, 2])
+                .unwrap();
+            assert_eq!(ct, at.matmul(&bt).unwrap(), "batch {t}");
+        }
+    }
+
+    #[test]
+    fn matmul_batched_rejects_mismatch() {
+        let a = Tensor::zeros(&[2, 3, 4]);
+        assert!(a.matmul_batched(&Tensor::zeros(&[2, 5, 2])).is_err());
+        assert!(a.matmul_batched(&Tensor::zeros(&[3, 4, 2])).is_err());
+        assert!(a.matmul_batched(&Tensor::zeros(&[4, 2])).is_err());
+        let flat = Tensor::zeros(&[3, 4]);
+        assert!(flat.matmul_batched(&Tensor::zeros(&[2, 4, 2])).is_err());
     }
 
     #[test]

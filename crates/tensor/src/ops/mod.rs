@@ -4,6 +4,7 @@
 //! [`Tensor`](crate::Tensor); the submodules exist to keep the
 //! implementation navigable:
 //!
+//! - [`gemm`] — the blocked micro-kernels every matrix product lowers to
 //! - [`matmul`] — 2-D and batched matrix products
 //! - [`conv`] — im2col and 2-D convolution (the MAC workhorse of CapsNets)
 //! - [`reduce`] — axis reductions (sum/mean/max) and axis softmax
@@ -12,6 +13,7 @@
 
 pub mod activation;
 pub mod conv;
+pub mod gemm;
 pub mod manip;
 pub mod matmul;
 pub mod reduce;

@@ -89,6 +89,29 @@ impl Tensor {
         let inner: usize = self.shape()[axis + 1..].iter().product();
         let src = self.data();
         let mut out = vec![0.0f32; src.len()];
+        if inner == 1 {
+            // Trailing-axis softmax: each lane is a contiguous row
+            // (the routing hot path, where the coupling softmax runs
+            // over `[I, J, P=1]`). Same arithmetic, no index math.
+            for (orow, srow) in out.chunks_exact_mut(size).zip(src.chunks_exact(size)) {
+                let mut max = f32::NEG_INFINITY;
+                for &v in srow {
+                    max = max.max(v);
+                }
+                let mut denom = 0.0f32;
+                for (o, &v) in orow.iter_mut().zip(srow) {
+                    let e = (v - max).exp();
+                    *o = e;
+                    denom += e;
+                }
+                if denom > 0.0 {
+                    for o in orow.iter_mut() {
+                        *o /= denom;
+                    }
+                }
+            }
+            return Tensor::from_vec(out, self.shape());
+        }
         for o in 0..outer {
             for i in 0..inner {
                 // max for stability

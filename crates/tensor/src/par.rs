@@ -1,0 +1,169 @@
+//! Dependency-free data parallelism on `std::thread::scope`.
+//!
+//! The workspace never pulls a thread-pool crate: hot paths that want
+//! batch-level parallelism call [`for_each_chunk_mut`] (disjoint output
+//! chunks) or fan [`spans`] out over `std::thread::scope` themselves
+//! (the trainer and evaluator). Everything degrades to a plain serial
+//! loop when the configured worker count is 1 or the job is too small
+//! to amortize a thread spawn, so single-core machines pay nothing.
+//!
+//! # Thread-count resolution
+//!
+//! The worker count comes from, in priority order:
+//!
+//! 1. a process-wide override set with [`set_threads`] (used by CLI
+//!    `--threads` flags and the determinism tests),
+//! 2. the `REDCANE_THREADS` environment variable,
+//! 3. `std::thread::available_parallelism()`.
+//!
+//! # Determinism
+//!
+//! Parallel callers in this workspace follow one rule: **each output
+//! element is written by exactly one worker, computed exactly as the
+//! serial loop would**. Chunking never changes what is computed, only
+//! who computes it, so results are bitwise identical for every thread
+//! count (asserted end-to-end by the pipeline determinism test).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide worker-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Jobs with fewer work items than this run serially even when more
+/// workers are configured: a thread spawn costs ~10µs, so tiny batches
+/// are faster inline.
+const MIN_ITEMS_PER_THREAD: usize = 2;
+
+/// Overrides the worker count for the whole process (`0` clears the
+/// override, falling back to `REDCANE_THREADS` / hardware parallelism).
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The number of workers parallel helpers will use.
+pub fn num_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("REDCANE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `0..len` into at most `workers` contiguous spans of
+/// near-equal size (the first `len % workers` spans get one extra item).
+/// Span boundaries depend only on `len` and `workers`, so callers that
+/// reduce span results in span order stay deterministic.
+pub fn spans(len: usize, workers: usize) -> Vec<(usize, usize)> {
+    let workers = workers.min(len).max(1);
+    let base = len / workers;
+    let extra = len % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        out.push((start, start + size));
+        start += size;
+    }
+    out
+}
+
+/// Runs `f(chunk_index, chunk)` over consecutive `chunk_len`-sized
+/// mutable chunks of `data` (last chunk may be shorter), in parallel
+/// when enough workers and chunks are available.
+///
+/// Chunks are disjoint, so each output element has exactly one writer.
+pub fn for_each_chunk_mut<F>(data: &mut [f32], chunk_len: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be non-zero");
+    let chunks = data.len().div_ceil(chunk_len);
+    let workers = num_threads();
+    if workers <= 1 || chunks < MIN_ITEMS_PER_THREAD * 2 {
+        for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(ci, chunk);
+        }
+        return;
+    }
+    let spans = spans(chunks, workers);
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut consumed = 0;
+        for &(start, end) in &spans {
+            let split = (end * chunk_len).min(consumed + rest.len());
+            let (head, tail) = rest.split_at_mut(split - consumed);
+            rest = tail;
+            consumed = split;
+            let f = &f;
+            scope.spawn(move || {
+                for (off, chunk) in head.chunks_mut(chunk_len).enumerate() {
+                    f(start + off, chunk);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that mutate the process-wide override.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn spans_cover_range_without_overlap() {
+        for len in [0usize, 1, 5, 16, 17] {
+            for workers in [1usize, 2, 3, 8, 32] {
+                let s = spans(len, workers);
+                let mut next = 0;
+                for &(a, b) in &s {
+                    assert_eq!(a, next);
+                    assert!(b >= a);
+                    next = b;
+                }
+                assert_eq!(next, len);
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_writes_match_serial() {
+        let _guard = LOCK.lock().unwrap();
+        let mut expect = vec![0.0f32; 103];
+        for (ci, chunk) in expect.chunks_mut(10).enumerate() {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (ci * 1000 + j) as f32;
+            }
+        }
+        for threads in [1usize, 4] {
+            set_threads(threads);
+            let mut got = vec![0.0f32; 103];
+            for_each_chunk_mut(&mut got, 10, |ci, chunk| {
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v = (ci * 1000 + j) as f32;
+                }
+            });
+            assert_eq!(got, expect, "{threads} threads");
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn override_beats_env() {
+        let _guard = LOCK.lock().unwrap();
+        set_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_threads(0);
+        assert!(num_threads() >= 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests pinning the blocked GEMM micro-kernels and the
+//! (optionally parallel) convolution lowering to their naive reference
+//! twins — including the degenerate `m/k/n = 1` shapes and sizes that
+//! don't divide the register tile.
+
+use proptest::prelude::*;
+use redcane_tensor::ops::{gemm, Conv2dSpec};
+use redcane_tensor::{par, Tensor, TensorRng};
+
+/// Serializes the tests that mutate the process-wide thread-count
+/// override, so one test's reset cannot land mid-way through another's
+/// 1-thread leg and make the invariance comparison vacuous.
+static THREADS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Dimensions straddling the micro-tile (`MR = 4`) and k-unroll
+/// boundaries, degenerate 1s included.
+fn dim() -> impl Strategy<Value = usize> {
+    (0usize..64).prop_map(|v| match v {
+        0 => 1,
+        1 => 33,
+        2 => 300,
+        other => 2 + (other % 16),
+    })
+}
+
+fn filled(rng: &mut TensorRng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.next_uniform(-2.0, 2.0)).collect()
+}
+
+/// Direct quadruple-loop convolution, the oracle conv2d is held to.
+fn naive_conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: Conv2dSpec) -> Tensor {
+    let (c_in, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let c_out = weight.shape()[0];
+    let k = spec.kernel;
+    let h_out = spec.output_size(h).unwrap();
+    let w_out = spec.output_size(w).unwrap();
+    let mut out = Tensor::zeros(&[c_out, h_out, w_out]);
+    for co in 0..c_out {
+        for oy in 0..h_out {
+            for ox in 0..w_out {
+                let mut acc = bias.data()[co];
+                for ci in 0..c_in {
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                continue;
+                            }
+                            acc += input.get(&[ci, iy as usize, ix as usize]).unwrap()
+                                * weight.get(&[co, ci, ky, kx]).unwrap();
+                        }
+                    }
+                }
+                out.set(&[co, oy, ox], acc).unwrap();
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    /// The blocked kernels are bit-identical to the naive loops (a far
+    /// stronger bound than the 1e-5 the training stack needs).
+    #[test]
+    fn blocked_gemm_matches_reference(m in dim(), k in dim(), n in dim(), seed in 0u64..1000) {
+        let mut rng = TensorRng::from_seed(seed);
+        let a = filled(&mut rng, m * k);
+        let b = filled(&mut rng, k * n);
+        let mut fast = vec![0.0f32; m * n];
+        let mut naive = vec![0.0f32; m * n];
+        gemm::gemm_nn(&a, &b, &mut fast, m, k, n);
+        gemm::reference::gemm_nn(&a, &b, &mut naive, m, k, n);
+        prop_assert_eq!(&fast, &naive);
+
+        let at = filled(&mut rng, k * m);
+        let mut fast = vec![0.0f32; m * n];
+        let mut naive = vec![0.0f32; m * n];
+        gemm::gemm_tn(&at, &b, &mut fast, m, k, n);
+        gemm::reference::gemm_tn(&at, &b, &mut naive, m, k, n);
+        prop_assert_eq!(&fast, &naive);
+
+        let bt = filled(&mut rng, n * k);
+        let mut fast = vec![0.0f32; m * n];
+        let mut naive = vec![0.0f32; m * n];
+        gemm::gemm_nt(&a, &bt, &mut fast, m, k, n);
+        gemm::reference::gemm_nt(&a, &bt, &mut naive, m, k, n);
+        prop_assert_eq!(&fast, &naive);
+    }
+
+    /// conv2d (im2col + blocked GEMM, parallel im2col above the size
+    /// threshold) matches the direct convolution within 1e-5, at one and
+    /// at four worker threads — and the two worker counts agree bitwise.
+    #[test]
+    fn conv2d_matches_naive_at_any_thread_count(
+        c_in in 1usize..4,
+        c_out in 1usize..5,
+        hw in 5usize..12,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        // hw ≥ 5 > kernel ≤ 3, so the geometry is always valid.
+        let _guard = THREADS_LOCK.lock().unwrap();
+        let mut rng = TensorRng::from_seed(seed);
+        let input = rng.uniform(&[c_in, hw, hw], -1.0, 1.0);
+        let weight = rng.uniform(&[c_out, c_in, kernel, kernel], -0.5, 0.5);
+        let bias = rng.uniform(&[c_out], -0.1, 0.1);
+        let spec = Conv2dSpec::new(kernel, stride, padding).unwrap();
+
+        par::set_threads(1);
+        let serial = input.conv2d(&weight, &bias, spec).unwrap();
+        par::set_threads(4);
+        let threaded = input.conv2d(&weight, &bias, spec).unwrap();
+        par::set_threads(0);
+        prop_assert_eq!(&serial, &threaded);
+
+        let oracle = naive_conv2d(&input, &weight, &bias, spec);
+        prop_assert_eq!(serial.shape(), oracle.shape());
+        for (a, b) in serial.data().iter().zip(oracle.data()) {
+            prop_assert!((a - b).abs() <= 1e-5 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    /// im2col must agree with itself across thread counts bitwise (it is
+    /// a pure data movement, chunked per output row when parallel).
+    #[test]
+    fn im2col_is_thread_count_invariant(
+        c in 1usize..6,
+        hw in 4usize..16,
+        kernel in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        // hw ≥ 4 > kernel ≤ 3, so the geometry is always valid.
+        let _guard = THREADS_LOCK.lock().unwrap();
+        let mut rng = TensorRng::from_seed(seed);
+        let input = rng.uniform(&[c, hw, hw], -1.0, 1.0);
+        let spec = Conv2dSpec::new(kernel, 1, 1).unwrap();
+        par::set_threads(1);
+        let serial = input.im2col(spec).unwrap();
+        par::set_threads(4);
+        let threaded = input.im2col(spec).unwrap();
+        par::set_threads(0);
+        prop_assert_eq!(serial, threaded);
+    }
+}
