@@ -1,0 +1,101 @@
+//! Seeded measured-vs-predicted comparison over the multiplier library.
+//!
+//! Trains the small CapsNet, calibrates the quantized datapath, then
+//! for every selected approximate multiplier runs end-to-end inference
+//! through the real component model (**measured**) and through the
+//! paper's Gaussian noise injection (**predicted**), printing one JSON
+//! line per component to stdout (progress goes to stderr). Usage:
+//!
+//! ```text
+//! qdp [--quick] [--benchmark mnist|fashion|svhn|cifar] [--seed N]
+//!     [--components name,name,...] [--out PATH] [--threads N]
+//! ```
+
+use std::process::ExitCode;
+
+use redcane_bench::cli::{next_parsed, next_value};
+use redcane_bench::qdp::{qdp_to_json_lines, run_qdp, QdpConfig};
+use redcane_datasets::Benchmark;
+
+fn main() -> ExitCode {
+    let mut cfg = QdpConfig::smoke();
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let parsed: Result<(), String> = match flag.as_str() {
+            "--quick" => {
+                // Keep any --seed/--benchmark/--components given
+                // before the flag; --quick only rescales the run.
+                cfg = QdpConfig {
+                    benchmark: cfg.benchmark,
+                    seed: cfg.seed,
+                    components: cfg.components.or(QdpConfig::quick().components),
+                    ..QdpConfig::quick()
+                };
+                Ok(())
+            }
+            "--benchmark" => next_value(&mut args, "--benchmark").and_then(|v| match v.as_str() {
+                "mnist" => {
+                    cfg.benchmark = Benchmark::MnistLike;
+                    Ok(())
+                }
+                "fashion" => {
+                    cfg.benchmark = Benchmark::FashionLike;
+                    Ok(())
+                }
+                "svhn" => {
+                    cfg.benchmark = Benchmark::SvhnLike;
+                    Ok(())
+                }
+                "cifar" => {
+                    cfg.benchmark = Benchmark::Cifar10Like;
+                    Ok(())
+                }
+                other => Err(format!("unknown benchmark '{other}'")),
+            }),
+            "--seed" => next_parsed(&mut args, "--seed").map(|v| cfg.seed = v),
+            "--components" => next_value(&mut args, "--components").map(|v| {
+                cfg.components = Some(v.split(',').map(|s| s.trim().to_string()).collect());
+            }),
+            "--out" => next_value(&mut args, "--out").map(|v| out_path = Some(v)),
+            "--threads" => next_parsed(&mut args, "--threads")
+                .map(|v: usize| redcane_tensor::par::set_threads(v)),
+            "--help" | "-h" => {
+                eprintln!(
+                    "qdp: measured vs noise-predicted accuracy drop per multiplier\n\
+                     flags: --quick, --benchmark mnist|fashion|svhn|cifar, --seed N, \
+                     --components a,b,..., --out PATH, --threads N"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag '{other}'")),
+        };
+        if let Err(msg) = parsed {
+            eprintln!("qdp: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let outcome = run_qdp(&cfg);
+    let lines: Vec<String> = qdp_to_json_lines(&outcome)
+        .iter()
+        .map(|v| v.dump())
+        .collect();
+    for line in &lines {
+        println!("{line}");
+    }
+    eprintln!(
+        "[qdp] {} component(s) in {:.2}s, float baseline {:.3}",
+        outcome.rows.len(),
+        outcome.total_s,
+        outcome.float_accuracy
+    );
+    if let Some(path) = out_path {
+        let body = lines.join("\n") + "\n";
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("qdp: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -18,6 +18,7 @@ use std::time::Instant;
 
 pub mod cli;
 pub mod perf;
+pub mod qdp;
 
 use redcane::prelude::*;
 use redcane::report::json::Value;

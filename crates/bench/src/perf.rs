@@ -14,6 +14,7 @@ use redcane_capsnet::routing::{
 };
 use redcane_capsnet::{train, CapsNet, CapsNetConfig, NoInjection, TrainConfig};
 use redcane_datasets::{generate, Benchmark, GenerateConfig};
+use redcane_qdp::{kernels as qkernels, MulLut};
 use redcane_tensor::ops::gemm;
 use redcane_tensor::ops::Conv2dSpec;
 use redcane_tensor::{Tensor, TensorRng};
@@ -86,6 +87,36 @@ fn gemm_probe(name: &str, m: usize, k: usize, n: usize, reps: usize) -> PerfProb
     let naive = time_ns(reps, || {
         c.fill(0.0);
         gemm::reference::gemm_nn(&a, &b, &mut c, m, k, n);
+        std::hint::black_box(&c);
+    });
+    PerfProbe {
+        name: name.to_string(),
+        ns_per_op: fast,
+        naive_ns_per_op: Some(naive),
+    }
+}
+
+/// Quantized-GEMM probe: the blocked integer kernel (exact-multiplier
+/// LUT) against its naive reference twin, same shapes as the float
+/// probes so the int-vs-float cost is directly comparable.
+fn qgemm_probe(name: &str, m: usize, k: usize, n: usize, reps: usize) -> PerfProbe {
+    let mut rng = TensorRng::from_seed(81);
+    let a: Vec<u8> = (0..m * k)
+        .map(|_| rng.next_uniform(0.0, 256.0) as u8)
+        .collect();
+    let b: Vec<u8> = (0..k * n)
+        .map(|_| rng.next_uniform(0.0, 256.0) as u8)
+        .collect();
+    let lut = MulLut::exact();
+    let mut c = vec![0u32; m * n];
+    let fast = time_ns(reps, || {
+        c.fill(0);
+        qkernels::qgemm_nn(&a, &b, &mut c, m, k, n, &lut);
+        std::hint::black_box(&c);
+    });
+    let naive = time_ns(reps, || {
+        c.fill(0);
+        qkernels::reference::qgemm_nn(&a, &b, &mut c, m, k, n, &lut);
         std::hint::black_box(&c);
     });
     PerfProbe {
@@ -203,6 +234,13 @@ pub fn run_perf(quick: bool) -> PerfReport {
         gemm_probe("matmul_24x49x100_stem", 24, 49, 100, reps),
         gemm_probe("matmul_32x600x9_primary", 32, 600, 9, reps),
         gemm_probe("matmul_128x128x128", 128, 128, 128, reps),
+        // DeepCaps paper geometry: the last capsule cell's 3x3 conv
+        // lowered to GEMM (C = 32 types x 8 dims, 4x4 spatial).
+        gemm_probe("matmul_256x2304x16_deepcaps_cell4", 256, 2304, 16, reps),
+        // Integer twins of the stem and DeepCaps shapes: what one
+        // approximate-datapath sweep step costs per layer.
+        qgemm_probe("qgemm_24x49x100_stem", 24, 49, 100, reps),
+        qgemm_probe("qgemm_256x2304x16_deepcaps_cell4", 256, 2304, 16, reps),
         conv_probe(reps),
     ];
     probes.extend(routing_probes(reps));
@@ -275,9 +313,22 @@ mod tests {
         let parsed = json::parse(&line).unwrap();
         assert_eq!(parsed.get("bench").unwrap().as_str().unwrap(), "perf");
         let kernels = parsed.get("kernels").unwrap().as_arr().unwrap();
-        assert!(kernels.len() >= 6);
+        assert!(kernels.len() >= 9);
         for k in kernels {
             assert!(k.get("ns_per_op").unwrap().as_f64().unwrap() > 0.0);
+        }
+        // The quantized and DeepCaps-shaped probes are on the tripwire.
+        for name in [
+            "qgemm_24x49x100_stem",
+            "qgemm_256x2304x16_deepcaps_cell4",
+            "matmul_256x2304x16_deepcaps_cell4",
+        ] {
+            assert!(
+                kernels
+                    .iter()
+                    .any(|k| k.get("name").unwrap().as_str().unwrap() == name),
+                "missing probe {name}"
+            );
         }
         assert!(parsed.get("pipeline_total_s").unwrap().as_f64().is_some());
     }

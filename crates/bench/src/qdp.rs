@@ -1,0 +1,382 @@
+//! The `qdp` bench mode: measured vs noise-predicted accuracy drop,
+//! per approximate multiplier.
+//!
+//! For every component of the axmul library this runs the trained
+//! CapsNet **twice** on the same seeded test subset:
+//!
+//! 1. **Measured** — end-to-end inference through `redcane-qdp`'s
+//!    8-bit datapath with the component's behavioral model serving
+//!    every MAC multiply (ground truth);
+//! 2. **Predicted** — the float network with the paper's Gaussian
+//!    noise model (Eq. 3) at the MAC-output group, parameterized by
+//!    the component's characterized `(NA, NM)` (the existing injector
+//!    pipeline).
+//!
+//! One JSON line per component pairs the two accuracy drops — the
+//! paper's validation loop (does injected noise predict real
+//! approximate hardware?) closed in a single artifact.
+
+use std::time::Instant;
+
+use redcane::report::json::Value;
+use redcane::{GaussianNoiseInjector, NoiseModel, NoiseTarget};
+use redcane_axmul::library::MultiplierLibrary;
+use redcane_axmul::InputDistribution;
+use redcane_capsnet::inject::OpKind;
+use redcane_capsnet::{
+    evaluate, evaluate_clean, train, CapsModel, CapsNet, CapsNetConfig, TrainConfig,
+};
+use redcane_datasets::{generate, Benchmark, GenerateConfig};
+use redcane_qdp::{evaluate_quantized, MulLut, QCapsNet};
+use redcane_tensor::TensorRng;
+
+/// Configuration of a `qdp` comparison run; fully determined by its
+/// fields, so equal configs give equal outcomes.
+#[derive(Debug, Clone)]
+pub struct QdpConfig {
+    /// Which benchmark family to synthesize.
+    pub benchmark: Benchmark,
+    /// Master seed (dataset, init, training, characterization, noise).
+    pub seed: u64,
+    /// Training samples to generate.
+    pub train: usize,
+    /// Test samples to generate.
+    pub test: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Clean training inputs swept through the float network to
+    /// calibrate the quantization ranges.
+    pub calib_samples: usize,
+    /// Test-subset size both the measured and predicted evaluations
+    /// run on.
+    pub eval_samples: usize,
+    /// Restrict the sweep to these component names (`None` = the whole
+    /// 35-entry library).
+    pub components: Option<Vec<String>>,
+    /// Samples per component `(NA, NM)` characterization.
+    pub characterization_samples: usize,
+}
+
+impl QdpConfig {
+    /// The full seeded sweep: every library component, a model trained
+    /// well above chance, a few seconds per component in release.
+    pub fn smoke() -> Self {
+        QdpConfig {
+            benchmark: Benchmark::MnistLike,
+            seed: 1,
+            train: 600,
+            test: 150,
+            epochs: 6,
+            batch_size: 16,
+            lr: 2e-3,
+            calib_samples: 64,
+            eval_samples: 40,
+            components: None,
+            characterization_samples: 4000,
+        }
+    }
+
+    /// CI-sized: the exact component plus one approximate component,
+    /// scaled-down training.
+    pub fn quick() -> Self {
+        QdpConfig {
+            train: 200,
+            test: 60,
+            epochs: 3,
+            calib_samples: 32,
+            eval_samples: 30,
+            components: Some(vec!["mul8u_1JFF".to_string(), "mul8u_NGR".to_string()]),
+            characterization_samples: 2000,
+            ..QdpConfig::smoke()
+        }
+    }
+}
+
+impl Default for QdpConfig {
+    fn default() -> Self {
+        QdpConfig::smoke()
+    }
+}
+
+/// One component's measured-vs-predicted comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QdpRow {
+    /// Library component name (`mul8u_…`).
+    pub component: String,
+    /// Component power in µW (library metadata).
+    pub power_uw: f64,
+    /// Characterized noise magnitude.
+    pub nm: f64,
+    /// Characterized noise average.
+    pub na: f64,
+    /// Accuracy of the quantized datapath running this component.
+    pub measured_accuracy: f64,
+    /// Accuracy of the float network under the component's noise model.
+    pub predicted_accuracy: f64,
+}
+
+/// The result of one full `qdp` comparison run.
+#[derive(Debug, Clone)]
+pub struct QdpOutcome {
+    /// The configuration that produced it.
+    pub config: QdpConfig,
+    /// Model display name.
+    pub model_name: String,
+    /// Float (accurate, full-precision) accuracy on the eval subset —
+    /// the baseline both drops are measured against.
+    pub float_accuracy: f64,
+    /// Per-component rows, in library order.
+    pub rows: Vec<QdpRow>,
+    /// Total wall-clock seconds.
+    pub total_s: f64,
+}
+
+impl QdpOutcome {
+    /// Measured accuracy drop for `row`, in percentage points.
+    pub fn measured_drop_pp(&self, row: &QdpRow) -> f64 {
+        (self.float_accuracy - row.measured_accuracy) * 100.0
+    }
+
+    /// Noise-predicted accuracy drop for `row`, in percentage points.
+    pub fn predicted_drop_pp(&self, row: &QdpRow) -> f64 {
+        (self.float_accuracy - row.predicted_accuracy) * 100.0
+    }
+}
+
+/// Runs dataset generation → training → calibration → the
+/// per-component measured/predicted sweep, deterministically from
+/// `cfg.seed`.
+///
+/// # Panics
+///
+/// Panics on empty train/test/eval settings, on a component name not
+/// in the library, or if calibration fails (it cannot on finite
+/// trained weights).
+pub fn run_qdp(cfg: &QdpConfig) -> QdpOutcome {
+    assert!(cfg.train > 0, "qdp needs training samples");
+    assert!(
+        cfg.test > 0 && cfg.eval_samples > 0,
+        "qdp needs test samples"
+    );
+    assert!(cfg.calib_samples > 0, "qdp needs calibration samples");
+    let t0 = Instant::now();
+
+    let pair = generate(
+        cfg.benchmark,
+        &GenerateConfig {
+            train: cfg.train,
+            test: cfg.test,
+            seed: cfg.seed,
+        },
+    );
+    let (channels, height, _) = cfg.benchmark.geometry();
+    let mut rng = TensorRng::from_seed(cfg.seed.wrapping_mul(0x9e37_79b9).wrapping_add(7));
+    let mut model = CapsNet::new(&CapsNetConfig::small(channels, height), &mut rng);
+    train(
+        &mut model,
+        &pair.train,
+        &TrainConfig {
+            epochs: cfg.epochs,
+            batch_size: cfg.batch_size,
+            lr: cfg.lr,
+            seed: cfg.seed ^ 0x71a1,
+            verbose: false,
+        },
+    );
+
+    let eval = pair.test.take(cfg.eval_samples);
+    let float_accuracy = evaluate_clean(&model, &eval);
+    eprintln!(
+        "[qdp] trained {} — float baseline {:.3} on {} samples",
+        model.name(),
+        float_accuracy,
+        eval.len()
+    );
+
+    let qmodel = QCapsNet::calibrated(
+        &model,
+        pair.train
+            .samples
+            .iter()
+            .take(cfg.calib_samples)
+            .map(|s| &s.image),
+    )
+    .expect("calibration succeeds on trained activations");
+
+    let library = MultiplierLibrary::evo_approx_like();
+    let entries: Vec<_> = match &cfg.components {
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                library
+                    .find(n)
+                    .unwrap_or_else(|| panic!("unknown component '{n}'"))
+            })
+            .collect(),
+        None => library.iter().collect(),
+    };
+
+    let mut rows = Vec::with_capacity(entries.len());
+    for (idx, entry) in entries.iter().enumerate() {
+        // Measured: the component inside every MAC of the datapath.
+        let lut = MulLut::tabulate(entry.model());
+        let measured_accuracy = evaluate_quantized(&qmodel, &eval, &lut);
+        // Predicted: the paper's Gaussian model at the MAC-output
+        // group, with this component's characterized (NA, NM).
+        let np = entry.characterize(
+            &InputDistribution::Uniform,
+            cfg.characterization_samples,
+            cfg.seed ^ 0xc0de,
+        );
+        let mut injector = GaussianNoiseInjector::new(
+            NoiseModel::new(np.nm, np.na),
+            NoiseTarget::group(OpKind::MacOutput),
+            cfg.seed ^ 0x5eed ^ idx as u64,
+        );
+        let mut validator = model.clone();
+        let predicted_accuracy = evaluate(&mut validator, &eval, &mut injector);
+        eprintln!(
+            "[qdp] {:<14} nm {:.5}  measured {:.3}  predicted {:.3}",
+            entry.name(),
+            np.nm,
+            measured_accuracy,
+            predicted_accuracy
+        );
+        rows.push(QdpRow {
+            component: entry.name().to_string(),
+            power_uw: entry.cost().power_uw,
+            nm: np.nm,
+            na: np.na,
+            measured_accuracy,
+            predicted_accuracy,
+        });
+    }
+
+    QdpOutcome {
+        config: cfg.clone(),
+        model_name: model.name(),
+        float_accuracy,
+        rows,
+        total_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Serializes one component's comparison as a self-contained JSON line.
+pub fn qdp_row_to_json(outcome: &QdpOutcome, row: &QdpRow) -> Value {
+    Value::Obj(vec![
+        ("bench".into(), Value::from("qdp")),
+        ("schema_version".into(), Value::from(1usize)),
+        (
+            "benchmark".into(),
+            Value::from(outcome.config.benchmark.name()),
+        ),
+        // String: u64 seeds above 2^53 would round through a JSON number.
+        ("seed".into(), Value::from(outcome.config.seed.to_string())),
+        ("model".into(), Value::from(outcome.model_name.clone())),
+        (
+            "eval_samples".into(),
+            Value::from(outcome.config.eval_samples),
+        ),
+        ("component".into(), Value::from(row.component.clone())),
+        ("power_uw".into(), Value::from(row.power_uw)),
+        ("nm".into(), Value::from(row.nm)),
+        ("na".into(), Value::from(row.na)),
+        ("float_accuracy".into(), Value::from(outcome.float_accuracy)),
+        (
+            "measured_accuracy".into(),
+            Value::from(row.measured_accuracy),
+        ),
+        (
+            "measured_drop_pp".into(),
+            Value::from(outcome.measured_drop_pp(row)),
+        ),
+        (
+            "predicted_accuracy".into(),
+            Value::from(row.predicted_accuracy),
+        ),
+        (
+            "predicted_drop_pp".into(),
+            Value::from(outcome.predicted_drop_pp(row)),
+        ),
+    ])
+}
+
+/// All rows of an outcome as JSON lines, in library order.
+pub fn qdp_to_json_lines(outcome: &QdpOutcome) -> Vec<Value> {
+    outcome
+        .rows
+        .iter()
+        .map(|row| qdp_row_to_json(outcome, row))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcane::report::json;
+
+    fn tiny() -> QdpConfig {
+        QdpConfig {
+            train: 60,
+            test: 24,
+            epochs: 1,
+            calib_samples: 8,
+            eval_samples: 12,
+            characterization_samples: 500,
+            components: Some(vec!["mul8u_1JFF".to_string(), "mul8u_QKX".to_string()]),
+            ..QdpConfig::smoke()
+        }
+    }
+
+    #[test]
+    fn qdp_emits_one_self_contained_line_per_component() {
+        let outcome = run_qdp(&tiny());
+        assert_eq!(outcome.rows.len(), 2);
+        let lines = qdp_to_json_lines(&outcome);
+        for line in &lines {
+            let dumped = line.dump();
+            assert!(!dumped.contains('\n'), "one line per component");
+            let parsed = json::parse(&dumped).unwrap();
+            for key in [
+                "bench",
+                "component",
+                "float_accuracy",
+                "measured_accuracy",
+                "measured_drop_pp",
+                "predicted_accuracy",
+                "predicted_drop_pp",
+                "nm",
+                "power_uw",
+            ] {
+                assert!(parsed.get(key).is_some(), "missing key {key}");
+            }
+            assert_eq!(parsed.get("bench").unwrap().as_str().unwrap(), "qdp");
+        }
+    }
+
+    #[test]
+    fn exact_component_predicts_zero_drop_and_small_measured_drop() {
+        let outcome = run_qdp(&tiny());
+        let exact = &outcome.rows[0];
+        assert_eq!(exact.component, "mul8u_1JFF");
+        // NM = NA = 0 for the exact multiplier, so the noise model
+        // predicts exactly the baseline.
+        assert_eq!(exact.nm, 0.0);
+        assert_eq!(exact.predicted_accuracy, outcome.float_accuracy);
+        // The measured drop of the exact component is pure quantization
+        // error — bounded, though the 1-epoch model is noisy.
+        assert!(outcome.measured_drop_pp(exact).abs() <= 25.0);
+    }
+
+    #[test]
+    fn equal_seeds_give_equal_rows() {
+        let a = run_qdp(&tiny());
+        let b = run_qdp(&tiny());
+        assert_eq!(a.float_accuracy, b.float_accuracy);
+        assert_eq!(a.rows, b.rows);
+    }
+}

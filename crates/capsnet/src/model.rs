@@ -178,6 +178,17 @@ impl CapsNet {
     pub fn class_caps(&self) -> &ClassCaps {
         &self.class_caps
     }
+
+    /// Direct access to the stem convolution (weight export, e.g. for
+    /// building a quantized datapath from the trained weights).
+    pub fn conv1(&self) -> &Conv2d {
+        &self.conv1
+    }
+
+    /// Direct access to the primary conv-caps layer (weight export).
+    pub fn primary(&self) -> &ConvCaps2d {
+        &self.primary
+    }
 }
 
 impl CapsModel for CapsNet {

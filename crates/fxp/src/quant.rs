@@ -5,6 +5,33 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::FxpError;
 
+/// Widens a degenerate observed range (`max <= min`, i.e. a constant
+/// value) so the affine mapping of Eq. 1 is defined.
+///
+/// The pad scales with the value's magnitude: a fixed epsilon (the old
+/// ±0.5) disappears under f32 rounding once `|v|` exceeds ~2²³·ε, which
+/// made calibration fail on real layers whose activations are constant
+/// at a large scale. The loop doubles the pad until the widened bounds
+/// are actually distinct after rounding.
+pub(crate) fn widen_degenerate(min: f32, max: f32) -> (f32, f32) {
+    debug_assert!(min.is_finite() && max.is_finite());
+    let mut pad = 0.5f32.max(min.abs().max(max.abs()) * 1e-6);
+    let (mut lo, mut hi) = (min - pad, max + pad);
+    while hi <= lo && pad.is_finite() {
+        pad *= 2.0;
+        lo = min - pad;
+        hi = max + pad;
+    }
+    // Saturate instead of handing a non-finite bound to `from_range`.
+    if !lo.is_finite() {
+        lo = f32::MIN;
+    }
+    if !hi.is_finite() {
+        hi = f32::MAX;
+    }
+    (lo, hi)
+}
+
 /// Affine quantization parameters implementing Eq. 1 of the paper:
 /// `Q(x) = (x - min) / (max - min) * (2^b - 1)`.
 ///
@@ -49,9 +76,9 @@ impl QuantParams {
             return Err(FxpError::InvalidRange { min, max });
         }
         if max <= min {
-            // Constant tensor: widen symmetrically so quantization is defined.
-            min -= 0.5;
-            max += 0.5;
+            // Constant tensor: widen so quantization is defined (the pad
+            // scales with magnitude so it survives f32 rounding).
+            (min, max) = widen_degenerate(min, max);
         }
         Self::from_range(min, max, bits)
     }
@@ -260,6 +287,20 @@ mod tests {
         let q = QuantParams::calibrate(&t, 8).unwrap();
         assert!(q.min() < 3.0 && q.max() > 3.0);
         assert!((q.round_trip(3.0) - 3.0).abs() < q.lsb());
+    }
+
+    #[test]
+    fn calibrate_large_magnitude_constant_still_widens() {
+        // A fixed ±0.5 pad rounds away at this scale (ULP(3e8) = 32);
+        // the magnitude-aware pad must keep the range valid.
+        for &v in &[3.0e8f32, -3.0e8, 1.0e30, f32::MAX] {
+            let t = Tensor::full(&[4], v);
+            let q = QuantParams::calibrate(&t, 8)
+                .unwrap_or_else(|e| panic!("calibrate({v}) failed: {e:?}"));
+            assert!(q.min() < q.max(), "widened range at {v}");
+            let rel = ((q.round_trip(v) - v) / v).abs();
+            assert!(rel < 1e-2, "round trip at {v}: rel {rel}");
+        }
     }
 
     #[test]

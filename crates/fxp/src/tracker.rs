@@ -101,11 +101,14 @@ impl RangeTracker {
 
     /// Produces quantization parameters covering the observed range.
     ///
+    /// A degenerate range (every observation was the same value) is
+    /// widened by a magnitude-aware pad, so calibration succeeds for any
+    /// non-empty set of finite observations.
+    ///
     /// # Errors
     ///
-    /// Returns [`FxpError::InvalidRange`] if nothing (or only a single
-    /// constant value) was observed and the range is degenerate after
-    /// widening, or [`FxpError::UnsupportedWordLength`] for a bad `bits`.
+    /// Returns [`FxpError::InvalidRange`] if nothing was observed, or
+    /// [`FxpError::UnsupportedWordLength`] for a bad `bits`.
     pub fn to_params(&self, bits: u8) -> Result<QuantParams, FxpError> {
         if self.is_empty() {
             return Err(FxpError::InvalidRange {
@@ -115,8 +118,7 @@ impl RangeTracker {
         }
         let (mut min, mut max) = (self.min, self.max);
         if max <= min {
-            min -= 0.5;
-            max += 0.5;
+            (min, max) = crate::quant::widen_degenerate(min, max);
         }
         QuantParams::from_range(min, max, bits)
     }
@@ -191,5 +193,16 @@ mod tests {
         t.observe_value(7.0);
         let p = t.to_params(8).unwrap();
         assert!((p.round_trip(7.0) - 7.0).abs() < p.lsb());
+    }
+
+    #[test]
+    fn large_magnitude_constant_still_calibrates() {
+        // The old fixed ±0.5 pad vanished in f32 rounding at this scale,
+        // erroring out of calibration on constant activation tensors.
+        let mut t = RangeTracker::new();
+        t.observe_value(2.5e9);
+        let p = t.to_params(8).unwrap();
+        let rel = ((p.round_trip(2.5e9) - 2.5e9) / 2.5e9).abs();
+        assert!(rel < 1e-2, "rel {rel}");
     }
 }

@@ -1,0 +1,177 @@
+//! Calibration: fixing per-site quantization ranges from the real
+//! input distribution.
+//!
+//! The paper quantizes each array with ranges observed on **real**
+//! inputs flowing through the trained network (Table IV's "Real"
+//! column), not per-sample min/max. [`CalibrationObserver`] is an
+//! [`Injector`] that rides the existing tap points — the same hooks
+//! the noise models use — and feeds every tensor it sees into a
+//! [`RangeTracker`] keyed by `(layer, operation kind)`. After a sweep
+//! over clean calibration inputs, [`CalibrationObserver::params`]
+//! turns a site's observed range into fixed [`QuantParams`] for the
+//! quantized datapath.
+
+use std::collections::HashMap;
+
+use redcane_capsnet::inject::{Injector, OpKind, OpSite};
+use redcane_fxp::{FxpError, QuantParams, RangeTracker};
+use redcane_tensor::Tensor;
+
+/// Records running min/max per `(layer name, op kind)` site across any
+/// number of clean forward passes.
+///
+/// Sites **inside** dynamic routing are tracked separately from sites
+/// outside it: the routing weighted sum `s_j = Σᵢ k·û` shares the
+/// `(ClassCaps, MacOutput)` naming with the vote transform but spans a
+/// range up to `I×` wider, and merging the two would coarsen the vote
+/// codes for nothing.
+#[derive(Debug, Clone, Default)]
+pub struct CalibrationObserver {
+    trackers: HashMap<(String, OpKind, bool), RangeTracker>,
+}
+
+impl CalibrationObserver {
+    /// Creates an empty observer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The tracker for a non-routing site, if it was visited.
+    pub fn tracker(&self, layer: &str, kind: OpKind) -> Option<&RangeTracker> {
+        self.trackers.get(&(layer.to_string(), kind, false))
+    }
+
+    /// The tracker for a site inside dynamic routing (merged across
+    /// iterations), if it was visited.
+    pub fn routing_tracker(&self, layer: &str, kind: OpKind) -> Option<&RangeTracker> {
+        self.trackers.get(&(layer.to_string(), kind, true))
+    }
+
+    /// Number of distinct sites observed.
+    pub fn site_count(&self) -> usize {
+        self.trackers.len()
+    }
+
+    /// Quantization parameters covering a non-routing site's observed
+    /// range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FxpError::InvalidRange`] if the site was never visited
+    /// (reported with an empty range), or any error from
+    /// [`RangeTracker::to_params`].
+    pub fn params(&self, layer: &str, kind: OpKind, bits: u8) -> Result<QuantParams, FxpError> {
+        Self::tracker_params(self.tracker(layer, kind), bits)
+    }
+
+    /// Quantization parameters covering an in-routing site's observed
+    /// range (merged across routing iterations).
+    ///
+    /// # Errors
+    ///
+    /// As [`CalibrationObserver::params`].
+    pub fn routing_params(
+        &self,
+        layer: &str,
+        kind: OpKind,
+        bits: u8,
+    ) -> Result<QuantParams, FxpError> {
+        Self::tracker_params(self.routing_tracker(layer, kind), bits)
+    }
+
+    fn tracker_params(tracker: Option<&RangeTracker>, bits: u8) -> Result<QuantParams, FxpError> {
+        match tracker {
+            Some(t) => t.to_params(bits),
+            None => Err(FxpError::InvalidRange {
+                min: f32::INFINITY,
+                max: f32::NEG_INFINITY,
+            }),
+        }
+    }
+}
+
+impl Injector for CalibrationObserver {
+    /// Requests [`OpKind::MacInput`] taps too: MAC inputs are exactly
+    /// the arrays the quantized datapath feeds to the multipliers.
+    fn observes_inputs(&self) -> bool {
+        true
+    }
+
+    fn inject(&mut self, site: &OpSite, tensor: &mut Tensor) {
+        self.trackers
+            .entry((
+                site.layer_name.clone(),
+                site.kind,
+                site.routing_iter.is_some(),
+            ))
+            .or_default()
+            .observe(tensor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_ranges_per_site_and_merges_visits() {
+        let mut obs = CalibrationObserver::new();
+        let site = OpSite::new(0, "Conv1", OpKind::MacOutput);
+        obs.inject(&site, &mut Tensor::from_slice(&[0.0, 2.0]));
+        obs.inject(&site, &mut Tensor::from_slice(&[-1.0, 1.0]));
+        let t = obs.tracker("Conv1", OpKind::MacOutput).unwrap();
+        assert_eq!(t.min(), -1.0);
+        assert_eq!(t.max(), 2.0);
+        let p = obs.params("Conv1", OpKind::MacOutput, 8).unwrap();
+        assert_eq!(p.quantize(-1.0), 0);
+        assert_eq!(p.quantize(2.0), 255);
+    }
+
+    #[test]
+    fn distinct_sites_get_distinct_trackers() {
+        let mut obs = CalibrationObserver::new();
+        obs.inject(
+            &OpSite::new(0, "Conv1", OpKind::MacOutput),
+            &mut Tensor::from_slice(&[5.0]),
+        );
+        obs.inject(
+            &OpSite::new(1, "ClassCaps", OpKind::Softmax),
+            &mut Tensor::from_slice(&[0.25]),
+        );
+        assert_eq!(obs.site_count(), 2);
+        assert!(obs.tracker("Conv1", OpKind::Softmax).is_none());
+    }
+
+    #[test]
+    fn routing_sites_are_tracked_apart_from_layer_sites() {
+        let mut obs = CalibrationObserver::new();
+        // The vote tensor (outside routing) and the weighted sum
+        // (inside routing) share (layer, kind) but not scale.
+        obs.inject(
+            &OpSite::new(2, "ClassCaps", OpKind::MacOutput),
+            &mut Tensor::from_slice(&[-1.0, 1.0]),
+        );
+        obs.inject(
+            &OpSite::routing(2, "ClassCaps", OpKind::MacOutput, 0),
+            &mut Tensor::from_slice(&[-40.0, 40.0]),
+        );
+        let votes = obs.tracker("ClassCaps", OpKind::MacOutput).unwrap();
+        assert_eq!((votes.min(), votes.max()), (-1.0, 1.0));
+        let s = obs.routing_tracker("ClassCaps", OpKind::MacOutput).unwrap();
+        assert_eq!((s.min(), s.max()), (-40.0, 40.0));
+        assert!(obs
+            .routing_params("ClassCaps", OpKind::MacOutput, 8)
+            .is_ok());
+    }
+
+    #[test]
+    fn unvisited_site_errors() {
+        let obs = CalibrationObserver::new();
+        assert!(obs.params("Nope", OpKind::MacOutput, 8).is_err());
+    }
+
+    #[test]
+    fn observes_inputs_opt_in() {
+        assert!(CalibrationObserver::new().observes_inputs());
+    }
+}

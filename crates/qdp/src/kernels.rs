@@ -1,0 +1,266 @@
+//! Blocked integer GEMM kernels over a pluggable 8-bit multiply.
+//!
+//! These mirror the structure of `redcane_tensor::ops::gemm`: the left
+//! operand is packed into an `MR`-row micro-panel per `KC`-sized
+//! k-block, and the inner tile walks the right operand's rows
+//! contiguously — so four output rows share each streamed `B` row and
+//! the 64 KiB [`MulLut`] stays hot in cache. The accumulator is `u32`
+//! (8×8 products are ≤ 65 025, so `k` can reach ~66 000 before
+//! overflow — far beyond any layer in the workspace; debug builds
+//! assert the bound).
+//!
+//! The naive triple loop survives as [`reference`], the correctness
+//! oracle the blocked kernel is property-tested against (bit-identical
+//! output — trivially order-independent for integer adds, but the test
+//! keeps the packing honest).
+//!
+//! [`affine_dequant`] folds an integer accumulator matrix back to
+//! float: with `value(q) = min + lsb·q` on both operands,
+//!
+//! ```text
+//! Σₖ a·b = lₐ·l_b·Σ qₐq_b + lₐ·min_b·Σ qₐ + l_b·minₐ·Σ q_b + k·minₐ·min_b
+//! ```
+//!
+//! so only the code-product sum `Σ qₐq_b` runs through the (possibly
+//! approximate) multiplier — the row/column code sums are plain integer
+//! additions, exactly as in an accelerator's zero-point correction.
+
+use redcane_fxp::QuantParams;
+
+use crate::lut::MulLut;
+
+/// Rows per micro-panel (register tile height), matching the float GEMM.
+pub const MR: usize = 4;
+/// k-block size: the packed panel stays small while `B` rows stream.
+const KC: usize = 256;
+
+/// Largest `k` the `u32` accumulator provably cannot overflow at.
+pub const MAX_ACC_K: usize = (u32::MAX / (255 * 255)) as usize;
+
+/// `C += A·B` over code matrices: row-major `A (m×k)`, `B (k×n)` of
+/// `u8` codes, `C (m×n)` of `u32` sums of `lut` products.
+///
+/// # Panics
+///
+/// Debug-asserts slice lengths and the `k ≤ MAX_ACC_K` overflow bound.
+pub fn qgemm_nn(a: &[u8], b: &[u8], c: &mut [u32], m: usize, k: usize, n: usize, lut: &MulLut) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    debug_assert!(k <= MAX_ACC_K, "k = {k} can overflow the u32 accumulator");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let mut panel = [0u8; KC * MR];
+    for p0 in (0..k).step_by(KC) {
+        let kc = KC.min(k - p0);
+        for i0 in (0..m).step_by(MR) {
+            let mr = MR.min(m - i0);
+            // Pack A[i0..i0+mr][p0..p0+kc] as panel[p][row].
+            for r in 0..mr {
+                let arow = &a[(i0 + r) * k + p0..(i0 + r) * k + p0 + kc];
+                for (p, &v) in arow.iter().enumerate() {
+                    panel[p * MR + r] = v;
+                }
+            }
+            // Inner tile: each streamed B row updates all mr output rows.
+            for p in 0..kc {
+                let brow = &b[(p0 + p) * n..(p0 + p + 1) * n];
+                for r in 0..mr {
+                    let av = panel[p * MR + r];
+                    let crow = &mut c[(i0 + r) * n..(i0 + r) * n + n];
+                    for (o, &bv) in crow.iter_mut().zip(brow) {
+                        *o += lut.mul(av, bv) as u32;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Row sums `Σₖ A[i][k]` of a code matrix (the `Σ qₐ` correction term).
+pub fn row_sums(a: &[u8], m: usize, k: usize) -> Vec<u32> {
+    debug_assert_eq!(a.len(), m * k);
+    a.chunks_exact(k.max(1))
+        .take(m)
+        .map(|row| row.iter().map(|&v| v as u32).sum())
+        .collect()
+}
+
+/// Column sums `Σₖ B[k][j]` of a code matrix (the `Σ q_b` correction
+/// term).
+pub fn col_sums(b: &[u8], k: usize, n: usize) -> Vec<u32> {
+    debug_assert_eq!(b.len(), k * n);
+    let mut out = vec![0u32; n];
+    for brow in b.chunks_exact(n.max(1)).take(k) {
+        for (o, &v) in out.iter_mut().zip(brow) {
+            *o += v as u32;
+        }
+    }
+    out
+}
+
+/// Reconstructs the float GEMM output from the integer accumulator and
+/// the affine correction terms (see the module docs for the identity).
+///
+/// `acc` is `m×n`, `rs_a` the `m` row sums of the left codes, `cs_b`
+/// the `n` column sums of the right codes, and `k` the reduction
+/// length shared by both.
+pub fn affine_dequant(
+    acc: &[u32],
+    rs_a: &[u32],
+    cs_b: &[u32],
+    k: usize,
+    pa: QuantParams,
+    pb: QuantParams,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(acc.len(), rs_a.len() * cs_b.len());
+    debug_assert_eq!(out.len(), acc.len());
+    let (la, lb) = (pa.lsb(), pb.lsb());
+    let (min_a, min_b) = (pa.min(), pb.min());
+    let scale = la * lb;
+    let const_term = k as f32 * min_a * min_b;
+    let n = cs_b.len();
+    for (i, &ra) in rs_a.iter().enumerate() {
+        let row_term = la * min_b * ra as f32 + const_term;
+        let orow = &mut out[i * n..(i + 1) * n];
+        let arow = &acc[i * n..(i + 1) * n];
+        for ((o, &sum), &cb) in orow.iter_mut().zip(arow).zip(cs_b) {
+            *o = scale * sum as f32 + row_term + lb * min_a * cb as f32;
+        }
+    }
+}
+
+/// Naive triple-loop twin of [`qgemm_nn`]: the correctness oracle the
+/// blocked kernel is property-tested against. Never used on a hot path.
+pub mod reference {
+    use crate::lut::MulLut;
+
+    /// Textbook `C += A·B` over code matrices in `i-k-j` order.
+    pub fn qgemm_nn(a: &[u8], b: &[u8], c: &mut [u32], m: usize, k: usize, n: usize, lut: &MulLut) {
+        for i in 0..m {
+            for p in 0..k {
+                let av = a[i * k + p];
+                for j in 0..n {
+                    c[i * n + j] += lut.mul(av, b[p * n + j]) as u32;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcane_axmul::mult::TruncatedMultiplier;
+    use redcane_axmul::Multiplier8;
+
+    fn codes(seed: u64, len: usize) -> Vec<u8> {
+        // Small deterministic LCG; avoids pulling rand into unit tests.
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocked_matches_reference_across_shapes_and_multipliers() {
+        let luts = [
+            MulLut::exact(),
+            MulLut::tabulate(&TruncatedMultiplier::new(4)),
+        ];
+        for lut in &luts {
+            for &(m, k, n) in &[(1, 1, 1), (4, 4, 4), (5, 7, 3), (3, 300, 9), (13, 513, 17)] {
+                let a = codes(m as u64 * 31 + k as u64, m * k);
+                let b = codes(n as u64 * 17 + 5, k * n);
+                let mut fast = vec![0u32; m * n];
+                let mut naive = vec![0u32; m * n];
+                qgemm_nn(&a, &b, &mut fast, m, k, n, lut);
+                reference::qgemm_nn(&a, &b, &mut naive, m, k, n, lut);
+                assert_eq!(fast, naive, "{m}x{k}x{n} [{}]", lut.description());
+            }
+        }
+    }
+
+    #[test]
+    fn accumulates_into_existing_contents() {
+        let lut = MulLut::exact();
+        let mut c = vec![7u32; 4];
+        qgemm_nn(&[1, 2, 3, 4], &[1, 0, 0, 1], &mut c, 2, 2, 2, &lut);
+        assert_eq!(c, vec![8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        let lut = MulLut::exact();
+        let mut c: Vec<u32> = Vec::new();
+        qgemm_nn(&[], &[], &mut c, 0, 3, 0, &lut);
+        let mut c = vec![0u32; 6];
+        qgemm_nn(&[], &[], &mut c, 2, 0, 3, &lut);
+        assert!(c.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn sums_and_affine_identity_reconstruct_float_product() {
+        // With the exact multiplier, quantize → qgemm → affine_dequant
+        // must equal the float product of the *dequantized* operands to
+        // f32 round-off.
+        let pa = QuantParams::from_range(-1.0, 1.0, 8).unwrap();
+        let pb = QuantParams::from_range(-0.5, 2.0, 8).unwrap();
+        let (m, k, n) = (3, 11, 4);
+        let qa = codes(9, m * k);
+        let qb = codes(10, k * n);
+        let lut = MulLut::exact();
+        let mut acc = vec![0u32; m * n];
+        qgemm_nn(&qa, &qb, &mut acc, m, k, n, &lut);
+        let mut out = vec![0.0f32; m * n];
+        affine_dequant(
+            &acc,
+            &row_sums(&qa, m, k),
+            &col_sums(&qb, k, n),
+            k,
+            pa,
+            pb,
+            &mut out,
+        );
+        // Float oracle over dequantized values.
+        for i in 0..m {
+            for j in 0..n {
+                let mut want = 0.0f64;
+                for p in 0..k {
+                    let av = pa.dequantize(qa[i * k + p] as u16) as f64;
+                    let bv = pb.dequantize(qb[p * n + j] as u16) as f64;
+                    want += av * bv;
+                }
+                let got = out[i * n + j] as f64;
+                assert!((got - want).abs() < 1e-3, "[{i},{j}] {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_multiplier_changes_only_the_product_sum() {
+        // The under-estimating truncated multiplier must pull the
+        // accumulator (and thus the dequantized output) down, never up.
+        let trunc = TruncatedMultiplier::new(6);
+        let lut_ax = MulLut::tabulate(&trunc);
+        let lut_ex = MulLut::exact();
+        let (m, k, n) = (2, 20, 3);
+        let qa = codes(1, m * k);
+        let qb = codes(2, k * n);
+        let mut acc_ex = vec![0u32; m * n];
+        let mut acc_ax = vec![0u32; m * n];
+        qgemm_nn(&qa, &qb, &mut acc_ex, m, k, n, &lut_ex);
+        qgemm_nn(&qa, &qb, &mut acc_ax, m, k, n, &lut_ax);
+        assert!(acc_ax.iter().zip(&acc_ex).all(|(a, e)| a <= e));
+        assert!(acc_ax.iter().zip(&acc_ex).any(|(a, e)| a < e));
+        // Spot-check the LUT against the model it tabulates.
+        assert_eq!(lut_ax.mul(200, 3), trunc.multiply(200, 3));
+    }
+}

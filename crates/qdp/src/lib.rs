@@ -1,0 +1,46 @@
+//! # redcane-qdp
+//!
+//! The quantized approximate datapath: runs the `redcane_axmul`
+//! multiplier models **inside** the trained network's 8-bit integer
+//! MACs, instead of beside it as injected Gaussian noise.
+//!
+//! The ReD-CaNe methodology *predicts* how a CapsNet degrades on
+//! approximate hardware from per-component noise models
+//! (`redcane::noise`). This crate measures the ground truth the
+//! prediction stands in for:
+//!
+//! 1. **Calibrate** — sweep clean inputs through the trained float
+//!    network with [`CalibrationObserver`] [`RangeTracker`]s riding the
+//!    existing injection tap points, fixing every requantization range
+//!    from the real input distribution ([`calibrate_capsnet`]).
+//! 2. **Quantize** — lower the trained weights and activations onto
+//!    8-bit codes ([`QTensor`], Eq. 1 of the paper) and the MACs onto
+//!    integer kernels ([`kernels::qgemm_nn`]) whose every multiply is a
+//!    [`MulLut`] lookup — a 64 KiB table of any
+//!    [`Multiplier8`](redcane_axmul::Multiplier8)'s full truth table.
+//! 3. **Run** — [`QCapsNet`] executes end-to-end inference on that
+//!    datapath ([`QConv2d`], [`QVotes`], [`quantized_routing`],
+//!    [`QDense`] for dense models), so swapping the LUT swaps the
+//!    arithmetic of the whole network.
+//!
+//! With the exact multiplier the datapath reproduces the float
+//! network's predictions to within quantization tolerance; with an
+//! approximate component it measures the *actual* accuracy drop that
+//! `redcane-bench`'s `qdp` binary then pairs with the noise-model
+//! prediction — the paper's validation loop, closed.
+//!
+//! [`RangeTracker`]: redcane_fxp::RangeTracker
+
+pub mod calib;
+pub mod kernels;
+pub mod lut;
+pub mod qmodel;
+pub mod qtensor;
+
+pub use calib::CalibrationObserver;
+pub use lut::MulLut;
+pub use qmodel::{
+    calibrate_capsnet, evaluate_quantized, quantized_routing, CapsNetRanges, QCapsNet, QConv2d,
+    QDense, QVotes,
+};
+pub use qtensor::QTensor;

@@ -1,0 +1,100 @@
+//! The multiply lookup table backing the quantized kernels.
+//!
+//! An 8×8 unsigned multiplier has only 65 536 distinct input pairs, so
+//! any [`Multiplier8`] — bit-level behavioral models included — can be
+//! tabulated once into a 64 KiB table and then applied at L1-resident
+//! lookup speed inside the GEMM inner loops. This is what makes
+//! sweeping a whole component library through end-to-end inference
+//! practical.
+//!
+//! Unlike `redcane_axmul`'s `LutMultiplier` (a [`Multiplier8`] adapter
+//! behind dynamic dispatch), [`MulLut`] is a concrete struct the
+//! kernels index directly, so the hot loop has no virtual call.
+
+use redcane_axmul::{ExactMultiplier, Multiplier8};
+
+/// A precomputed table of all 256×256 products of one multiplier model.
+#[derive(Clone)]
+pub struct MulLut {
+    table: Box<[u16; 65536]>,
+    description: String,
+}
+
+impl MulLut {
+    /// Tabulates `model` exhaustively over all 65 536 input pairs.
+    pub fn tabulate(model: &dyn Multiplier8) -> Self {
+        let mut table = vec![0u16; 65536].into_boxed_slice();
+        for a in 0..=255u16 {
+            for b in 0..=255u16 {
+                table[((a as usize) << 8) | b as usize] = model.multiply(a as u8, b as u8);
+            }
+        }
+        MulLut {
+            table: table.try_into().expect("sized 65536"),
+            description: model.description(),
+        }
+    }
+
+    /// The exact 8×8 multiplier's table.
+    pub fn exact() -> Self {
+        Self::tabulate(&ExactMultiplier)
+    }
+
+    /// Looks up `a · b` as the tabulated model computes it.
+    #[inline]
+    pub fn mul(&self, a: u8, b: u8) -> u16 {
+        // The index is < 65536 by construction; with the fixed-size
+        // boxed array the bounds check folds away.
+        self.table[((a as usize) << 8) | b as usize]
+    }
+
+    /// The tabulated model's one-line description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+}
+
+impl std::fmt::Debug for MulLut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MulLut")
+            .field("description", &self.description)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcane_axmul::library::MultiplierLibrary;
+
+    /// Exhaustive LUT ↔ direct-multiply equivalence over all 65 536
+    /// input pairs, for the exact component and two approximate library
+    /// entries — the LUT path must be bit-identical to calling
+    /// `Multiplier8::multiply` directly.
+    #[test]
+    fn lut_bit_identical_to_direct_multiply_exhaustively() {
+        let lib = MultiplierLibrary::evo_approx_like();
+        for name in ["mul8u_1JFF", "mul8u_NGR", "mul8u_QKX"] {
+            let entry = lib.find(name).unwrap_or_else(|| panic!("missing {name}"));
+            let lut = MulLut::tabulate(entry.model());
+            for a in 0..=255u8 {
+                for b in 0..=255u8 {
+                    assert_eq!(
+                        lut.mul(a, b),
+                        entry.model().multiply(a, b),
+                        "{name}: {a} x {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_lut_is_the_product() {
+        let lut = MulLut::exact();
+        assert_eq!(lut.mul(255, 255), 65025);
+        assert_eq!(lut.mul(0, 200), 0);
+        assert_eq!(lut.mul(12, 11), 132);
+        assert!(lut.description().contains("exact"));
+    }
+}

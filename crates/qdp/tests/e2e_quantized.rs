@@ -1,0 +1,62 @@
+//! End-to-end sanity: a trained CapsNet lowered onto the quantized
+//! datapath with the **exact** multiplier must reproduce the float
+//! network's test accuracy within quantization tolerance — the
+//! acceptance bar for the datapath being a faithful 8-bit execution of
+//! the same network rather than a different model.
+
+use redcane_capsnet::{evaluate_clean, train, CapsNet, CapsNetConfig, TrainConfig};
+use redcane_datasets::{generate, Benchmark, GenerateConfig};
+use redcane_qdp::{evaluate_quantized, MulLut, QCapsNet};
+use redcane_tensor::TensorRng;
+
+#[test]
+fn quantized_exact_inference_matches_float_within_tolerance() {
+    let pair = generate(
+        Benchmark::MnistLike,
+        &GenerateConfig {
+            train: 200,
+            test: 60,
+            seed: 41,
+        },
+    );
+    let mut rng = TensorRng::from_seed(4100);
+    let mut model = CapsNet::new(&CapsNetConfig::small(1, 16), &mut rng);
+    train(
+        &mut model,
+        &pair.train,
+        &TrainConfig {
+            epochs: 4,
+            batch_size: 16,
+            lr: 2e-3,
+            seed: 9,
+            verbose: false,
+        },
+    );
+    let eval = pair.test.take(50);
+    let float_acc = evaluate_clean(&model, &eval);
+    assert!(
+        float_acc > 0.3,
+        "float baseline must train well above 10% chance, got {float_acc}"
+    );
+
+    // Calibrate on (clean) training inputs — the real input
+    // distribution — then run the same test set through the 8-bit
+    // datapath with the exact multiplier.
+    let q = QCapsNet::calibrated(&model, pair.train.samples.iter().take(32).map(|s| &s.image))
+        .expect("calibration succeeds on trained activations");
+    let quant_acc = evaluate_quantized(&q, &eval, &MulLut::exact());
+
+    // Quantization tolerance: the 8-bit datapath may flip a borderline
+    // sample or two, but not more than 10 pp of the subset.
+    let drop_pp = (float_acc - quant_acc) * 100.0;
+    assert!(
+        drop_pp.abs() <= 10.0,
+        "quantized-exact accuracy {quant_acc} strays {drop_pp:.1} pp from float {float_acc}"
+    );
+
+    // Seeded determinism: rebuilding and re-running reproduces the
+    // accuracy exactly.
+    let q2 = QCapsNet::calibrated(&model, pair.train.samples.iter().take(32).map(|s| &s.image))
+        .expect("calibration is deterministic");
+    assert_eq!(quant_acc, evaluate_quantized(&q2, &eval, &MulLut::exact()));
+}
