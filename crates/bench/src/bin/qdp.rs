@@ -1,20 +1,24 @@
-//! Seeded measured-vs-predicted comparison over the multiplier library.
+//! Seeded measured-vs-predicted comparison over the multiplier library,
+//! for both of the paper's architectures.
 //!
-//! Trains the small CapsNet, calibrates the quantized datapath, then
-//! for every selected approximate multiplier runs end-to-end inference
-//! through the real component model (**measured**) and through the
-//! paper's Gaussian noise injection (**predicted**), printing one JSON
-//! line per component to stdout (progress goes to stderr). Usage:
+//! Trains the small CapsNet and DeepCaps, calibrates and lowers each
+//! through the architecture-generic quantized pipeline, then for every
+//! selected approximate multiplier runs end-to-end inference through
+//! the real component model (**measured**) and through the paper's
+//! Gaussian noise injection (**predicted**), printing one JSON line per
+//! `(architecture, component)` to stdout (progress goes to stderr).
+//! Usage:
 //!
 //! ```text
 //! qdp [--quick] [--benchmark mnist|fashion|svhn|cifar] [--seed N]
-//!     [--components name,name,...] [--out PATH] [--threads N]
+//!     [--arch capsnet|deepcaps|both] [--components name,name,...]
+//!     [--out PATH] [--threads N]
 //! ```
 
 use std::process::ExitCode;
 
 use redcane_bench::cli::{next_parsed, next_value};
-use redcane_bench::qdp::{qdp_to_json_lines, run_qdp, QdpConfig};
+use redcane_bench::qdp::{qdp_to_json_lines, run_qdp, QdpArch, QdpConfig};
 use redcane_datasets::Benchmark;
 
 fn main() -> ExitCode {
@@ -24,11 +28,12 @@ fn main() -> ExitCode {
     while let Some(flag) = args.next() {
         let parsed: Result<(), String> = match flag.as_str() {
             "--quick" => {
-                // Keep any --seed/--benchmark/--components given
+                // Keep any --seed/--benchmark/--arch/--components given
                 // before the flag; --quick only rescales the run.
                 cfg = QdpConfig {
                     benchmark: cfg.benchmark,
                     seed: cfg.seed,
+                    archs: cfg.archs,
                     components: cfg.components.or(QdpConfig::quick().components),
                     ..QdpConfig::quick()
                 };
@@ -53,6 +58,21 @@ fn main() -> ExitCode {
                 }
                 other => Err(format!("unknown benchmark '{other}'")),
             }),
+            "--arch" => next_value(&mut args, "--arch").and_then(|v| match v.as_str() {
+                "capsnet" => {
+                    cfg.archs = vec![QdpArch::CapsNet];
+                    Ok(())
+                }
+                "deepcaps" => {
+                    cfg.archs = vec![QdpArch::DeepCaps];
+                    Ok(())
+                }
+                "both" => {
+                    cfg.archs = vec![QdpArch::CapsNet, QdpArch::DeepCaps];
+                    Ok(())
+                }
+                other => Err(format!("unknown arch '{other}'")),
+            }),
             "--seed" => next_parsed(&mut args, "--seed").map(|v| cfg.seed = v),
             "--components" => next_value(&mut args, "--components").map(|v| {
                 cfg.components = Some(v.split(',').map(|s| s.trim().to_string()).collect());
@@ -64,7 +84,8 @@ fn main() -> ExitCode {
                 eprintln!(
                     "qdp: measured vs noise-predicted accuracy drop per multiplier\n\
                      flags: --quick, --benchmark mnist|fashion|svhn|cifar, --seed N, \
-                     --components a,b,..., --out PATH, --threads N"
+                     --arch capsnet|deepcaps|both, --components a,b,..., --out PATH, \
+                     --threads N"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -84,12 +105,15 @@ fn main() -> ExitCode {
     for line in &lines {
         println!("{line}");
     }
-    eprintln!(
-        "[qdp] {} component(s) in {:.2}s, float baseline {:.3}",
-        outcome.rows.len(),
-        outcome.total_s,
-        outcome.float_accuracy
-    );
+    for arch in &outcome.archs {
+        eprintln!(
+            "[qdp] {}: {} component(s), float baseline {:.3}",
+            arch.arch.label(),
+            arch.rows.len(),
+            arch.float_accuracy
+        );
+    }
+    eprintln!("[qdp] total {:.2}s", outcome.total_s);
     if let Some(path) = out_path {
         let body = lines.join("\n") + "\n";
         if let Err(e) = std::fs::write(&path, body) {

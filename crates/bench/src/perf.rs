@@ -12,9 +12,11 @@ use redcane::report::json::Value;
 use redcane_capsnet::routing::{
     dynamic_routing, dynamic_routing_backward, reference as routing_reference,
 };
-use redcane_capsnet::{train, CapsNet, CapsNetConfig, NoInjection, TrainConfig};
+use redcane_capsnet::{
+    train, CapsModel, CapsNet, CapsNetConfig, DeepCaps, DeepCapsConfig, NoInjection, TrainConfig,
+};
 use redcane_datasets::{generate, Benchmark, GenerateConfig};
-use redcane_qdp::{kernels as qkernels, MulLut};
+use redcane_qdp::{kernels as qkernels, CalibrationObserver, MulLut, QModel};
 use redcane_tensor::ops::gemm;
 use redcane_tensor::ops::Conv2dSpec;
 use redcane_tensor::{Tensor, TensorRng};
@@ -196,6 +198,43 @@ fn routing_probes(reps: usize) -> Vec<PerfProbe> {
     ]
 }
 
+/// Quantized-DeepCaps probes: what lowering the 17-layer DeepCaps
+/// through the architecture-generic pipeline costs, and what one
+/// end-to-end quantized inference (exact LUT) costs — the tripwire for
+/// the quantized DeepCaps path staying usable for library sweeps.
+fn qdp_deepcaps_probes(reps: usize) -> Vec<PerfProbe> {
+    let mut rng = TensorRng::from_seed(82);
+    let mut model = DeepCaps::new(&DeepCapsConfig::small(1, 16), &mut rng);
+    let images: Vec<Tensor> = (0..2)
+        .map(|_| rng.uniform(&[1, 16, 16], 0.0, 1.0))
+        .collect();
+    let mut obs = CalibrationObserver::new();
+    for image in &images {
+        let _ = model.forward(image, &mut obs);
+    }
+    let ranges = obs.ranges(8).expect("finite activations");
+    let lower_ns = time_ns(reps, || {
+        std::hint::black_box(QModel::lower(&model, &ranges).expect("calibrated"));
+    });
+    let q = QModel::lower(&model, &ranges).expect("calibrated");
+    let lut = MulLut::exact();
+    let fwd_ns = time_ns(reps, || {
+        std::hint::black_box(q.forward(&images[0], &lut));
+    });
+    vec![
+        PerfProbe {
+            name: "qdp_lower_deepcaps_small".to_string(),
+            ns_per_op: lower_ns,
+            naive_ns_per_op: None,
+        },
+        PerfProbe {
+            name: "qdp_fwd_deepcaps_small".to_string(),
+            ns_per_op: fwd_ns,
+            naive_ns_per_op: None,
+        },
+    ]
+}
+
 fn epoch_probe() -> PerfProbe {
     // One epoch over a small seeded set; no naive twin (the naive
     // kernels only exist at the kernel level).
@@ -244,6 +283,7 @@ pub fn run_perf(quick: bool) -> PerfReport {
         conv_probe(reps),
     ];
     probes.extend(routing_probes(reps));
+    probes.extend(qdp_deepcaps_probes(reps));
     probes.push(epoch_probe());
     let mut cfg = PipelineConfig::smoke();
     if quick {
@@ -322,6 +362,8 @@ mod tests {
             "qgemm_24x49x100_stem",
             "qgemm_256x2304x16_deepcaps_cell4",
             "matmul_256x2304x16_deepcaps_cell4",
+            "qdp_lower_deepcaps_small",
+            "qdp_fwd_deepcaps_small",
         ] {
             assert!(
                 kernels

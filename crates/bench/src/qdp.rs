@@ -1,34 +1,82 @@
 //! The `qdp` bench mode: measured vs noise-predicted accuracy drop,
-//! per approximate multiplier.
+//! per approximate multiplier, for **both** of the paper's
+//! architectures.
 //!
-//! For every component of the axmul library this runs the trained
-//! CapsNet **twice** on the same seeded test subset:
+//! For every component of the axmul library and every selected
+//! architecture (CapsNet and DeepCaps) this runs the trained network
+//! **twice** on the same seeded test subset:
 //!
 //! 1. **Measured** — end-to-end inference through `redcane-qdp`'s
-//!    8-bit datapath with the component's behavioral model serving
-//!    every MAC multiply (ground truth);
+//!    8-bit datapath (the architecture-generic [`QModel`] lowering)
+//!    with the component's behavioral model serving every MAC multiply
+//!    (ground truth);
 //! 2. **Predicted** — the float network with the paper's Gaussian
 //!    noise model (Eq. 3) at the MAC-output group, parameterized by
-//!    the component's characterized `(NA, NM)` (the existing injector
-//!    pipeline).
+//!    the component's `(NA, NM)` characterized over the **empirical**
+//!    operand distribution observed during calibration (the paper's
+//!    "Real ΔX" column) — quantized activation codes against quantized
+//!    weight codes.
 //!
-//! One JSON line per component pairs the two accuracy drops — the
-//! paper's validation loop (does injected noise predict real
-//! approximate hardware?) closed in a single artifact.
+//! One JSON line per `(architecture, component)` pairs the two
+//! accuracy drops — the paper's validation loop (does injected noise
+//! predict real approximate hardware?) closed over both networks in a
+//! single artifact.
+//!
+//! The per-component evaluations are embarrassingly parallel: they fan
+//! out over `redcane_tensor::par` workers, each component owning its
+//! own [`MulLut`] and noise injector (seeded by component index), so
+//! the JSON output is byte-identical at every `REDCANE_THREADS`
+//! setting.
 
 use std::time::Instant;
 
 use redcane::report::json::Value;
 use redcane::{GaussianNoiseInjector, NoiseModel, NoiseTarget};
-use redcane_axmul::library::MultiplierLibrary;
+use redcane_axmul::library::{ComponentEntry, MultiplierLibrary};
 use redcane_axmul::InputDistribution;
 use redcane_capsnet::inject::OpKind;
 use redcane_capsnet::{
-    evaluate, evaluate_clean, train, CapsModel, CapsNet, CapsNetConfig, TrainConfig,
+    evaluate, evaluate_clean, train, CapsModel, CapsNet, CapsNetConfig, DeepCaps, DeepCapsConfig,
+    TrainConfig,
 };
-use redcane_datasets::{generate, Benchmark, GenerateConfig};
-use redcane_qdp::{evaluate_quantized, MulLut, QCapsNet};
-use redcane_tensor::TensorRng;
+use redcane_datasets::{generate, Benchmark, Dataset, DatasetPair, GenerateConfig};
+use redcane_qdp::{evaluate_quantized, CalibrationObserver, MulLut, QModel};
+use redcane_tensor::{par, TensorRng};
+
+/// Values retained per MAC-input site for the empirical operand pools.
+const CALIB_SAMPLES_PER_SITE: usize = 512;
+/// Cap on the quantized-weight operand pool.
+const WEIGHT_POOL_CODES: usize = 4096;
+
+/// Which architecture a `qdp` sweep runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QdpArch {
+    /// The original CapsNet (Sabour et al.), small config.
+    CapsNet,
+    /// The 17-layer DeepCaps (Rajasegaran et al.), small config.
+    DeepCaps,
+}
+
+impl QdpArch {
+    /// Stable lower-case label used in the JSON schema and CLI flags.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QdpArch::CapsNet => "capsnet",
+            QdpArch::DeepCaps => "deepcaps",
+        }
+    }
+
+    /// Stable seed offset tied to the architecture's *identity* (not
+    /// its position in `QdpConfig::archs`), so `--arch deepcaps`
+    /// reproduces exactly the deepcaps rows of an `--arch both` run at
+    /// the same seed.
+    fn seed_tag(&self) -> u64 {
+        match self {
+            QdpArch::CapsNet => 0,
+            QdpArch::DeepCaps => 1,
+        }
+    }
+}
 
 /// Configuration of a `qdp` comparison run; fully determined by its
 /// fields, so equal configs give equal outcomes.
@@ -38,6 +86,8 @@ pub struct QdpConfig {
     pub benchmark: Benchmark,
     /// Master seed (dataset, init, training, characterization, noise).
     pub seed: u64,
+    /// Architectures to sweep, in output order.
+    pub archs: Vec<QdpArch>,
     /// Training samples to generate.
     pub train: usize,
     /// Test samples to generate.
@@ -62,12 +112,13 @@ pub struct QdpConfig {
 }
 
 impl QdpConfig {
-    /// The full seeded sweep: every library component, a model trained
-    /// well above chance, a few seconds per component in release.
+    /// The full seeded sweep: every library component on both
+    /// architectures, models trained well above chance.
     pub fn smoke() -> Self {
         QdpConfig {
             benchmark: Benchmark::MnistLike,
             seed: 1,
+            archs: vec![QdpArch::CapsNet, QdpArch::DeepCaps],
             train: 600,
             test: 150,
             epochs: 6,
@@ -80,8 +131,8 @@ impl QdpConfig {
         }
     }
 
-    /// CI-sized: the exact component plus one approximate component,
-    /// scaled-down training.
+    /// CI-sized: the exact component plus one approximate component on
+    /// both architectures, scaled-down training.
     pub fn quick() -> Self {
         QdpConfig {
             train: 200,
@@ -109,9 +160,9 @@ pub struct QdpRow {
     pub component: String,
     /// Component power in µW (library metadata).
     pub power_uw: f64,
-    /// Characterized noise magnitude.
+    /// Characterized noise magnitude (empirical operands).
     pub nm: f64,
-    /// Characterized noise average.
+    /// Characterized noise average (empirical operands).
     pub na: f64,
     /// Accuracy of the quantized datapath running this component.
     pub measured_accuracy: f64,
@@ -119,11 +170,11 @@ pub struct QdpRow {
     pub predicted_accuracy: f64,
 }
 
-/// The result of one full `qdp` comparison run.
+/// One architecture's full sweep: float baseline + per-component rows.
 #[derive(Debug, Clone)]
-pub struct QdpOutcome {
-    /// The configuration that produced it.
-    pub config: QdpConfig,
+pub struct QdpArchOutcome {
+    /// The architecture swept.
+    pub arch: QdpArch,
     /// Model display name.
     pub model_name: String,
     /// Float (accurate, full-precision) accuracy on the eval subset —
@@ -131,11 +182,9 @@ pub struct QdpOutcome {
     pub float_accuracy: f64,
     /// Per-component rows, in library order.
     pub rows: Vec<QdpRow>,
-    /// Total wall-clock seconds.
-    pub total_s: f64,
 }
 
-impl QdpOutcome {
+impl QdpArchOutcome {
     /// Measured accuracy drop for `row`, in percentage points.
     pub fn measured_drop_pp(&self, row: &QdpRow) -> f64 {
         (self.float_accuracy - row.measured_accuracy) * 100.0
@@ -147,14 +196,26 @@ impl QdpOutcome {
     }
 }
 
+/// The result of one full `qdp` comparison run.
+#[derive(Debug, Clone)]
+pub struct QdpOutcome {
+    /// The configuration that produced it.
+    pub config: QdpConfig,
+    /// One sweep per configured architecture, in `config.archs` order.
+    pub archs: Vec<QdpArchOutcome>,
+    /// Total wall-clock seconds.
+    pub total_s: f64,
+}
+
 /// Runs dataset generation → training → calibration → the
-/// per-component measured/predicted sweep, deterministically from
-/// `cfg.seed`.
+/// per-component measured/predicted sweep for every configured
+/// architecture, deterministically from `cfg.seed` (and independent of
+/// the worker-thread count).
 ///
 /// # Panics
 ///
-/// Panics on empty train/test/eval settings, on a component name not
-/// in the library, or if calibration fails (it cannot on finite
+/// Panics on empty train/test/eval/arch settings, on a component name
+/// not in the library, or if calibration fails (it cannot on finite
 /// trained weights).
 pub fn run_qdp(cfg: &QdpConfig) -> QdpOutcome {
     assert!(cfg.train > 0, "qdp needs training samples");
@@ -163,6 +224,7 @@ pub fn run_qdp(cfg: &QdpConfig) -> QdpOutcome {
         "qdp needs test samples"
     );
     assert!(cfg.calib_samples > 0, "qdp needs calibration samples");
+    assert!(!cfg.archs.is_empty(), "qdp needs at least one architecture");
     let t0 = Instant::now();
 
     let pair = generate(
@@ -173,42 +235,8 @@ pub fn run_qdp(cfg: &QdpConfig) -> QdpOutcome {
             seed: cfg.seed,
         },
     );
-    let (channels, height, _) = cfg.benchmark.geometry();
-    let mut rng = TensorRng::from_seed(cfg.seed.wrapping_mul(0x9e37_79b9).wrapping_add(7));
-    let mut model = CapsNet::new(&CapsNetConfig::small(channels, height), &mut rng);
-    train(
-        &mut model,
-        &pair.train,
-        &TrainConfig {
-            epochs: cfg.epochs,
-            batch_size: cfg.batch_size,
-            lr: cfg.lr,
-            seed: cfg.seed ^ 0x71a1,
-            verbose: false,
-        },
-    );
-
-    let eval = pair.test.take(cfg.eval_samples);
-    let float_accuracy = evaluate_clean(&model, &eval);
-    eprintln!(
-        "[qdp] trained {} — float baseline {:.3} on {} samples",
-        model.name(),
-        float_accuracy,
-        eval.len()
-    );
-
-    let qmodel = QCapsNet::calibrated(
-        &model,
-        pair.train
-            .samples
-            .iter()
-            .take(cfg.calib_samples)
-            .map(|s| &s.image),
-    )
-    .expect("calibration succeeds on trained activations");
-
     let library = MultiplierLibrary::evo_approx_like();
-    let entries: Vec<_> = match &cfg.components {
+    let entries: Vec<&ComponentEntry> = match &cfg.components {
         Some(names) => names
             .iter()
             .map(|n| {
@@ -220,79 +248,180 @@ pub fn run_qdp(cfg: &QdpConfig) -> QdpOutcome {
         None => library.iter().collect(),
     };
 
-    let mut rows = Vec::with_capacity(entries.len());
-    for (idx, entry) in entries.iter().enumerate() {
-        // Measured: the component inside every MAC of the datapath.
-        let lut = MulLut::tabulate(entry.model());
-        let measured_accuracy = evaluate_quantized(&qmodel, &eval, &lut);
-        // Predicted: the paper's Gaussian model at the MAC-output
-        // group, with this component's characterized (NA, NM).
-        let np = entry.characterize(
-            &InputDistribution::Uniform,
-            cfg.characterization_samples,
-            cfg.seed ^ 0xc0de,
-        );
-        let mut injector = GaussianNoiseInjector::new(
-            NoiseModel::new(np.nm, np.na),
-            NoiseTarget::group(OpKind::MacOutput),
-            cfg.seed ^ 0x5eed ^ idx as u64,
-        );
-        let mut validator = model.clone();
-        let predicted_accuracy = evaluate(&mut validator, &eval, &mut injector);
-        eprintln!(
-            "[qdp] {:<14} nm {:.5}  measured {:.3}  predicted {:.3}",
-            entry.name(),
-            np.nm,
-            measured_accuracy,
-            predicted_accuracy
-        );
-        rows.push(QdpRow {
-            component: entry.name().to_string(),
-            power_uw: entry.cost().power_uw,
-            nm: np.nm,
-            na: np.na,
-            measured_accuracy,
-            predicted_accuracy,
-        });
-    }
+    let (channels, height, _) = cfg.benchmark.geometry();
+    let archs = cfg
+        .archs
+        .iter()
+        .map(|&arch| {
+            let mut rng = TensorRng::from_seed(
+                cfg.seed
+                    .wrapping_mul(0x9e37_79b9)
+                    .wrapping_add(7 + arch.seed_tag()),
+            );
+            match arch {
+                QdpArch::CapsNet => {
+                    let model = CapsNet::new(&CapsNetConfig::small(channels, height), &mut rng);
+                    sweep_arch(cfg, arch, model, &pair, &entries)
+                }
+                QdpArch::DeepCaps => {
+                    let model = DeepCaps::new(&DeepCapsConfig::small(channels, height), &mut rng);
+                    sweep_arch(cfg, arch, model, &pair, &entries)
+                }
+            }
+        })
+        .collect();
 
     QdpOutcome {
         config: cfg.clone(),
-        model_name: model.name(),
-        float_accuracy,
-        rows,
+        archs,
         total_s: t0.elapsed().as_secs_f64(),
     }
 }
 
+/// Trains, calibrates and sweeps one architecture. Generic over the
+/// concrete model so training and the noise-injected evaluation reuse
+/// the shared capsnet machinery.
+fn sweep_arch<M: CapsModel + Clone + Send + Sync + 'static>(
+    cfg: &QdpConfig,
+    arch: QdpArch,
+    mut model: M,
+    pair: &DatasetPair,
+    entries: &[&ComponentEntry],
+) -> QdpArchOutcome {
+    train(
+        &mut model,
+        &pair.train,
+        &TrainConfig {
+            epochs: cfg.epochs,
+            batch_size: cfg.batch_size,
+            lr: cfg.lr,
+            seed: cfg.seed ^ 0x71a1,
+            verbose: false,
+        },
+    );
+    let eval = pair.test.take(cfg.eval_samples);
+    let float_accuracy = evaluate_clean(&model, &eval);
+    eprintln!(
+        "[qdp] trained {} — float baseline {:.3} on {} samples",
+        model.name(),
+        float_accuracy,
+        eval.len()
+    );
+
+    // Calibrate through the generic pipeline, retaining MAC-input
+    // samples for the empirical operand pools.
+    let mut obs = CalibrationObserver::with_samples(CALIB_SAMPLES_PER_SITE);
+    for sample in pair.train.samples.iter().take(cfg.calib_samples) {
+        let _ = model.forward(&sample.image, &mut obs);
+    }
+    let ranges = obs
+        .ranges(8)
+        .expect("calibration succeeds on trained activations");
+    let qmodel = QModel::lower(&model, &ranges).expect("every site calibrated");
+
+    // The paper's "Real ΔX": characterize each component over operands
+    // actually seen by the datapath — quantized activation codes from
+    // calibration against quantized weight codes — instead of uniform.
+    let activations = obs.sampled_input_codes(&ranges);
+    let weights = qmodel.weight_code_sample(WEIGHT_POOL_CODES);
+    let dist = if activations.is_empty() || weights.is_empty() {
+        InputDistribution::Uniform
+    } else {
+        InputDistribution::Empirical {
+            activations,
+            weights,
+        }
+    };
+
+    let rows = sweep_components(cfg, arch.seed_tag(), &model, &qmodel, &eval, entries, &dist);
+    for row in &rows {
+        eprintln!(
+            "[qdp] {} {:<14} nm {:.5}  measured {:.3}  predicted {:.3}",
+            arch.label(),
+            row.component,
+            row.nm,
+            row.measured_accuracy,
+            row.predicted_accuracy
+        );
+    }
+    QdpArchOutcome {
+        arch,
+        model_name: model.name(),
+        float_accuracy,
+        rows,
+    }
+}
+
+/// The per-component measured/predicted evaluations, fanned out over
+/// [`par::map_with`] workers. Every per-component quantity derives
+/// only from `cfg.seed`, the architecture tag and the component
+/// index — never from the worker that computed it — so the rows are
+/// byte-identical at every thread count.
+fn sweep_components<M: CapsModel + Clone + Send + Sync>(
+    cfg: &QdpConfig,
+    arch_tag: u64,
+    model: &M,
+    qmodel: &QModel,
+    eval: &Dataset,
+    entries: &[&ComponentEntry],
+    dist: &InputDistribution,
+) -> Vec<QdpRow> {
+    par::map_with(
+        entries.len(),
+        || (),
+        |(), idx| {
+            let entry = entries[idx];
+            // Measured: the component inside every MAC of the datapath.
+            // The LUT is tabulated here, so each worker owns its own.
+            let lut = MulLut::tabulate(entry.model());
+            let measured_accuracy = evaluate_quantized(qmodel, eval, &lut);
+            // Predicted: the paper's Gaussian model at the MAC-output
+            // group, with this component's characterized (NA, NM).
+            let np = entry.characterize(dist, cfg.characterization_samples, cfg.seed ^ 0xc0de);
+            let mut injector = GaussianNoiseInjector::new(
+                NoiseModel::new(np.nm, np.na),
+                NoiseTarget::group(OpKind::MacOutput),
+                cfg.seed ^ 0x5eed ^ idx as u64 ^ (arch_tag << 32),
+            );
+            let mut validator = model.clone();
+            let predicted_accuracy = evaluate(&mut validator, eval, &mut injector);
+            QdpRow {
+                component: entry.name().to_string(),
+                power_uw: entry.cost().power_uw,
+                nm: np.nm,
+                na: np.na,
+                measured_accuracy,
+                predicted_accuracy,
+            }
+        },
+    )
+}
+
 /// Serializes one component's comparison as a self-contained JSON line.
-pub fn qdp_row_to_json(outcome: &QdpOutcome, row: &QdpRow) -> Value {
+pub fn qdp_row_to_json(cfg: &QdpConfig, arch: &QdpArchOutcome, row: &QdpRow) -> Value {
     Value::Obj(vec![
         ("bench".into(), Value::from("qdp")),
-        ("schema_version".into(), Value::from(1usize)),
-        (
-            "benchmark".into(),
-            Value::from(outcome.config.benchmark.name()),
-        ),
+        // v2: rows carry the architecture (`arch`) and sweeps cover
+        // both networks.
+        ("schema_version".into(), Value::from(2usize)),
+        ("benchmark".into(), Value::from(cfg.benchmark.name())),
         // String: u64 seeds above 2^53 would round through a JSON number.
-        ("seed".into(), Value::from(outcome.config.seed.to_string())),
-        ("model".into(), Value::from(outcome.model_name.clone())),
-        (
-            "eval_samples".into(),
-            Value::from(outcome.config.eval_samples),
-        ),
+        ("seed".into(), Value::from(cfg.seed.to_string())),
+        ("arch".into(), Value::from(arch.arch.label())),
+        ("model".into(), Value::from(arch.model_name.clone())),
+        ("eval_samples".into(), Value::from(cfg.eval_samples)),
         ("component".into(), Value::from(row.component.clone())),
         ("power_uw".into(), Value::from(row.power_uw)),
         ("nm".into(), Value::from(row.nm)),
         ("na".into(), Value::from(row.na)),
-        ("float_accuracy".into(), Value::from(outcome.float_accuracy)),
+        ("float_accuracy".into(), Value::from(arch.float_accuracy)),
         (
             "measured_accuracy".into(),
             Value::from(row.measured_accuracy),
         ),
         (
             "measured_drop_pp".into(),
-            Value::from(outcome.measured_drop_pp(row)),
+            Value::from(arch.measured_drop_pp(row)),
         ),
         (
             "predicted_accuracy".into(),
@@ -300,17 +429,22 @@ pub fn qdp_row_to_json(outcome: &QdpOutcome, row: &QdpRow) -> Value {
         ),
         (
             "predicted_drop_pp".into(),
-            Value::from(outcome.predicted_drop_pp(row)),
+            Value::from(arch.predicted_drop_pp(row)),
         ),
     ])
 }
 
-/// All rows of an outcome as JSON lines, in library order.
+/// All rows of an outcome as JSON lines: architectures in config
+/// order, components in library order within each.
 pub fn qdp_to_json_lines(outcome: &QdpOutcome) -> Vec<Value> {
     outcome
-        .rows
+        .archs
         .iter()
-        .map(|row| qdp_row_to_json(outcome, row))
+        .flat_map(|arch| {
+            arch.rows
+                .iter()
+                .map(|row| qdp_row_to_json(&outcome.config, arch, row))
+        })
         .collect()
 }
 
@@ -319,8 +453,12 @@ mod tests {
     use super::*;
     use redcane::report::json;
 
-    fn tiny() -> QdpConfig {
+    /// Serializes tests that mutate the process-wide thread override.
+    static THREADS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn tiny(archs: Vec<QdpArch>) -> QdpConfig {
         QdpConfig {
+            archs,
             train: 60,
             test: 24,
             epochs: 1,
@@ -333,16 +471,18 @@ mod tests {
     }
 
     #[test]
-    fn qdp_emits_one_self_contained_line_per_component() {
-        let outcome = run_qdp(&tiny());
-        assert_eq!(outcome.rows.len(), 2);
+    fn qdp_emits_one_self_contained_line_per_arch_and_component() {
+        let outcome = run_qdp(&tiny(vec![QdpArch::CapsNet, QdpArch::DeepCaps]));
+        assert_eq!(outcome.archs.len(), 2);
         let lines = qdp_to_json_lines(&outcome);
+        assert_eq!(lines.len(), 4, "2 archs × 2 components");
         for line in &lines {
             let dumped = line.dump();
             assert!(!dumped.contains('\n'), "one line per component");
             let parsed = json::parse(&dumped).unwrap();
             for key in [
                 "bench",
+                "arch",
                 "component",
                 "float_accuracy",
                 "measured_accuracy",
@@ -355,28 +495,66 @@ mod tests {
                 assert!(parsed.get(key).is_some(), "missing key {key}");
             }
             assert_eq!(parsed.get("bench").unwrap().as_str().unwrap(), "qdp");
+            assert_eq!(parsed.get("schema_version").unwrap().as_f64().unwrap(), 2.0);
         }
+        // Both architectures present, in config order.
+        let arch_of = |i: usize| {
+            json::parse(&lines[i].dump())
+                .unwrap()
+                .get("arch")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(arch_of(0), "capsnet");
+        assert_eq!(arch_of(3), "deepcaps");
     }
 
     #[test]
     fn exact_component_predicts_zero_drop_and_small_measured_drop() {
-        let outcome = run_qdp(&tiny());
-        let exact = &outcome.rows[0];
+        let outcome = run_qdp(&tiny(vec![QdpArch::CapsNet]));
+        let arch = &outcome.archs[0];
+        let exact = &arch.rows[0];
         assert_eq!(exact.component, "mul8u_1JFF");
-        // NM = NA = 0 for the exact multiplier, so the noise model
+        // NM = NA = 0 for the exact multiplier — over any operand
+        // distribution, empirical included — so the noise model
         // predicts exactly the baseline.
         assert_eq!(exact.nm, 0.0);
-        assert_eq!(exact.predicted_accuracy, outcome.float_accuracy);
+        assert_eq!(exact.predicted_accuracy, arch.float_accuracy);
         // The measured drop of the exact component is pure quantization
         // error — bounded, though the 1-epoch model is noisy.
-        assert!(outcome.measured_drop_pp(exact).abs() <= 25.0);
+        assert!(arch.measured_drop_pp(exact).abs() <= 25.0);
     }
 
+    /// Per-arch seeds key on the architecture's identity, so a
+    /// deepcaps-only run reproduces exactly the deepcaps rows of a
+    /// both-arch run at the same seed (debuggability of CI artifacts).
     #[test]
-    fn equal_seeds_give_equal_rows() {
-        let a = run_qdp(&tiny());
-        let b = run_qdp(&tiny());
-        assert_eq!(a.float_accuracy, b.float_accuracy);
-        assert_eq!(a.rows, b.rows);
+    fn single_arch_run_reproduces_the_both_arch_rows() {
+        let both = run_qdp(&tiny(vec![QdpArch::CapsNet, QdpArch::DeepCaps]));
+        let solo = run_qdp(&tiny(vec![QdpArch::DeepCaps]));
+        assert_eq!(solo.archs[0].float_accuracy, both.archs[1].float_accuracy);
+        assert_eq!(solo.archs[0].rows, both.archs[1].rows);
+    }
+
+    /// The parallel component sweep must not change a single byte of
+    /// the output: equal seeds give equal JSON at every thread count.
+    #[test]
+    fn json_is_byte_identical_across_thread_counts() {
+        let _guard = THREADS_LOCK.lock().unwrap();
+        let cfg = tiny(vec![QdpArch::CapsNet]);
+        let dump = |threads: usize| {
+            par::set_threads(threads);
+            let lines: Vec<String> = qdp_to_json_lines(&run_qdp(&cfg))
+                .iter()
+                .map(|v| v.dump())
+                .collect();
+            par::set_threads(0);
+            lines.join("\n")
+        };
+        let serial = dump(1);
+        let parallel = dump(3);
+        assert_eq!(serial, parallel, "thread count leaked into the rows");
     }
 }

@@ -86,6 +86,11 @@ impl ConvCaps3d {
         &self.name
     }
 
+    /// Input capsule geometry `(types, dim)`.
+    pub fn in_caps(&self) -> (usize, usize) {
+        (self.c_in, self.d_in)
+    }
+
     /// Output capsule geometry `(types, dim)`.
     pub fn out_caps(&self) -> (usize, usize) {
         (self.c_out, self.d_out)

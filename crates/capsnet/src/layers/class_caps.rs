@@ -73,6 +73,11 @@ impl ClassCaps {
         (self.i_caps, self.j_caps, self.d_in, self.d_out)
     }
 
+    /// Number of dynamic-routing iterations.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
     /// Immutable weight access.
     pub fn weight(&self) -> &Tensor {
         &self.weight.value

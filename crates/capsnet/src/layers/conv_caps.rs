@@ -90,9 +90,20 @@ impl ConvCaps2d {
         self.layer_index
     }
 
+    /// Input capsule geometry `(types, dim)`.
+    pub fn in_caps(&self) -> (usize, usize) {
+        (self.c_in, self.d_in)
+    }
+
     /// Output capsule geometry `(types, dim)`.
     pub fn out_caps(&self) -> (usize, usize) {
         (self.c_out, self.d_out)
+    }
+
+    /// Whether this layer squashes its output capsules (false for the
+    /// pre-activation layers feeding a residual join).
+    pub fn applies_squash(&self) -> bool {
+        self.apply_squash
     }
 
     /// The wrapped convolution (weights/bias access).

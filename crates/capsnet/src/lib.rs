@@ -40,5 +40,5 @@ pub mod train;
 
 pub use config::{CapsNetConfig, DeepCapsConfig};
 pub use inject::{Injector, NoInjection, OpKind, OpSite, RecordingInjector};
-pub use model::{CapsModel, CapsNet, DeepCaps};
+pub use model::{caps_to_units, CapsCell, CapsModel, CapsNet, DeepCaps};
 pub use train::{evaluate, evaluate_clean, train, TrainConfig, TrainReport};

@@ -21,6 +21,13 @@ pub trait CapsModel {
     /// Architecture + config display name.
     fn name(&self) -> String;
 
+    /// The concrete model behind the trait object.
+    ///
+    /// Downstream crates dispatch on this to lower a `&dyn CapsModel`
+    /// onto alternative datapaths (e.g. `redcane-qdp`'s quantized
+    /// lowering) without the capsnet crate depending on them.
+    fn as_any(&self) -> &dyn std::any::Any;
+
     /// Number of output classes.
     fn num_classes(&self) -> usize;
 
@@ -71,7 +78,14 @@ pub trait CapsModel {
 
 /// Reorders a `[C, D, H, W]` capsule tensor into `[C*H*W, D]` unit form
 /// (one row per capsule) for fully-connected capsule layers.
-fn caps_to_units(t: &Tensor) -> Tensor {
+///
+/// Public because quantized/alternative datapaths must reproduce the
+/// exact same capsule→unit ordering the float models use.
+///
+/// # Panics
+///
+/// Panics unless `t` is rank 4.
+pub fn caps_to_units(t: &Tensor) -> Tensor {
     assert_eq!(t.ndim(), 4);
     let (c, d, h, w) = (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3]);
     let src = t.data();
@@ -199,6 +213,10 @@ impl CapsModel for CapsNet {
         )
     }
 
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn num_classes(&self) -> usize {
         self.cfg.class_caps
     }
@@ -321,7 +339,7 @@ impl CapsModel for CapsNet {
 /// One residual capsule cell: a stride-2 lead conv-caps, two more
 /// conv-caps on the main path, a skip conv-caps, and a squash at the join.
 #[derive(Debug, Clone)]
-struct CapsCell {
+pub struct CapsCell {
     lead: ConvCaps2d,
     mid: ConvCaps2d,
     tail: ConvCaps2d,
@@ -332,6 +350,27 @@ struct CapsCell {
 }
 
 impl CapsCell {
+    /// The stride-`s` lead conv-caps entering the cell (squashing).
+    pub fn lead(&self) -> &ConvCaps2d {
+        &self.lead
+    }
+
+    /// The second main-path conv-caps (squashing).
+    pub fn mid(&self) -> &ConvCaps2d {
+        &self.mid
+    }
+
+    /// The third main-path conv-caps (pre-activation; the squash
+    /// happens at the residual join).
+    pub fn tail(&self) -> &ConvCaps2d {
+        &self.tail
+    }
+
+    /// The skip-path conv-caps (pre-activation).
+    pub fn skip(&self) -> &ConvCaps2d {
+        &self.skip
+    }
+
     fn forward(&mut self, x: &Tensor, injector: &mut dyn Injector) -> Tensor {
         let a = self.lead.forward(x, injector);
         let b = self.mid.forward(&a, injector);
@@ -514,6 +553,41 @@ impl DeepCaps {
     pub fn config(&self) -> &DeepCapsConfig {
         &self.cfg
     }
+
+    /// The stem conv-caps layer (weight export).
+    pub fn stem(&self) -> &ConvCaps2d {
+        &self.stem
+    }
+
+    /// The three residual capsule cells, in network order.
+    pub fn cells(&self) -> &[CapsCell] {
+        &self.cells
+    }
+
+    /// The final cell's lead conv-caps.
+    pub fn last_lead(&self) -> &ConvCaps2d {
+        &self.last_lead
+    }
+
+    /// The final cell's mid conv-caps.
+    pub fn last_mid(&self) -> &ConvCaps2d {
+        &self.last_mid
+    }
+
+    /// The final cell's skip conv-caps.
+    pub fn last_skip(&self) -> &ConvCaps2d {
+        &self.last_skip
+    }
+
+    /// The routing 3-D conv-caps unit.
+    pub fn caps3d(&self) -> &ConvCaps3d {
+        &self.caps3d
+    }
+
+    /// The class-capsule head (weight export).
+    pub fn class_caps(&self) -> &ClassCaps {
+        &self.class_caps
+    }
 }
 
 impl CapsModel for DeepCaps {
@@ -522,6 +596,10 @@ impl CapsModel for DeepCaps {
             "DeepCaps[{}x{}x{}]",
             self.cfg.input_channels, self.cfg.input_hw, self.cfg.input_hw
         )
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 
     fn num_classes(&self) -> usize {

@@ -118,7 +118,10 @@ fn take_buf(pool: &mut Vec<Vec<f32>>, len: usize) -> Vec<f32> {
 
 /// Softmax over `J` of a `[I, J, P]` slice, written into `out` —
 /// arithmetic identical to `Tensor::softmax_axis(1)`.
-fn softmax_over_j(src: &[f32], out: &mut [f32], i_caps: usize, j_caps: usize, p: usize) {
+///
+/// Public because the quantized datapath's special-function unit must
+/// compute exactly the float routing's coupling softmax.
+pub fn softmax_over_j(src: &[f32], out: &mut [f32], i_caps: usize, j_caps: usize, p: usize) {
     for o in 0..i_caps {
         for i in 0..p {
             let mut max = f32::NEG_INFINITY;

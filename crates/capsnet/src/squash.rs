@@ -26,7 +26,10 @@ pub fn squash_caps(s: &Tensor) -> Tensor {
 /// Allocation-free squash over raw `[C, D, P]` slices into a scratch
 /// output buffer; arithmetic is identical to `Tensor::squash_axis(1)`
 /// (the routing hot path relies on that for bitwise stability).
-pub(crate) fn squash_slices(sd: &[f32], out: &mut [f32], c_types: usize, d: usize, p: usize) {
+///
+/// Public because the quantized datapath's special-function unit must
+/// compute exactly the float network's squash.
+pub fn squash_slices(sd: &[f32], out: &mut [f32], c_types: usize, d: usize, p: usize) {
     debug_assert_eq!(sd.len(), c_types * d * p);
     debug_assert_eq!(out.len(), sd.len());
     for ci in 0..c_types {

@@ -110,34 +110,20 @@ fn run_batch<M: CapsModel + Clone + Send + Sync>(
     }
     // Parallel path: per-sample gradients on worker clones, reduced in
     // sample order so the sum matches the serial accumulation bitwise.
-    let spans = par::spans(chunk.len(), workers);
-    let mut per_sample: Vec<Option<SampleGrad>> = Vec::with_capacity(chunk.len());
-    per_sample.resize_with(chunk.len(), || None);
-    std::thread::scope(|scope| {
-        let mut rest: &mut [Option<SampleGrad>] = &mut per_sample;
-        let mut consumed = 0;
-        for &(start, end) in &spans {
-            let (head, tail) = rest.split_at_mut(end - consumed);
-            rest = tail;
-            consumed = end;
-            let model_ref = &*model;
-            scope.spawn(move || {
-                let mut local = model_ref.clone();
-                local.zero_grad();
-                for (slot, ci) in head.iter_mut().zip(start..end) {
-                    let sample = &data.samples[chunk[ci]];
-                    *slot = Some(sample_gradient(
-                        &mut local,
-                        &sample.image,
-                        sample.label,
-                        loss_cfg,
-                    ));
-                }
-            });
-        }
-    });
-    for slot in per_sample {
-        let (loss, grads) = slot.expect("every sample processed");
+    let model_ref = &*model;
+    let per_sample: Vec<SampleGrad> = par::map_with(
+        chunk.len(),
+        || {
+            let mut local = model_ref.clone();
+            local.zero_grad();
+            local
+        },
+        |local, ci| {
+            let sample = &data.samples[chunk[ci]];
+            sample_gradient(local, &sample.image, sample.label, loss_cfg)
+        },
+    );
+    for (loss, grads) in per_sample {
         *total_loss += loss;
         for (p, g) in model.params_mut().into_iter().zip(&grads) {
             p.accumulate(g);
@@ -215,32 +201,17 @@ pub fn evaluate_clean<M: CapsModel + Clone + Send + Sync>(model: &M, data: &Data
     if data.is_empty() {
         return 0.0;
     }
-    let workers = par::num_threads().min(data.len());
-    if workers <= 1 {
-        let mut local = model.clone();
-        let correct = data
-            .samples
-            .iter()
-            .filter(|s| local.predict_with(&s.image, &mut NoInjection) == s.label)
-            .count();
-        return correct as f64 / data.len() as f64;
-    }
-    let spans = par::spans(data.len(), workers);
-    let counts = std::sync::Mutex::new(vec![0usize; spans.len()]);
-    std::thread::scope(|scope| {
-        for (w, &(start, end)) in spans.iter().enumerate() {
-            let counts = &counts;
-            scope.spawn(move || {
-                let mut local = model.clone();
-                let correct = data.samples[start..end]
-                    .iter()
-                    .filter(|s| local.predict_with(&s.image, &mut NoInjection) == s.label)
-                    .count();
-                counts.lock().expect("no poisoned lock")[w] = correct;
-            });
-        }
-    });
-    let correct: usize = counts.into_inner().expect("no poisoned lock").iter().sum();
+    let correct = par::map_with(
+        data.len(),
+        || model.clone(),
+        |local, i| {
+            let sample = &data.samples[i];
+            local.predict_with(&sample.image, &mut NoInjection) == sample.label
+        },
+    )
+    .into_iter()
+    .filter(|&hit| hit)
+    .count();
     correct as f64 / data.len() as f64
 }
 

@@ -1,46 +1,57 @@
 //! # redcane-qdp
 //!
 //! The quantized approximate datapath: runs the `redcane_axmul`
-//! multiplier models **inside** the trained network's 8-bit integer
+//! multiplier models **inside** a trained network's 8-bit integer
 //! MACs, instead of beside it as injected Gaussian noise.
 //!
-//! The ReD-CaNe methodology *predicts* how a CapsNet degrades on
-//! approximate hardware from per-component noise models
+//! The ReD-CaNe methodology *predicts* how a capsule network degrades
+//! on approximate hardware from per-component noise models
 //! (`redcane::noise`). This crate measures the ground truth the
-//! prediction stands in for:
+//! prediction stands in for, through an **architecture-generic
+//! lowering pipeline**:
 //!
-//! 1. **Calibrate** — sweep clean inputs through the trained float
-//!    network with [`CalibrationObserver`] [`RangeTracker`]s riding the
-//!    existing injection tap points, fixing every requantization range
-//!    from the real input distribution ([`calibrate_capsnet`]).
-//! 2. **Quantize** — lower the trained weights and activations onto
-//!    8-bit codes ([`QTensor`], Eq. 1 of the paper) and the MACs onto
-//!    integer kernels ([`kernels::qgemm_nn`]) whose every multiply is a
-//!    [`MulLut`] lookup — a 64 KiB table of any
+//! 1. **Calibrate** — sweep clean inputs through any trained float
+//!    [`CapsModel`](redcane_capsnet::CapsModel) with a
+//!    [`CalibrationObserver`] riding the existing injection tap
+//!    points; [`QuantRanges`] maps every observed `(layer, op kind)`
+//!    site to its fixed requantization range ([`calibrate_ranges`]).
+//! 2. **Lower** — every float layer lowers itself to its quantized
+//!    counterpart through [`LowerToQuant`] (`Dense`→`QDense`,
+//!    `Conv2d`→`QConv2d`, `ConvCaps2d`→`QConvCaps2d`,
+//!    `ConvCaps3d`→`QConvCaps3d`, `ClassCaps`→`QClassCaps`);
+//!    [`QModel::lower`] assembles them into a dataflow program for the
+//!    whole network. Weights and activations become 8-bit codes
+//!    ([`QTensor`], Eq. 1 of the paper) and the MACs integer kernels
+//!    ([`kernels::qgemm_nn`]) whose every multiply is a [`MulLut`]
+//!    lookup — a 64 KiB table of any
 //!    [`Multiplier8`](redcane_axmul::Multiplier8)'s full truth table.
-//! 3. **Run** — [`QCapsNet`] executes end-to-end inference on that
-//!    datapath ([`QConv2d`], [`QVotes`], [`quantized_routing`],
-//!    [`QDense`] for dense models), so swapping the LUT swaps the
-//!    arithmetic of the whole network.
+//! 3. **Run** — [`QModel`] executes end-to-end inference on that
+//!    datapath for **both** of the paper's architectures (CapsNet and
+//!    the 17-layer DeepCaps, Caps3D routing included), so swapping the
+//!    LUT swaps the arithmetic of the whole network.
 //!
-//! With the exact multiplier the datapath reproduces the float
+//! With the exact multiplier the datapath reproduces each float
 //! network's predictions to within quantization tolerance; with an
 //! approximate component it measures the *actual* accuracy drop that
 //! `redcane-bench`'s `qdp` binary then pairs with the noise-model
-//! prediction — the paper's validation loop, closed.
-//!
-//! [`RangeTracker`]: redcane_fxp::RangeTracker
+//! prediction — the paper's validation loop, closed over both
+//! networks.
 
 pub mod calib;
 pub mod kernels;
+pub mod lower;
 pub mod lut;
+pub mod qlayers;
 pub mod qmodel;
 pub mod qtensor;
 
 pub use calib::CalibrationObserver;
+pub use lower::{calibrate_ranges, LowerError, LowerToQuant, QuantRanges};
 pub use lut::MulLut;
-pub use qmodel::{
-    calibrate_capsnet, evaluate_quantized, quantized_routing, CapsNetRanges, QCapsNet, QConv2d,
-    QDense, QVotes,
+pub use qlayers::{
+    quantized_routing, QClassCaps, QConv2d, QConvCaps2d, QConvCaps3d, QDense, QVotes,
 };
+#[allow(deprecated)]
+pub use qmodel::QCapsNet;
+pub use qmodel::{evaluate_quantized, QModel, QStep};
 pub use qtensor::QTensor;

@@ -1,0 +1,882 @@
+//! Quantized layer forward paths: `Dense`, `Conv2d`, 2-D/3-D capsule
+//! convolutions, capsule votes and the routing MACs.
+//!
+//! Every multiply in these paths goes through a [`MulLut`] — i.e.
+//! through a behavioral model of a real 8-bit (possibly approximate)
+//! multiplier — while everything an accelerator computes exactly
+//! (code sums for the zero-point correction, bias adds, the squash /
+//! softmax special-function units) stays in float. Activations are
+//! requantized between layers with ranges fixed at calibration time,
+//! so the datapath is input-independent like the hardware it models.
+//!
+//! Each `Q*` type is the lowering target of its float counterpart via
+//! [`LowerToQuant`](crate::LowerToQuant); the [`QModel`](crate::QModel)
+//! program composes them into end-to-end quantized inference for any
+//! architecture.
+
+use redcane_capsnet::routing::softmax_over_j;
+use redcane_capsnet::squash::{squash_caps, squash_slices};
+use redcane_fxp::{FxpError, QuantParams};
+use redcane_nn::layers::{Conv2d, Dense};
+use redcane_tensor::ops::conv::im2col_slice;
+use redcane_tensor::ops::Conv2dSpec;
+use redcane_tensor::Tensor;
+
+use redcane_capsnet::layers::{ClassCaps, ConvCaps2d, ConvCaps3d};
+
+use crate::kernels::{affine_dequant, col_sums, qgemm_nn, row_sums};
+use crate::lut::MulLut;
+use crate::qtensor::quantize_codes;
+
+// ------------------------------------------------------------- QDense
+
+/// A [`Dense`] layer running its MAC through the quantized datapath.
+#[derive(Debug, Clone)]
+pub struct QDense {
+    qweight: Vec<u8>,
+    wparams: QuantParams,
+    wrowsums: Vec<u32>,
+    bias: Vec<f32>,
+    in_dim: usize,
+    out_dim: usize,
+    in_params: QuantParams,
+}
+
+impl QDense {
+    /// Quantizes a trained dense layer's weights (per-tensor range) and
+    /// fixes the input quantization to `in_params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the weights contain non-finite values.
+    pub fn from_dense(layer: &Dense, in_params: QuantParams) -> Result<Self, FxpError> {
+        let wparams = QuantParams::calibrate(layer.weight(), 8)?;
+        let qweight = quantize_codes(layer.weight().data(), wparams);
+        let wrowsums = row_sums(&qweight, layer.out_dim(), layer.in_dim());
+        Ok(QDense {
+            qweight,
+            wparams,
+            wrowsums,
+            bias: layer.bias().data().to_vec(),
+            in_dim: layer.in_dim(),
+            out_dim: layer.out_dim(),
+            in_params,
+        })
+    }
+
+    /// The quantized weight codes (empirical operand pools).
+    pub fn weight_codes(&self) -> &[u8] {
+        &self.qweight
+    }
+
+    /// `y = W·x + b` with the multiplies served by `lut`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not flatten to `in_dim` elements.
+    pub fn forward(&self, x: &Tensor, lut: &MulLut) -> Tensor {
+        assert_eq!(x.len(), self.in_dim, "QDense input size");
+        let qx = quantize_codes(x.data(), self.in_params);
+        let mut acc = vec![0u32; self.out_dim];
+        qgemm_nn(
+            &self.qweight,
+            &qx,
+            &mut acc,
+            self.out_dim,
+            self.in_dim,
+            1,
+            lut,
+        );
+        let cs = col_sums(&qx, self.in_dim, 1);
+        let mut out = vec![0.0f32; self.out_dim];
+        affine_dequant(
+            &acc,
+            &self.wrowsums,
+            &cs,
+            self.in_dim,
+            self.wparams,
+            self.in_params,
+            &mut out,
+        );
+        for (o, &b) in out.iter_mut().zip(&self.bias) {
+            *o += b;
+        }
+        Tensor::from_vec(out, &[self.out_dim]).expect("dense output")
+    }
+}
+
+// ------------------------------------------------------------ QConv2d
+
+/// A [`Conv2d`] layer running its im2col GEMM through the quantized
+/// datapath.
+#[derive(Debug, Clone)]
+pub struct QConv2d {
+    qweight: Vec<u8>,
+    wparams: QuantParams,
+    wrowsums: Vec<u32>,
+    bias: Vec<f32>,
+    spec: Conv2dSpec,
+    c_in: usize,
+    c_out: usize,
+    in_params: QuantParams,
+}
+
+impl QConv2d {
+    /// Quantizes a trained convolution's weights (per-tensor range) and
+    /// fixes the input quantization to `in_params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the weights contain non-finite values.
+    pub fn from_conv(conv: &Conv2d, in_params: QuantParams) -> Result<Self, FxpError> {
+        let wparams = QuantParams::calibrate(conv.weight(), 8)?;
+        let qweight = quantize_codes(conv.weight().data(), wparams);
+        let spec = conv.spec();
+        let k2 = conv.c_in() * spec.kernel * spec.kernel;
+        let wrowsums = row_sums(&qweight, conv.c_out(), k2);
+        Ok(QConv2d {
+            qweight,
+            wparams,
+            wrowsums,
+            bias: conv.bias().data().to_vec(),
+            spec,
+            c_in: conv.c_in(),
+            c_out: conv.c_out(),
+            in_params,
+        })
+    }
+
+    /// The quantized weight codes (empirical operand pools).
+    pub fn weight_codes(&self) -> &[u8] {
+        &self.qweight
+    }
+
+    /// Forward over a raw `[C_in, H, W]` slice through the quantized
+    /// GEMM, mirroring `Conv2d::forward_chw`: im2col (the existing
+    /// float machinery — padding zeros land on the affine zero point),
+    /// quantize the columns, accumulate `lut` products, dequantize with
+    /// the zero-point correction and add the bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `data.len() == c_in * h * w` with valid geometry.
+    pub fn forward_chw(&self, data: &[f32], h: usize, w: usize, lut: &MulLut) -> Tensor {
+        assert_eq!(data.len(), self.c_in * h * w, "QConv2d input size");
+        let h_out = self.spec.output_size(h).expect("valid geometry");
+        let w_out = self.spec.output_size(w).expect("valid geometry");
+        let k2 = self.c_in * self.spec.kernel * self.spec.kernel;
+        let n = h_out * w_out;
+        let mut cols = vec![0.0f32; k2 * n];
+        im2col_slice(data, self.c_in, h, w, self.spec, &mut cols).expect("valid conv input");
+        let qcols = quantize_codes(&cols, self.in_params);
+        let mut acc = vec![0u32; self.c_out * n];
+        qgemm_nn(&self.qweight, &qcols, &mut acc, self.c_out, k2, n, lut);
+        let cs = col_sums(&qcols, k2, n);
+        let mut out = vec![0.0f32; self.c_out * n];
+        affine_dequant(
+            &acc,
+            &self.wrowsums,
+            &cs,
+            k2,
+            self.wparams,
+            self.in_params,
+            &mut out,
+        );
+        for (co, orow) in out.chunks_exact_mut(n).enumerate() {
+            let b = self.bias[co];
+            if b != 0.0 {
+                for v in orow {
+                    *v += b;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[self.c_out, h_out, w_out]).expect("conv output shape")
+    }
+
+    /// Forward over a `[C_in, H, W]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a rank or channel mismatch.
+    pub fn forward(&self, x: &Tensor, lut: &MulLut) -> Tensor {
+        assert_eq!(x.ndim(), 3, "QConv2d expects [C,H,W]");
+        assert_eq!(x.shape()[0], self.c_in, "QConv2d input channels");
+        self.forward_chw(x.data(), x.shape()[1], x.shape()[2], lut)
+    }
+}
+
+// ------------------------------------------------------------- QVotes
+
+/// The `ClassCaps` vote transform `û_{j|i} = W_ij · u_i` through the
+/// quantized datapath: `I` independent `(J·D_out × D_in)` GEMVs.
+#[derive(Debug, Clone)]
+pub struct QVotes {
+    qweight: Vec<u8>,
+    wparams: QuantParams,
+    /// Per-`i` row sums, `[I, J·D_out]`.
+    wrowsums: Vec<u32>,
+    i_caps: usize,
+    j_caps: usize,
+    d_in: usize,
+    d_out: usize,
+    in_params: QuantParams,
+}
+
+impl QVotes {
+    /// Quantizes a trained class-capsule layer's transformation
+    /// matrices and fixes the unit-input quantization to `in_params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the weights contain non-finite values.
+    pub fn from_class_caps(layer: &ClassCaps, in_params: QuantParams) -> Result<Self, FxpError> {
+        let (i_caps, j_caps, d_in, d_out) = layer.dims();
+        let wparams = QuantParams::calibrate(layer.weight(), 8)?;
+        let qweight = quantize_codes(layer.weight().data(), wparams);
+        let wrowsums = row_sums(&qweight, i_caps * j_caps * d_out, d_in);
+        Ok(QVotes {
+            qweight,
+            wparams,
+            wrowsums,
+            i_caps,
+            j_caps,
+            d_in,
+            d_out,
+            in_params,
+        })
+    }
+
+    /// The quantized weight codes (empirical operand pools).
+    pub fn weight_codes(&self) -> &[u8] {
+        &self.qweight
+    }
+
+    /// Computes the vote tensor `[I, J, D_out]` for units `u` (`[I,
+    /// D_in]`) with the multiplies served by `lut`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an input shape mismatch.
+    pub fn forward(&self, u: &Tensor, lut: &MulLut) -> Tensor {
+        assert_eq!(u.shape(), [self.i_caps, self.d_in], "QVotes input");
+        let qu = quantize_codes(u.data(), self.in_params);
+        let rows = self.j_caps * self.d_out;
+        let wstride = rows * self.d_in;
+        let mut out = vec![0.0f32; self.i_caps * rows];
+        let mut acc = vec![0u32; rows];
+        for i in 0..self.i_caps {
+            let qu_i = &qu[i * self.d_in..(i + 1) * self.d_in];
+            acc.fill(0);
+            qgemm_nn(
+                &self.qweight[i * wstride..(i + 1) * wstride],
+                qu_i,
+                &mut acc,
+                rows,
+                self.d_in,
+                1,
+                lut,
+            );
+            let cs = col_sums(qu_i, self.d_in, 1);
+            affine_dequant(
+                &acc,
+                &self.wrowsums[i * rows..(i + 1) * rows],
+                &cs,
+                self.d_in,
+                self.wparams,
+                self.in_params,
+                &mut out[i * rows..(i + 1) * rows],
+            );
+        }
+        Tensor::from_vec(out, &[self.i_caps, self.j_caps, self.d_out]).expect("votes shape")
+    }
+}
+
+// -------------------------------------------------- quantized routing
+
+/// Dynamic routing-by-agreement with its two MAC sites — the weighted
+/// sum `s_j = Σᵢ k_ij·û_{j|i}` and the agreement (logits-update) dot
+/// `û·v` — running on quantized codes through `lut`. The softmax and
+/// squash (the accelerator's special-function units) stay in float and
+/// compute exactly what the float routing computes.
+///
+/// `votes` is `[I, J, D]` (fully-connected capsules) or `[I, J, D, P]`
+/// (convolutional capsules routing at every spatial position, as in
+/// DeepCaps' `Caps3D`); returns the routed capsules `[J, D]` or
+/// `[J, D, P]` respectively. `vote_params` / `coupling_params` /
+/// `act_params` are the calibrated requantization ranges for the
+/// votes, the coupling coefficients and the squashed capsules.
+///
+/// # Panics
+///
+/// Panics unless `votes` is rank 3 or 4 and `iterations >= 1`.
+pub fn quantized_routing(
+    votes: &Tensor,
+    iterations: usize,
+    vote_params: QuantParams,
+    coupling_params: QuantParams,
+    act_params: QuantParams,
+    lut: &MulLut,
+) -> Tensor {
+    let (i_caps, j_caps, d, p, spatial) = match votes.ndim() {
+        3 => (
+            votes.shape()[0],
+            votes.shape()[1],
+            votes.shape()[2],
+            1,
+            false,
+        ),
+        4 => (
+            votes.shape()[0],
+            votes.shape()[1],
+            votes.shape()[2],
+            votes.shape()[3],
+            true,
+        ),
+        _ => panic!("quantized_routing expects [I, J, D] or [I, J, D, P]"),
+    };
+    assert!(iterations >= 1, "routing needs at least one iteration");
+    // Same u32-accumulator contract as the qgemm kernels: the
+    // weighted sum reduces over I, the agreement dot over D.
+    debug_assert!(
+        i_caps <= crate::kernels::MAX_ACC_K && d <= crate::kernels::MAX_ACC_K,
+        "routing reduction ({i_caps} capsules, {d} dims) can overflow the u32 accumulator"
+    );
+    let qu = quantize_codes(votes.data(), vote_params);
+    // Iteration-independent code sums for the corrections.
+    // Σ_d qu[i,j,d,p] per (i, j, p) — the agreement dot's left-operand sum.
+    let mut qu_ijp = vec![0u32; i_caps * j_caps * p];
+    // Σ_i qu[i,j,d,p] per (j, d, p) — the weighted sum's vote-operand sum.
+    let mut qu_jdp = vec![0u32; j_caps * d * p];
+    for ij in 0..i_caps * j_caps {
+        let j = ij % j_caps;
+        for di in 0..d {
+            for pi in 0..p {
+                let code = qu[(ij * d + di) * p + pi] as u32;
+                qu_ijp[ij * p + pi] += code;
+                qu_jdp[(j * d + di) * p + pi] += code;
+            }
+        }
+    }
+    let (lu, min_u) = (vote_params.lsb(), vote_params.min());
+    let (lk, min_k) = (coupling_params.lsb(), coupling_params.min());
+    let (lv, min_v) = (act_params.lsb(), act_params.min());
+
+    let mut b = vec![0.0f32; i_caps * j_caps * p];
+    let mut k = vec![0.0f32; i_caps * j_caps * p];
+    let mut s = vec![0.0f32; j_caps * d * p];
+    let mut v = vec![0.0f32; j_caps * d * p];
+    let mut qk_jp = vec![0u32; j_caps * p];
+    for iter in 0..iterations {
+        // Coupling coefficients: softmax over J (float SFU). Iteration 0
+        // sees b == 0, for which the softmax is exactly uniform.
+        if iter == 0 {
+            k.fill(1.0 / j_caps as f32);
+        } else {
+            softmax_over_j(&b, &mut k, i_caps, j_caps, p);
+        }
+        let qk = quantize_codes(&k, coupling_params);
+        // Σ_i qk[i,j,p] per (j, p).
+        qk_jp.fill(0);
+        for i in 0..i_caps {
+            for (slot, &kv) in qk_jp
+                .iter_mut()
+                .zip(&qk[i * j_caps * p..(i + 1) * j_caps * p])
+            {
+                *slot += kv as u32;
+            }
+        }
+        // Weighted sum s[j,d,p] = Σ_i k[i,j,p]·u[i,j,d,p] on codes,
+        // then squash (float SFU).
+        for j in 0..j_caps {
+            for di in 0..d {
+                for pi in 0..p {
+                    let mut acc = 0u32;
+                    for i in 0..i_caps {
+                        acc += lut.mul(
+                            qk[(i * j_caps + j) * p + pi],
+                            qu[((i * j_caps + j) * d + di) * p + pi],
+                        ) as u32;
+                    }
+                    s[(j * d + di) * p + pi] = lk * lu * acc as f32
+                        + lk * min_u * qk_jp[j * p + pi] as f32
+                        + lu * min_k * qu_jdp[(j * d + di) * p + pi] as f32
+                        + i_caps as f32 * min_k * min_u;
+                }
+            }
+        }
+        squash_slices(&s, &mut v, j_caps, d, p);
+        if iter + 1 == iterations {
+            break;
+        }
+        // Agreement b[i,j,p] += Σ_d û[i,j,d,p]·v[j,d,p] on codes.
+        let qv = quantize_codes(&v, act_params);
+        // Σ_d qv[j,d,p] per (j, p).
+        let mut qv_jp = vec![0u32; j_caps * p];
+        for j in 0..j_caps {
+            for di in 0..d {
+                for pi in 0..p {
+                    qv_jp[j * p + pi] += qv[(j * d + di) * p + pi] as u32;
+                }
+            }
+        }
+        for i in 0..i_caps {
+            for j in 0..j_caps {
+                for pi in 0..p {
+                    let mut acc = 0u32;
+                    for di in 0..d {
+                        acc += lut.mul(
+                            qu[((i * j_caps + j) * d + di) * p + pi],
+                            qv[(j * d + di) * p + pi],
+                        ) as u32;
+                    }
+                    b[(i * j_caps + j) * p + pi] += lu * lv * acc as f32
+                        + lu * min_v * qu_ijp[(i * j_caps + j) * p + pi] as f32
+                        + lv * min_u * qv_jp[j * p + pi] as f32
+                        + d as f32 * min_u * min_v;
+                }
+            }
+        }
+    }
+    let shape: &[usize] = if spatial {
+        &[j_caps, d, p]
+    } else {
+        &[j_caps, d]
+    };
+    Tensor::from_vec(v, shape).expect("routed capsules")
+}
+
+// --------------------------------------------------------- QConvCaps2d
+
+/// A [`ConvCaps2d`] layer on the quantized datapath: the channel-folded
+/// convolution runs on 8-bit codes; the per-capsule squash (when the
+/// layer applies one) stays in float, as on the accelerator's SFU.
+#[derive(Debug, Clone)]
+pub struct QConvCaps2d {
+    conv: QConv2d,
+    c_in: usize,
+    d_in: usize,
+    c_out: usize,
+    d_out: usize,
+    apply_squash: bool,
+}
+
+impl QConvCaps2d {
+    /// Lowers a trained conv-caps layer with its input quantization
+    /// fixed to `in_params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the weights contain non-finite values.
+    pub fn from_conv_caps(layer: &ConvCaps2d, in_params: QuantParams) -> Result<Self, FxpError> {
+        let (c_in, d_in) = layer.in_caps();
+        let (c_out, d_out) = layer.out_caps();
+        Ok(QConvCaps2d {
+            conv: QConv2d::from_conv(layer.conv(), in_params)?,
+            c_in,
+            d_in,
+            c_out,
+            d_out,
+            apply_squash: layer.applies_squash(),
+        })
+    }
+
+    /// The wrapped quantized convolution.
+    pub fn conv(&self) -> &QConv2d {
+        &self.conv
+    }
+
+    /// Forward over a capsule tensor whose leading axes fold to
+    /// `C_in·D_in` channels (`[C, D, H, W]`, or `[C·D, H, W]`);
+    /// returns `[C_out, D_out, H', W']` capsules — squashed when the
+    /// float layer squashes, pre-activation otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a geometry mismatch.
+    pub fn forward(&self, x: &Tensor, lut: &MulLut) -> Tensor {
+        let nd = x.ndim();
+        assert!(nd >= 3, "QConvCaps2d expects at least [C, H, W]");
+        let (h, w) = (x.shape()[nd - 2], x.shape()[nd - 1]);
+        assert_eq!(
+            x.len(),
+            self.c_in * self.d_in * h * w,
+            "QConvCaps2d input capsules"
+        );
+        let y = self.conv.forward_chw(x.data(), h, w, lut);
+        let (h_out, w_out) = (y.shape()[1], y.shape()[2]);
+        let p = h_out * w_out;
+        let s = y
+            .into_reshaped(&[self.c_out, self.d_out, p])
+            .expect("capsule unfold");
+        let out = if self.apply_squash {
+            squash_caps(&s)
+        } else {
+            s
+        };
+        out.into_reshaped(&[self.c_out, self.d_out, h_out, w_out])
+            .expect("spatial unfold")
+    }
+}
+
+// --------------------------------------------------------- QConvCaps3d
+
+/// A [`ConvCaps3d`] layer on the quantized datapath: per-type vote
+/// convolutions and both routing MAC sites run on 8-bit codes
+/// ([`quantized_routing`] with `P = H'·W'` spatial positions); softmax
+/// and squash stay in float.
+#[derive(Debug, Clone)]
+pub struct QConvCaps3d {
+    convs: Vec<QConv2d>,
+    c_in: usize,
+    d_in: usize,
+    c_out: usize,
+    d_out: usize,
+    iterations: usize,
+    vote_params: QuantParams,
+    coupling_params: QuantParams,
+    act_params: QuantParams,
+}
+
+impl QConvCaps3d {
+    /// Lowers a trained routing conv-caps layer. `in_params` fixes the
+    /// vote convolutions' input quantization; `vote_params` /
+    /// `coupling_params` / `act_params` are the routing requantization
+    /// ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any vote convolution's weights contain
+    /// non-finite values.
+    pub fn from_conv_caps(
+        layer: &ConvCaps3d,
+        in_params: QuantParams,
+        vote_params: QuantParams,
+        coupling_params: QuantParams,
+        act_params: QuantParams,
+    ) -> Result<Self, FxpError> {
+        let (c_in, d_in) = layer.in_caps();
+        let (c_out, d_out) = layer.out_caps();
+        let convs = layer
+            .convs()
+            .iter()
+            .map(|c| QConv2d::from_conv(c, in_params))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(QConvCaps3d {
+            convs,
+            c_in,
+            d_in,
+            c_out,
+            d_out,
+            iterations: layer.iterations(),
+            vote_params,
+            coupling_params,
+            act_params,
+        })
+    }
+
+    /// The per-input-type quantized vote convolutions.
+    pub fn convs(&self) -> &[QConv2d] {
+        &self.convs
+    }
+
+    /// Forward over `[C_in, D_in, H, W]` capsules; returns the routed
+    /// `[C_out, D_out, H', W']` capsules with every MAC on `lut`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a geometry mismatch.
+    pub fn forward(&self, x: &Tensor, lut: &MulLut) -> Tensor {
+        assert_eq!(x.ndim(), 4, "QConvCaps3d expects [C, D, H, W]");
+        assert_eq!(x.shape()[0], self.c_in, "capsule types");
+        assert_eq!(x.shape()[1], self.d_in, "capsule dims");
+        let (h, w) = (x.shape()[2], x.shape()[3]);
+        let type_len = self.d_in * h * w;
+        // Per-type vote convolutions, assembled as votes [I, J, D, P].
+        let mut flat = Vec::new();
+        let mut out_hw = (0usize, 0usize);
+        for (i, conv) in self.convs.iter().enumerate() {
+            let vi = conv.forward_chw(&x.data()[i * type_len..(i + 1) * type_len], h, w, lut);
+            out_hw = (vi.shape()[1], vi.shape()[2]);
+            if flat.is_empty() {
+                flat.reserve_exact(self.c_in * vi.len());
+            }
+            flat.extend_from_slice(vi.data());
+        }
+        let (h_out, w_out) = out_hw;
+        let p = h_out * w_out;
+        let votes =
+            Tensor::from_vec(flat, &[self.c_in, self.c_out, self.d_out, p]).expect("vote assembly");
+        let v = quantized_routing(
+            &votes,
+            self.iterations,
+            self.vote_params,
+            self.coupling_params,
+            self.act_params,
+            lut,
+        );
+        v.into_reshaped(&[self.c_out, self.d_out, h_out, w_out])
+            .expect("spatial unfold")
+    }
+}
+
+// ---------------------------------------------------------- QClassCaps
+
+/// A [`ClassCaps`] layer on the quantized datapath: the vote transform
+/// ([`QVotes`]) and both routing MAC sites run on 8-bit codes.
+#[derive(Debug, Clone)]
+pub struct QClassCaps {
+    votes: QVotes,
+    iterations: usize,
+    vote_params: QuantParams,
+    coupling_params: QuantParams,
+    act_params: QuantParams,
+}
+
+impl QClassCaps {
+    /// Lowers a trained class-capsule layer. `in_params` fixes the unit
+    /// input quantization; `vote_params` / `coupling_params` /
+    /// `act_params` are the routing requantization ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the weights contain non-finite values.
+    pub fn from_class_caps(
+        layer: &ClassCaps,
+        in_params: QuantParams,
+        vote_params: QuantParams,
+        coupling_params: QuantParams,
+        act_params: QuantParams,
+    ) -> Result<Self, FxpError> {
+        Ok(QClassCaps {
+            votes: QVotes::from_class_caps(layer, in_params)?,
+            iterations: layer.iterations(),
+            vote_params,
+            coupling_params,
+            act_params,
+        })
+    }
+
+    /// The wrapped quantized vote transform.
+    pub fn votes(&self) -> &QVotes {
+        &self.votes
+    }
+
+    /// Forward over units `[I, D_in]`; returns the routed class
+    /// capsules `[J, D_out]` with every MAC on `lut`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an input shape mismatch.
+    pub fn forward(&self, u: &Tensor, lut: &MulLut) -> Tensor {
+        let votes = self.votes.forward(u, lut);
+        quantized_routing(
+            &votes,
+            self.iterations,
+            self.vote_params,
+            self.coupling_params,
+            self.act_params,
+            lut,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcane_capsnet::routing::dynamic_routing;
+    use redcane_capsnet::NoInjection;
+    use redcane_nn::Layer;
+    use redcane_tensor::TensorRng;
+
+    fn p(min: f32, max: f32) -> QuantParams {
+        QuantParams::from_range(min, max, 8).unwrap()
+    }
+
+    #[test]
+    fn qdense_with_exact_lut_tracks_float_dense() {
+        let mut rng = TensorRng::from_seed(500);
+        let mut dense = Dense::new(20, 6, &mut rng);
+        let x = rng.uniform(&[20], -1.0, 1.0);
+        let want = dense.forward(&x);
+        let q = QDense::from_dense(&dense, p(-1.0, 1.0)).unwrap();
+        let got = q.forward(&x, &MulLut::exact());
+        let scale = want.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        for (a, b) in want.data().iter().zip(got.data()) {
+            assert!(
+                (a - b).abs() < 0.05 * (1.0 + scale),
+                "float {a} vs quantized {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn qconv_with_exact_lut_tracks_float_conv() {
+        let mut rng = TensorRng::from_seed(501);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = rng.uniform(&[2, 6, 6], -1.0, 1.0);
+        let want = conv.forward(&x);
+        let q = QConv2d::from_conv(&conv, p(-1.0, 1.0)).unwrap();
+        let got = q.forward(&x, &MulLut::exact());
+        assert_eq!(got.shape(), want.shape());
+        let scale = want.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let mut total = 0.0f32;
+        for (a, b) in want.data().iter().zip(got.data()) {
+            let err = (a - b).abs();
+            total += err;
+            assert!(err < 0.1 * (1.0 + scale), "float {a} vs quantized {b}");
+        }
+        let mean = total / want.len() as f32;
+        assert!(mean < 0.02 * (1.0 + scale), "mean error {mean}");
+    }
+
+    #[test]
+    fn qvotes_with_exact_lut_tracks_float_votes() {
+        let mut rng = TensorRng::from_seed(502);
+        let layer = ClassCaps::new(0, "CC", 6, 4, 3, 5, 3, &mut rng);
+        let u = rng.uniform(&[6, 3], -1.0, 1.0);
+        let q = QVotes::from_class_caps(&layer, p(-1.0, 1.0)).unwrap();
+        let got = q.forward(&u, &MulLut::exact());
+        assert_eq!(got.shape(), &[6, 4, 5]);
+        // Float oracle: û_{j|i} = W_ij · u_i by direct loops.
+        let w = layer.weight().data();
+        for i in 0..6 {
+            for j in 0..4 {
+                for di in 0..5 {
+                    let mut want = 0.0f32;
+                    for dk in 0..3 {
+                        want += w[((i * 4 + j) * 5 + di) * 3 + dk] * u.data()[i * 3 + dk];
+                    }
+                    let have = got.data()[(i * 4 + j) * 5 + di];
+                    assert!((want - have).abs() < 0.05, "vote [{i},{j},{di}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_routing_with_exact_lut_tracks_float_routing() {
+        let mut rng = TensorRng::from_seed(503);
+        let (i_caps, j_caps, d) = (8, 4, 5);
+        let votes3 = rng.uniform(&[i_caps, j_caps, d], -1.0, 1.0);
+        let votes4 = votes3.reshape(&[i_caps, j_caps, d, 1]).unwrap();
+        let cache = dynamic_routing(votes4, 3, 0, "X", &mut NoInjection);
+        let want = cache.v.reshape(&[j_caps, d]).unwrap();
+        let got = quantized_routing(
+            &votes3,
+            3,
+            QuantParams::calibrate(&votes3, 8).unwrap(),
+            p(0.0, 1.0),
+            p(-1.0, 1.0),
+            &MulLut::exact(),
+        );
+        assert_eq!(got.shape(), &[j_caps, d]);
+        for (a, b) in want.data().iter().zip(got.data()) {
+            assert!((a - b).abs() < 0.05, "float {a} vs quantized {b}");
+        }
+    }
+
+    /// The spatial (P > 1) form — the Caps3D routing geometry — must
+    /// track the float routing at every position.
+    #[test]
+    fn quantized_routing_spatial_tracks_float_routing() {
+        let mut rng = TensorRng::from_seed(507);
+        let (i_caps, j_caps, d, p_dim) = (4, 3, 4, 6);
+        let votes = rng.uniform(&[i_caps, j_caps, d, p_dim], -1.0, 1.0);
+        let cache = dynamic_routing(votes.clone(), 3, 0, "X", &mut NoInjection);
+        let got = quantized_routing(
+            &votes,
+            3,
+            QuantParams::calibrate(&votes, 8).unwrap(),
+            p(0.0, 1.0),
+            p(-1.0, 1.0),
+            &MulLut::exact(),
+        );
+        assert_eq!(got.shape(), &[j_caps, d, p_dim]);
+        for (a, b) in cache.v.data().iter().zip(got.data()) {
+            assert!((a - b).abs() < 0.05, "float {a} vs quantized {b}");
+        }
+    }
+
+    #[test]
+    fn qconv_caps2d_with_exact_lut_tracks_float_layer() {
+        let mut rng = TensorRng::from_seed(508);
+        for apply_squash in [true, false] {
+            let mut layer = ConvCaps2d::new(0, "C2", 2, 4, 3, 4, 3, 2, 1, apply_squash, &mut rng);
+            let x = rng.uniform(&[2, 4, 8, 8], -1.0, 1.0);
+            let want = layer.forward(&x, &mut NoInjection);
+            let q = QConvCaps2d::from_conv_caps(&layer, p(-1.0, 1.0)).unwrap();
+            let got = q.forward(&x, &MulLut::exact());
+            assert_eq!(got.shape(), want.shape());
+            let scale = want.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            for (a, b) in want.data().iter().zip(got.data()) {
+                assert!(
+                    (a - b).abs() < 0.1 * (1.0 + scale),
+                    "squash={apply_squash}: float {a} vs quantized {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qconv_caps3d_with_exact_lut_tracks_float_layer() {
+        let mut rng = TensorRng::from_seed(509);
+        let mut layer = ConvCaps3d::new(0, "C3", 3, 4, 2, 4, 3, 1, 1, 3, &mut rng);
+        let x = rng.uniform(&[3, 4, 4, 4], -1.0, 1.0);
+        let want = layer.forward(&x, &mut NoInjection);
+        // Calibrate the routing ranges from the float layer's own taps.
+        let mut obs = crate::CalibrationObserver::new();
+        let mut probe = layer.clone();
+        let _ = probe.forward(&x, &mut obs);
+        let ranges = obs.ranges(8).unwrap();
+        let q = QConvCaps3d::from_conv_caps(
+            &layer,
+            ranges.get("C3", redcane_capsnet::OpKind::MacInput).unwrap(),
+            ranges
+                .get("C3", redcane_capsnet::OpKind::MacOutput)
+                .unwrap(),
+            ranges
+                .get_routing("C3", redcane_capsnet::OpKind::Softmax)
+                .unwrap(),
+            ranges
+                .get_routing("C3", redcane_capsnet::OpKind::Activation)
+                .unwrap(),
+        )
+        .unwrap();
+        let got = q.forward(&x, &MulLut::exact());
+        assert_eq!(got.shape(), want.shape());
+        for (a, b) in want.data().iter().zip(got.data()) {
+            assert!((a - b).abs() < 0.12, "float {a} vs quantized {b}");
+        }
+    }
+
+    #[test]
+    fn qclass_caps_with_exact_lut_tracks_float_layer() {
+        let mut rng = TensorRng::from_seed(510);
+        let mut layer = ClassCaps::new(0, "CC", 12, 10, 4, 8, 3, &mut rng);
+        let u = rng.uniform(&[12, 4], -1.0, 1.0);
+        let want = layer.forward(&u, &mut NoInjection);
+        let mut obs = crate::CalibrationObserver::new();
+        let mut probe = layer.clone();
+        let _ = probe.forward(&u, &mut obs);
+        let ranges = obs.ranges(8).unwrap();
+        let q = QClassCaps::from_class_caps(
+            &layer,
+            ranges.get("CC", redcane_capsnet::OpKind::MacInput).unwrap(),
+            ranges
+                .get("CC", redcane_capsnet::OpKind::MacOutput)
+                .unwrap(),
+            ranges
+                .get_routing("CC", redcane_capsnet::OpKind::Softmax)
+                .unwrap(),
+            ranges
+                .get_routing("CC", redcane_capsnet::OpKind::Activation)
+                .unwrap(),
+        )
+        .unwrap();
+        let got = q.forward(&u, &MulLut::exact());
+        assert_eq!(got.shape(), want.shape());
+        for (a, b) in want.data().iter().zip(got.data()) {
+            assert!((a - b).abs() < 0.1, "float {a} vs quantized {b}");
+        }
+    }
+}

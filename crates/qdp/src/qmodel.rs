@@ -1,508 +1,271 @@
-//! Quantized forward paths: `Dense`, `Conv2d`, capsule votes and the
-//! routing MACs, wired into an end-to-end quantized CapsNet.
+//! [`QModel`]: end-to-end quantized inference for **any** capsule
+//! architecture, assembled from the generic lowering pipeline.
 //!
-//! Every multiply in these paths goes through a [`MulLut`] — i.e.
-//! through a behavioral model of a real 8-bit (possibly approximate)
-//! multiplier — while everything an accelerator computes exactly
-//! (code sums for the zero-point correction, bias adds, the squash /
-//! softmax special-function units) stays in float. Activations are
-//! requantized between layers with ranges fixed at calibration time,
-//! so the datapath is input-independent like the hardware it models.
+//! A `QModel` is a small dataflow program over the quantized layer
+//! primitives of [`crate::qlayers`] plus the float glue an accelerator
+//! computes exactly (ReLU, residual join + squash, capsule→unit
+//! reordering, concatenation, capsule lengths). Lowering walks a
+//! trained float model's layer graph, lowers every layer through
+//! [`LowerToQuant`](crate::LowerToQuant) with the calibrated
+//! [`QuantRanges`], and emits the steps; `forward` then executes them
+//! with every MAC multiply served by a pluggable [`MulLut`].
+//!
+//! Both of the paper's architectures lower onto the same step set:
+//! CapsNet is 4 steps, the 17-layer DeepCaps (Caps3D routing included)
+//! is 24 — no per-architecture execution code.
 
-use redcane_capsnet::squash::squash_caps;
-use redcane_capsnet::{CapsModel, CapsNet, CapsNetConfig};
-use redcane_fxp::{FxpError, QuantParams};
-use redcane_nn::layers::{Conv2d, Dense};
-use redcane_tensor::ops::conv::im2col_slice;
-use redcane_tensor::ops::Conv2dSpec;
+use redcane_capsnet::model::caps_to_units;
+use redcane_capsnet::squash::{caps_lengths, squash_caps};
+use redcane_capsnet::{CapsModel, CapsNet, DeepCaps};
+use redcane_datasets::Dataset;
 use redcane_tensor::Tensor;
 
-use redcane_capsnet::inject::OpKind;
-use redcane_capsnet::layers::ClassCaps;
-use redcane_datasets::Dataset;
-
-use crate::calib::CalibrationObserver;
-use crate::kernels::{affine_dequant, col_sums, qgemm_nn, row_sums};
+use crate::lower::{calibrate_ranges, LowerError, LowerToQuant, QuantRanges};
 use crate::lut::MulLut;
-use crate::qtensor::quantize_codes;
+use crate::qlayers::{QClassCaps, QConv2d, QConvCaps2d, QConvCaps3d};
 
-/// Matches the squash epsilon of `redcane_capsnet::squash`.
-const EPS: f32 = 1e-8;
-
-// ------------------------------------------------------------- QDense
-
-/// A [`Dense`] layer running its MAC through the quantized datapath.
+/// One step of a quantized dataflow program. `src`/`a`/`b` index the
+/// value produced by that step of the program (step 0's input is the
+/// network input, value 0; step `i` produces value `i + 1`).
 #[derive(Debug, Clone)]
-pub struct QDense {
-    qweight: Vec<u8>,
-    wparams: QuantParams,
-    wrowsums: Vec<u32>,
-    bias: Vec<f32>,
-    in_dim: usize,
-    out_dim: usize,
-    in_params: QuantParams,
+pub enum QStep {
+    /// Plain convolution (+ optional ReLU) on the quantized GEMM.
+    Conv {
+        /// The quantized convolution.
+        conv: QConv2d,
+        /// Apply a float ReLU to the output (SFU).
+        relu: bool,
+        /// Input value index.
+        src: usize,
+    },
+    /// 2-D conv-caps (conv on codes, optional float squash).
+    CapsConv {
+        /// The quantized conv-caps layer.
+        layer: QConvCaps2d,
+        /// Input value index.
+        src: usize,
+    },
+    /// Routing 3-D conv-caps (votes + routing MACs on codes).
+    Caps3d {
+        /// The quantized routing conv-caps layer.
+        layer: QConvCaps3d,
+        /// Input value index.
+        src: usize,
+    },
+    /// Residual join: elementwise add then per-capsule squash (float).
+    AddSquash {
+        /// Left operand value index.
+        a: usize,
+        /// Right operand value index.
+        b: usize,
+    },
+    /// `[C, D, H, W]` capsules → `[C·H·W, D]` units (pure reorder).
+    ToUnits {
+        /// Input value index.
+        src: usize,
+    },
+    /// Concatenate two unit tensors along the capsule axis.
+    ConcatUnits {
+        /// First operand value index.
+        a: usize,
+        /// Second operand value index.
+        b: usize,
+    },
+    /// Fully-connected class capsules (votes + routing MACs on codes).
+    ClassCaps {
+        /// The quantized class-capsule layer.
+        layer: QClassCaps,
+        /// Input value index.
+        src: usize,
+    },
 }
 
-impl QDense {
-    /// Quantizes a trained dense layer's weights (per-tensor range) and
-    /// fixes the input quantization to `in_params`.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the weights contain non-finite values.
-    pub fn from_dense(layer: &Dense, in_params: QuantParams) -> Result<Self, FxpError> {
-        let wparams = QuantParams::calibrate(layer.weight(), 8)?;
-        let qweight = quantize_codes(layer.weight().data(), wparams);
-        let wrowsums = row_sums(&qweight, layer.out_dim(), layer.in_dim());
-        Ok(QDense {
-            qweight,
-            wparams,
-            wrowsums,
-            bias: layer.bias().data().to_vec(),
-            in_dim: layer.in_dim(),
-            out_dim: layer.out_dim(),
-            in_params,
-        })
-    }
-
-    /// `y = W·x + b` with the multiplies served by `lut`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `x` does not flatten to `in_dim` elements.
-    pub fn forward(&self, x: &Tensor, lut: &MulLut) -> Tensor {
-        assert_eq!(x.len(), self.in_dim, "QDense input size");
-        let qx = quantize_codes(x.data(), self.in_params);
-        let mut acc = vec![0u32; self.out_dim];
-        qgemm_nn(
-            &self.qweight,
-            &qx,
-            &mut acc,
-            self.out_dim,
-            self.in_dim,
-            1,
-            lut,
-        );
-        let cs = col_sums(&qx, self.in_dim, 1);
-        let mut out = vec![0.0f32; self.out_dim];
-        affine_dequant(
-            &acc,
-            &self.wrowsums,
-            &cs,
-            self.in_dim,
-            self.wparams,
-            self.in_params,
-            &mut out,
-        );
-        for (o, &b) in out.iter_mut().zip(&self.bias) {
-            *o += b;
-        }
-        Tensor::from_vec(out, &[self.out_dim]).expect("dense output")
-    }
-}
-
-// ------------------------------------------------------------ QConv2d
-
-/// A [`Conv2d`] layer running its im2col GEMM through the quantized
-/// datapath.
-#[derive(Debug, Clone)]
-pub struct QConv2d {
-    qweight: Vec<u8>,
-    wparams: QuantParams,
-    wrowsums: Vec<u32>,
-    bias: Vec<f32>,
-    spec: Conv2dSpec,
-    c_in: usize,
-    c_out: usize,
-    in_params: QuantParams,
-}
-
-impl QConv2d {
-    /// Quantizes a trained convolution's weights (per-tensor range) and
-    /// fixes the input quantization to `in_params`.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the weights contain non-finite values.
-    pub fn from_conv(conv: &Conv2d, in_params: QuantParams) -> Result<Self, FxpError> {
-        let wparams = QuantParams::calibrate(conv.weight(), 8)?;
-        let qweight = quantize_codes(conv.weight().data(), wparams);
-        let spec = conv.spec();
-        let k2 = conv.c_in() * spec.kernel * spec.kernel;
-        let wrowsums = row_sums(&qweight, conv.c_out(), k2);
-        Ok(QConv2d {
-            qweight,
-            wparams,
-            wrowsums,
-            bias: conv.bias().data().to_vec(),
-            spec,
-            c_in: conv.c_in(),
-            c_out: conv.c_out(),
-            in_params,
-        })
-    }
-
-    /// Forward over a raw `[C_in, H, W]` slice through the quantized
-    /// GEMM, mirroring `Conv2d::forward_chw`: im2col (the existing
-    /// float machinery — padding zeros land on the affine zero point),
-    /// quantize the columns, accumulate `lut` products, dequantize with
-    /// the zero-point correction and add the bias.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `data.len() == c_in * h * w` with valid geometry.
-    pub fn forward_chw(&self, data: &[f32], h: usize, w: usize, lut: &MulLut) -> Tensor {
-        assert_eq!(data.len(), self.c_in * h * w, "QConv2d input size");
-        let h_out = self.spec.output_size(h).expect("valid geometry");
-        let w_out = self.spec.output_size(w).expect("valid geometry");
-        let k2 = self.c_in * self.spec.kernel * self.spec.kernel;
-        let n = h_out * w_out;
-        let mut cols = vec![0.0f32; k2 * n];
-        im2col_slice(data, self.c_in, h, w, self.spec, &mut cols).expect("valid conv input");
-        let qcols = quantize_codes(&cols, self.in_params);
-        let mut acc = vec![0u32; self.c_out * n];
-        qgemm_nn(&self.qweight, &qcols, &mut acc, self.c_out, k2, n, lut);
-        let cs = col_sums(&qcols, k2, n);
-        let mut out = vec![0.0f32; self.c_out * n];
-        affine_dequant(
-            &acc,
-            &self.wrowsums,
-            &cs,
-            k2,
-            self.wparams,
-            self.in_params,
-            &mut out,
-        );
-        for (co, orow) in out.chunks_exact_mut(n).enumerate() {
-            let b = self.bias[co];
-            if b != 0.0 {
-                for v in orow {
-                    *v += b;
-                }
-            }
-        }
-        Tensor::from_vec(out, &[self.c_out, h_out, w_out]).expect("conv output shape")
-    }
-
-    /// Forward over a `[C_in, H, W]` tensor.
-    ///
-    /// # Panics
-    ///
-    /// Panics on a rank or channel mismatch.
-    pub fn forward(&self, x: &Tensor, lut: &MulLut) -> Tensor {
-        assert_eq!(x.ndim(), 3, "QConv2d expects [C,H,W]");
-        assert_eq!(x.shape()[0], self.c_in, "QConv2d input channels");
-        self.forward_chw(x.data(), x.shape()[1], x.shape()[2], lut)
-    }
-}
-
-// ------------------------------------------------------------- QVotes
-
-/// The `ClassCaps` vote transform `û_{j|i} = W_ij · u_i` through the
-/// quantized datapath: `I` independent `(J·D_out × D_in)` GEMVs.
-#[derive(Debug, Clone)]
-pub struct QVotes {
-    qweight: Vec<u8>,
-    wparams: QuantParams,
-    /// Per-`i` row sums, `[I, J·D_out]`.
-    wrowsums: Vec<u32>,
-    i_caps: usize,
-    j_caps: usize,
-    d_in: usize,
-    d_out: usize,
-    in_params: QuantParams,
-}
-
-impl QVotes {
-    /// Quantizes a trained class-capsule layer's transformation
-    /// matrices and fixes the unit-input quantization to `in_params`.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the weights contain non-finite values.
-    pub fn from_class_caps(layer: &ClassCaps, in_params: QuantParams) -> Result<Self, FxpError> {
-        let (i_caps, j_caps, d_in, d_out) = layer.dims();
-        let wparams = QuantParams::calibrate(layer.weight(), 8)?;
-        let qweight = quantize_codes(layer.weight().data(), wparams);
-        let wrowsums = row_sums(&qweight, i_caps * j_caps * d_out, d_in);
-        Ok(QVotes {
-            qweight,
-            wparams,
-            wrowsums,
-            i_caps,
-            j_caps,
-            d_in,
-            d_out,
-            in_params,
-        })
-    }
-
-    /// Computes the vote tensor `[I, J, D_out]` for units `u` (`[I,
-    /// D_in]`) with the multiplies served by `lut`.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an input shape mismatch.
-    pub fn forward(&self, u: &Tensor, lut: &MulLut) -> Tensor {
-        assert_eq!(u.shape(), [self.i_caps, self.d_in], "QVotes input");
-        let qu = quantize_codes(u.data(), self.in_params);
-        let rows = self.j_caps * self.d_out;
-        let wstride = rows * self.d_in;
-        let mut out = vec![0.0f32; self.i_caps * rows];
-        let mut acc = vec![0u32; rows];
-        for i in 0..self.i_caps {
-            let qu_i = &qu[i * self.d_in..(i + 1) * self.d_in];
-            acc.fill(0);
-            qgemm_nn(
-                &self.qweight[i * wstride..(i + 1) * wstride],
-                qu_i,
-                &mut acc,
-                rows,
-                self.d_in,
-                1,
-                lut,
-            );
-            let cs = col_sums(qu_i, self.d_in, 1);
-            affine_dequant(
-                &acc,
-                &self.wrowsums[i * rows..(i + 1) * rows],
-                &cs,
-                self.d_in,
-                self.wparams,
-                self.in_params,
-                &mut out[i * rows..(i + 1) * rows],
-            );
-        }
-        Tensor::from_vec(out, &[self.i_caps, self.j_caps, self.d_out]).expect("votes shape")
-    }
-}
-
-// -------------------------------------------------- quantized routing
-
-/// Dynamic routing-by-agreement with its two MAC sites — the weighted
-/// sum `s_j = Σᵢ k_ij·û_{j|i}` and the agreement (logits-update) dot
-/// `û·v` — running on quantized codes through `lut`. The softmax and
-/// squash (the accelerator's special-function units) stay in float.
-///
-/// `votes` is `[I, J, D]`; returns the routed capsules `[J, D]`.
-/// `vote_params` / `coupling_params` / `act_params` are the calibrated
-/// requantization ranges for the votes, the coupling coefficients and
-/// the squashed capsules.
-///
-/// # Panics
-///
-/// Panics unless `votes` is rank 3 and `iterations >= 1`.
-pub fn quantized_routing(
-    votes: &Tensor,
-    iterations: usize,
-    vote_params: QuantParams,
-    coupling_params: QuantParams,
-    act_params: QuantParams,
-    lut: &MulLut,
-) -> Tensor {
-    assert_eq!(votes.ndim(), 3, "quantized_routing expects [I, J, D]");
-    assert!(iterations >= 1, "routing needs at least one iteration");
-    let (i_caps, j_caps, d) = (votes.shape()[0], votes.shape()[1], votes.shape()[2]);
-    // Same u32-accumulator contract as the qgemm kernels: the
-    // weighted sum reduces over I, the agreement dot over D.
-    debug_assert!(
-        i_caps <= crate::kernels::MAX_ACC_K && d <= crate::kernels::MAX_ACC_K,
-        "routing reduction ({i_caps} capsules, {d} dims) can overflow the u32 accumulator"
-    );
-    let qu = quantize_codes(votes.data(), vote_params);
-    // Iteration-independent code sums for the corrections.
-    // Σ_d qu_ijd per (i, j) — the agreement dot's left-operand sum.
-    let qu_ij: Vec<u32> = qu
-        .chunks_exact(d)
-        .map(|c| c.iter().map(|&v| v as u32).sum())
-        .collect();
-    // Σ_i qu_ijd per (j, d) — the weighted sum's vote-operand sum.
-    let mut qu_jd = vec![0u32; j_caps * d];
-    for i in 0..i_caps {
-        for j in 0..j_caps {
-            let urow = &qu[(i * j_caps + j) * d..(i * j_caps + j + 1) * d];
-            for (slot, &v) in qu_jd[j * d..(j + 1) * d].iter_mut().zip(urow) {
-                *slot += v as u32;
-            }
-        }
-    }
-    let (lu, min_u) = (vote_params.lsb(), vote_params.min());
-    let (lk, min_k) = (coupling_params.lsb(), coupling_params.min());
-    let (lv, min_v) = (act_params.lsb(), act_params.min());
-
-    let mut b = vec![0.0f32; i_caps * j_caps];
-    let mut k = vec![0.0f32; i_caps * j_caps];
-    let mut v = vec![0.0f32; j_caps * d];
-    for iter in 0..iterations {
-        // Coupling coefficients: softmax over J (float SFU).
-        for (brow, krow) in b.chunks_exact(j_caps).zip(k.chunks_exact_mut(j_caps)) {
-            let max = brow.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
-            let mut denom = 0.0f32;
-            for (kv, &bv) in krow.iter_mut().zip(brow) {
-                *kv = (bv - max).exp();
-                denom += *kv;
-            }
-            if denom > 0.0 {
-                for kv in krow.iter_mut() {
-                    *kv /= denom;
-                }
-            }
-        }
-        let qk = quantize_codes(&k, coupling_params);
-        // Σ_i qk_ij per j.
-        let mut qk_j = vec![0u32; j_caps];
-        for qkrow in qk.chunks_exact(j_caps) {
-            for (slot, &kv) in qk_j.iter_mut().zip(qkrow) {
-                *slot += kv as u32;
-            }
-        }
-        // Weighted sum s_jd = Σ_i k_ij·u_ijd on codes, then squash.
-        for j in 0..j_caps {
-            let s_corr_j = lk * min_u * qk_j[j] as f32 + i_caps as f32 * min_k * min_u;
-            let mut norm2 = 0.0f32;
-            let mut s_j = vec![0.0f32; d];
-            for (di, s_slot) in s_j.iter_mut().enumerate() {
-                let mut acc = 0u32;
-                for i in 0..i_caps {
-                    acc += lut.mul(qk[i * j_caps + j], qu[(i * j_caps + j) * d + di]) as u32;
-                }
-                let s = lk * lu * acc as f32 + s_corr_j + lu * min_k * qu_jd[j * d + di] as f32;
-                *s_slot = s;
-                norm2 += s * s;
-            }
-            let norm = (norm2 + EPS).sqrt();
-            let factor = (norm2 / (1.0 + norm2)) / norm;
-            for (v_slot, &s) in v[j * d..(j + 1) * d].iter_mut().zip(&s_j) {
-                *v_slot = s * factor;
-            }
-        }
-        if iter + 1 == iterations {
-            break;
-        }
-        // Agreement b_ij += û_ij·v_j on codes.
-        let qv = quantize_codes(&v, act_params);
-        let qv_j: Vec<u32> = qv
-            .chunks_exact(d)
-            .map(|c| c.iter().map(|&x| x as u32).sum())
-            .collect();
-        for i in 0..i_caps {
-            for j in 0..j_caps {
-                let urow = &qu[(i * j_caps + j) * d..(i * j_caps + j + 1) * d];
-                let vrow = &qv[j * d..(j + 1) * d];
-                let mut acc = 0u32;
-                for (&uc, &vc) in urow.iter().zip(vrow) {
-                    acc += lut.mul(uc, vc) as u32;
-                }
-                b[i * j_caps + j] += lu * lv * acc as f32
-                    + lu * min_v * qu_ij[i * j_caps + j] as f32
-                    + lv * min_u * qv_j[j] as f32
-                    + d as f32 * min_u * min_v;
-            }
-        }
-    }
-    Tensor::from_vec(v, &[j_caps, d]).expect("routed capsules")
-}
-
-// ------------------------------------------------------------ QCapsNet
-
-/// The calibrated activation-quantization ranges of a CapsNet, one per
-/// requantization point of the datapath.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct CapsNetRanges {
-    /// Network input (`Conv1` MAC inputs).
-    pub input: QuantParams,
-    /// Stem ReLU output — the primary conv's MAC inputs.
-    pub stem_act: QuantParams,
-    /// Primary squash output — the vote transform's MAC inputs.
-    pub units: QuantParams,
-    /// Vote / routing weighted-sum MAC outputs.
-    pub votes: QuantParams,
-    /// Routing coupling coefficients (softmax outputs).
-    pub coupling: QuantParams,
-    /// Routed capsule activations (squash outputs).
-    pub caps_act: QuantParams,
-}
-
-/// Sweeps clean inputs through the trained float network and fixes
-/// every requantization range from the observed real distributions.
-///
-/// # Errors
-///
-/// Returns an error if `images` is empty (no range observed) or a
-/// tapped tensor contained only non-finite values.
-pub fn calibrate_capsnet<'a>(
-    model: &CapsNet,
-    images: impl IntoIterator<Item = &'a Tensor>,
-) -> Result<CapsNetRanges, FxpError> {
-    let mut probe = model.clone();
-    let mut obs = CalibrationObserver::new();
-    for image in images {
-        let _ = probe.forward(image, &mut obs);
-    }
-    Ok(CapsNetRanges {
-        input: obs.params("Conv1", OpKind::MacInput, 8)?,
-        stem_act: obs.params("PrimaryCaps", OpKind::MacInput, 8)?,
-        units: obs.params("ClassCaps", OpKind::MacInput, 8)?,
-        // The non-routing MacOutput tap is the vote tensor itself; the
-        // in-routing MacOutput taps (the weighted sums, up to I× wider)
-        // must not dilate the vote codes.
-        votes: obs.params("ClassCaps", OpKind::MacOutput, 8)?,
-        coupling: obs.routing_params("ClassCaps", OpKind::Softmax, 8)?,
-        caps_act: obs.routing_params("ClassCaps", OpKind::Activation, 8)?,
-    })
-}
-
-/// A trained CapsNet lowered onto the quantized datapath: same
+/// A trained capsule model lowered onto the quantized datapath: same
 /// weights, but every MAC runs on 8-bit codes through a pluggable
-/// multiplier model.
+/// multiplier model. Architecture-generic — built from any
+/// [`CapsModel`] with a registered lowering plus calibrated
+/// [`QuantRanges`].
 #[derive(Debug, Clone)]
-pub struct QCapsNet {
-    cfg: CapsNetConfig,
-    conv1: QConv2d,
-    primary: QConv2d,
-    votes: QVotes,
-    ranges: CapsNetRanges,
+pub struct QModel {
+    arch: String,
+    input_shape: [usize; 3],
+    num_classes: usize,
+    steps: Vec<QStep>,
 }
 
-impl QCapsNet {
-    /// Lowers a trained model with pre-computed calibration ranges.
+impl QModel {
+    /// Lowers a trained model onto the quantized datapath with
+    /// pre-computed calibration ranges.
+    ///
+    /// Dispatches on the concrete architecture behind the trait object
+    /// ([`CapsModel::as_any`]); each registered architecture only
+    /// contributes a step-graph builder — the per-layer lowering and
+    /// the execution are shared.
     ///
     /// # Errors
     ///
-    /// Returns an error if any weight tensor contains non-finite
-    /// values.
-    pub fn from_trained(model: &CapsNet, ranges: CapsNetRanges) -> Result<Self, FxpError> {
-        Ok(QCapsNet {
-            cfg: model.config().clone(),
-            conv1: QConv2d::from_conv(model.conv1(), ranges.input)?,
-            primary: QConv2d::from_conv(model.primary().conv(), ranges.stem_act)?,
-            votes: QVotes::from_class_caps(model.class_caps(), ranges.units)?,
-            ranges,
-        })
+    /// [`LowerError::MissingRange`] when a layer's site was never
+    /// calibrated, [`LowerError::Quantization`] on non-finite weights,
+    /// or [`LowerError::UnsupportedArchitecture`] for a model without
+    /// a registered lowering.
+    pub fn lower(model: &dyn CapsModel, ranges: &QuantRanges) -> Result<Self, LowerError> {
+        if let Some(m) = model.as_any().downcast_ref::<CapsNet>() {
+            Self::lower_capsnet(m, ranges)
+        } else if let Some(m) = model.as_any().downcast_ref::<DeepCaps>() {
+            Self::lower_deepcaps(m, ranges)
+        } else {
+            Err(LowerError::UnsupportedArchitecture {
+                model: model.name(),
+            })
+        }
     }
 
     /// Calibrates on `images` and lowers the model in one step.
     ///
     /// # Errors
     ///
-    /// Returns an error if calibration observes nothing or a weight
-    /// tensor contains non-finite values.
+    /// As [`QModel::lower`], plus [`LowerError::EmptyCalibration`]
+    /// when `images` is empty.
     pub fn calibrated<'a>(
-        model: &CapsNet,
+        model: &mut dyn CapsModel,
         images: impl IntoIterator<Item = &'a Tensor>,
-    ) -> Result<Self, FxpError> {
-        let ranges = calibrate_capsnet(model, images)?;
-        Self::from_trained(model, ranges)
+    ) -> Result<Self, LowerError> {
+        let ranges = calibrate_ranges(model, images)?;
+        Self::lower(&*model, &ranges)
     }
 
-    /// The calibration ranges in use.
-    pub fn ranges(&self) -> CapsNetRanges {
-        self.ranges
+    fn lower_capsnet(model: &CapsNet, ranges: &QuantRanges) -> Result<Self, LowerError> {
+        let cfg = model.config();
+        let steps = vec![
+            QStep::Conv {
+                conv: model.conv1().lower_to_quant("Conv1", ranges)?,
+                relu: true,
+                src: 0,
+            },
+            QStep::CapsConv {
+                layer: model
+                    .primary()
+                    .lower_to_quant(model.primary().name(), ranges)?,
+                src: 1,
+            },
+            QStep::ToUnits { src: 2 },
+            QStep::ClassCaps {
+                layer: model
+                    .class_caps()
+                    .lower_to_quant(model.class_caps().name(), ranges)?,
+                src: 3,
+            },
+        ];
+        Ok(QModel {
+            arch: model.name(),
+            input_shape: [cfg.input_channels, cfg.input_hw, cfg.input_hw],
+            num_classes: cfg.class_caps,
+            steps,
+        })
+    }
+
+    fn lower_deepcaps(model: &DeepCaps, ranges: &QuantRanges) -> Result<Self, LowerError> {
+        let cfg = model.config();
+        let mut steps = Vec::new();
+        // Step i produces value i + 1; value 0 is the network input.
+        let push = |steps: &mut Vec<QStep>, step: QStep| -> usize {
+            steps.push(step);
+            steps.len()
+        };
+        let caps_conv = |layer: &redcane_capsnet::layers::ConvCaps2d,
+                         src: usize|
+         -> Result<QStep, LowerError> {
+            Ok(QStep::CapsConv {
+                layer: layer.lower_to_quant(layer.name(), ranges)?,
+                src,
+            })
+        };
+        let mut t = push(&mut steps, caps_conv(model.stem(), 0)?);
+        for cell in model.cells() {
+            let a = push(&mut steps, caps_conv(cell.lead(), t)?);
+            let b = push(&mut steps, caps_conv(cell.mid(), a)?);
+            let main = push(&mut steps, caps_conv(cell.tail(), b)?);
+            let skip = push(&mut steps, caps_conv(cell.skip(), a)?);
+            t = push(&mut steps, QStep::AddSquash { a: main, b: skip });
+        }
+        let a = push(&mut steps, caps_conv(model.last_lead(), t)?);
+        let b = push(&mut steps, caps_conv(model.last_mid(), a)?);
+        let c3 = push(
+            &mut steps,
+            QStep::Caps3d {
+                layer: model
+                    .caps3d()
+                    .lower_to_quant(model.caps3d().name(), ranges)?,
+                src: b,
+            },
+        );
+        let skip = push(&mut steps, caps_conv(model.last_skip(), a)?);
+        let u3 = push(&mut steps, QStep::ToUnits { src: c3 });
+        let us = push(&mut steps, QStep::ToUnits { src: skip });
+        let u = push(&mut steps, QStep::ConcatUnits { a: u3, b: us });
+        push(
+            &mut steps,
+            QStep::ClassCaps {
+                layer: model
+                    .class_caps()
+                    .lower_to_quant(model.class_caps().name(), ranges)?,
+                src: u,
+            },
+        );
+        Ok(QModel {
+            arch: model.name(),
+            input_shape: [cfg.input_channels, cfg.input_hw, cfg.input_hw],
+            num_classes: cfg.class_caps,
+            steps,
+        })
+    }
+
+    /// The lowered model's display name.
+    pub fn arch(&self) -> &str {
+        &self.arch
     }
 
     /// Number of output classes.
     pub fn num_classes(&self) -> usize {
-        self.cfg.class_caps
+        self.num_classes
+    }
+
+    /// The dataflow program (introspection / cost accounting).
+    pub fn steps(&self) -> &[QStep] {
+        &self.steps
+    }
+
+    /// A deterministic sample of at most `max_len` quantized weight
+    /// codes across every lowered layer, in program order — the
+    /// empirical **weight-operand pool** for component
+    /// characterization.
+    pub fn weight_code_sample(&self, max_len: usize) -> Vec<u8> {
+        let mut all: Vec<u8> = Vec::new();
+        for step in &self.steps {
+            match step {
+                QStep::Conv { conv, .. } => all.extend_from_slice(conv.weight_codes()),
+                QStep::CapsConv { layer, .. } => {
+                    all.extend_from_slice(layer.conv().weight_codes());
+                }
+                QStep::Caps3d { layer, .. } => {
+                    for conv in layer.convs() {
+                        all.extend_from_slice(conv.weight_codes());
+                    }
+                }
+                QStep::ClassCaps { layer, .. } => {
+                    all.extend_from_slice(layer.votes().weight_codes());
+                }
+                QStep::AddSquash { .. } | QStep::ToUnits { .. } | QStep::ConcatUnits { .. } => {}
+            }
+        }
+        if max_len == 0 {
+            return Vec::new();
+        }
+        if all.len() <= max_len {
+            return all;
+        }
+        let stride = all.len().div_ceil(max_len);
+        all.into_iter().step_by(stride).collect()
     }
 
     /// Full quantized inference: returns the class-capsule lengths
@@ -512,55 +275,50 @@ impl QCapsNet {
     ///
     /// Panics on an input shape mismatch.
     pub fn forward(&self, x: &Tensor, lut: &MulLut) -> Tensor {
-        assert_eq!(
-            x.shape(),
-            [
-                self.cfg.input_channels,
-                self.cfg.input_hw,
-                self.cfg.input_hw
-            ],
-            "QCapsNet input"
-        );
-        // Stem conv + ReLU (requantized at the conv input).
-        let mut a = self.conv1.forward(x, lut);
-        for v in a.data_mut() {
-            *v = v.max(0.0);
-        }
-        let (h1, w1) = (a.shape()[1], a.shape()[2]);
-        // Primary caps: conv (requantized) + float squash.
-        let prim = self.primary.forward_chw(a.data(), h1, w1, lut);
-        let hp = prim.shape()[1];
-        let p = hp * hp;
-        let (c, d) = (self.cfg.primary_ctypes, self.cfg.primary_dim);
-        let s3 = prim.into_reshaped(&[c, d, p]).expect("capsule fold");
-        let squashed = squash_caps(&s3);
-        // [C, D, H, W] -> units [C·H·W, D] (row per capsule).
-        let src = squashed.data();
-        let mut units = vec![0.0f32; c * d * p];
-        for ci in 0..c {
-            for di in 0..d {
-                for pi in 0..p {
-                    units[(ci * p + pi) * d + di] = src[(ci * d + di) * p + pi];
+        assert_eq!(x.shape(), self.input_shape, "QModel input");
+        let mut vals: Vec<Tensor> = Vec::with_capacity(self.steps.len() + 1);
+        vals.push(x.clone());
+        for step in &self.steps {
+            let y = match step {
+                QStep::Conv { conv, relu, src } => {
+                    let mut y = conv.forward(&vals[*src], lut);
+                    if *relu {
+                        for v in y.data_mut() {
+                            *v = v.max(0.0);
+                        }
+                    }
+                    y
                 }
-            }
+                QStep::CapsConv { layer, src } => layer.forward(&vals[*src], lut),
+                QStep::Caps3d { layer, src } => layer.forward(&vals[*src], lut),
+                QStep::AddSquash { a, b } => {
+                    let sum = vals[*a].add(&vals[*b]).expect("residual shapes match");
+                    let (c, d, h, w) = (
+                        sum.shape()[0],
+                        sum.shape()[1],
+                        sum.shape()[2],
+                        sum.shape()[3],
+                    );
+                    let s3 = sum.into_reshaped(&[c, d, h * w]).expect("caps fold");
+                    squash_caps(&s3)
+                        .into_reshaped(&[c, d, h, w])
+                        .expect("spatial unfold")
+                }
+                QStep::ToUnits { src } => caps_to_units(&vals[*src]),
+                QStep::ConcatUnits { a, b } => {
+                    Tensor::concat(&[&vals[*a], &vals[*b]], 0).expect("unit concat")
+                }
+                QStep::ClassCaps { layer, src } => layer.forward(&vals[*src], lut),
+            };
+            vals.push(y);
         }
-        let u = Tensor::from_vec(units, &[c * p, d]).expect("units shape");
-        // Votes + routing, both on the quantized MACs.
-        let votes = self.votes.forward(&u, lut);
-        let v = quantized_routing(
-            &votes,
-            self.cfg.routing_iters,
-            self.ranges.votes,
-            self.ranges.coupling,
-            self.ranges.caps_act,
-            lut,
-        );
-        let lengths: Vec<f32> = v
-            .data()
-            .chunks_exact(self.cfg.class_dim)
-            .map(|row| (row.iter().map(|x| x * x).sum::<f32>() + EPS).sqrt())
-            .collect();
-        Tensor::from_vec(lengths, &[self.cfg.class_caps]).expect("lengths")
+        // The last step produces the class capsules [J, D]; their
+        // lengths are the network output, computed exactly as the
+        // float models compute them.
+        let v = vals.last().expect("at least one step");
+        let (j, d) = (v.shape()[0], v.shape()[1]);
+        let v3 = v.reshape(&[j, d, 1]).expect("caps form");
+        caps_lengths(&v3).into_reshaped(&[j]).expect("drop P")
     }
 
     /// Argmax class prediction under `lut`.
@@ -573,9 +331,14 @@ impl QCapsNet {
     }
 }
 
+/// The pre-generic name of the quantized execution type.
+#[deprecated(note = "use the architecture-generic `QModel` \
+                     (`QModel::lower` / `QModel::calibrated`)")]
+pub type QCapsNet = QModel;
+
 /// Classification accuracy of the quantized datapath over a dataset,
 /// every multiply served by `lut`. Serial and deterministic.
-pub fn evaluate_quantized(model: &QCapsNet, data: &Dataset, lut: &MulLut) -> f64 {
+pub fn evaluate_quantized(model: &QModel, data: &Dataset, lut: &MulLut) -> f64 {
     if data.is_empty() {
         return 0.0;
     }
@@ -590,108 +353,21 @@ pub fn evaluate_quantized(model: &QCapsNet, data: &Dataset, lut: &MulLut) -> f64
 #[cfg(test)]
 mod tests {
     use super::*;
-    use redcane_capsnet::routing::dynamic_routing;
-    use redcane_capsnet::NoInjection;
-    use redcane_nn::Layer;
+    use redcane_capsnet::{CapsNetConfig, DeepCapsConfig, NoInjection};
     use redcane_tensor::TensorRng;
 
-    fn p(min: f32, max: f32) -> QuantParams {
-        QuantParams::from_range(min, max, 8).unwrap()
-    }
-
     #[test]
-    fn qdense_with_exact_lut_tracks_float_dense() {
-        let mut rng = TensorRng::from_seed(500);
-        let mut dense = Dense::new(20, 6, &mut rng);
-        let x = rng.uniform(&[20], -1.0, 1.0);
-        let want = dense.forward(&x);
-        let q = QDense::from_dense(&dense, p(-1.0, 1.0)).unwrap();
-        let got = q.forward(&x, &MulLut::exact());
-        let scale = want.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
-        for (a, b) in want.data().iter().zip(got.data()) {
-            assert!(
-                (a - b).abs() < 0.05 * (1.0 + scale),
-                "float {a} vs quantized {b}"
-            );
-        }
-    }
-
-    #[test]
-    fn qconv_with_exact_lut_tracks_float_conv() {
-        let mut rng = TensorRng::from_seed(501);
-        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
-        let x = rng.uniform(&[2, 6, 6], -1.0, 1.0);
-        let want = conv.forward(&x);
-        let q = QConv2d::from_conv(&conv, p(-1.0, 1.0)).unwrap();
-        let got = q.forward(&x, &MulLut::exact());
-        assert_eq!(got.shape(), want.shape());
-        let scale = want.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
-        let mut total = 0.0f32;
-        for (a, b) in want.data().iter().zip(got.data()) {
-            let err = (a - b).abs();
-            total += err;
-            assert!(err < 0.1 * (1.0 + scale), "float {a} vs quantized {b}");
-        }
-        let mean = total / want.len() as f32;
-        assert!(mean < 0.02 * (1.0 + scale), "mean error {mean}");
-    }
-
-    #[test]
-    fn qvotes_with_exact_lut_tracks_float_votes() {
-        let mut rng = TensorRng::from_seed(502);
-        let layer = ClassCaps::new(0, "CC", 6, 4, 3, 5, 3, &mut rng);
-        let u = rng.uniform(&[6, 3], -1.0, 1.0);
-        let q = QVotes::from_class_caps(&layer, p(-1.0, 1.0)).unwrap();
-        let got = q.forward(&u, &MulLut::exact());
-        assert_eq!(got.shape(), &[6, 4, 5]);
-        // Float oracle: û_{j|i} = W_ij · u_i by direct loops.
-        let w = layer.weight().data();
-        for i in 0..6 {
-            for j in 0..4 {
-                for di in 0..5 {
-                    let mut want = 0.0f32;
-                    for dk in 0..3 {
-                        want += w[((i * 4 + j) * 5 + di) * 3 + dk] * u.data()[i * 3 + dk];
-                    }
-                    let have = got.data()[(i * 4 + j) * 5 + di];
-                    assert!((want - have).abs() < 0.05, "vote [{i},{j},{di}]");
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn quantized_routing_with_exact_lut_tracks_float_routing() {
-        let mut rng = TensorRng::from_seed(503);
-        let (i_caps, j_caps, d) = (8, 4, 5);
-        let votes3 = rng.uniform(&[i_caps, j_caps, d], -1.0, 1.0);
-        let votes4 = votes3.reshape(&[i_caps, j_caps, d, 1]).unwrap();
-        let cache = dynamic_routing(votes4, 3, 0, "X", &mut NoInjection);
-        let want = cache.v.reshape(&[j_caps, d]).unwrap();
-        let got = quantized_routing(
-            &votes3,
-            3,
-            QuantParams::calibrate(&votes3, 8).unwrap(),
-            p(0.0, 1.0),
-            p(-1.0, 1.0),
-            &MulLut::exact(),
-        );
-        assert_eq!(got.shape(), &[j_caps, d]);
-        for (a, b) in want.data().iter().zip(got.data()) {
-            assert!((a - b).abs() < 0.05, "float {a} vs quantized {b}");
-        }
-    }
-
-    #[test]
-    fn qcapsnet_with_exact_lut_tracks_float_lengths() {
+    fn qmodel_capsnet_with_exact_lut_tracks_float_lengths() {
         let mut rng = TensorRng::from_seed(504);
         let cfg = CapsNetConfig::small(1, 16);
         let mut model = CapsNet::new(&cfg, &mut rng);
         let images: Vec<Tensor> = (0..4)
             .map(|_| rng.uniform(&[1, 16, 16], 0.0, 1.0))
             .collect();
-        let q = QCapsNet::calibrated(&model, images.iter()).unwrap();
+        let q = QModel::calibrated(&mut model, images.iter()).unwrap();
         assert_eq!(q.num_classes(), 10);
+        assert_eq!(q.steps().len(), 4);
+        assert!(q.arch().starts_with("CapsNet"));
         let lut = MulLut::exact();
         for image in &images {
             let want = model.forward(image, &mut NoInjection);
@@ -704,11 +380,36 @@ mod tests {
     }
 
     #[test]
+    fn qmodel_deepcaps_with_exact_lut_tracks_float_lengths() {
+        let mut rng = TensorRng::from_seed(511);
+        let cfg = DeepCapsConfig::small(1, 16);
+        let mut model = DeepCaps::new(&cfg, &mut rng);
+        let images: Vec<Tensor> = (0..4)
+            .map(|_| rng.uniform(&[1, 16, 16], 0.0, 1.0))
+            .collect();
+        let q = QModel::calibrated(&mut model, images.iter()).unwrap();
+        assert_eq!(q.num_classes(), 10);
+        assert!(q.arch().starts_with("DeepCaps"));
+        // Stem + 3 cells × 5 + lead/mid/caps3d/skip + 2 units + concat
+        // + class caps = 24 steps covering all 17 quantized layers.
+        assert_eq!(q.steps().len(), 24);
+        let lut = MulLut::exact();
+        for image in &images {
+            let want = model.forward(image, &mut NoInjection);
+            let got = q.forward(image, &lut);
+            assert_eq!(got.shape(), want.shape());
+            for (a, b) in want.data().iter().zip(got.data()) {
+                assert!((a - b).abs() < 0.2, "length {a} vs quantized {b}");
+            }
+        }
+    }
+
+    #[test]
     fn quantized_forward_is_deterministic() {
         let mut rng = TensorRng::from_seed(505);
-        let model = CapsNet::new(&CapsNetConfig::small(1, 16), &mut rng);
+        let mut model = CapsNet::new(&CapsNetConfig::small(1, 16), &mut rng);
         let image = rng.uniform(&[1, 16, 16], 0.0, 1.0);
-        let q = QCapsNet::calibrated(&model, [&image]).unwrap();
+        let q = QModel::calibrated(&mut model, [&image]).unwrap();
         let lut = MulLut::exact();
         assert_eq!(q.forward(&image, &lut), q.forward(&image, &lut));
     }
@@ -716,7 +417,50 @@ mod tests {
     #[test]
     fn calibration_needs_at_least_one_image() {
         let mut rng = TensorRng::from_seed(506);
+        let mut model = CapsNet::new(&CapsNetConfig::small(1, 16), &mut rng);
+        let err = QModel::calibrated(&mut model, std::iter::empty()).unwrap_err();
+        assert_eq!(err, LowerError::EmptyCalibration);
+    }
+
+    #[test]
+    fn lowering_without_ranges_names_the_missing_site() {
+        let mut rng = TensorRng::from_seed(512);
         let model = CapsNet::new(&CapsNetConfig::small(1, 16), &mut rng);
-        assert!(calibrate_capsnet(&model, std::iter::empty()).is_err());
+        let err = QModel::lower(&model, &QuantRanges::new()).unwrap_err();
+        assert!(
+            matches!(err, LowerError::MissingRange { ref layer, .. } if layer == "Conv1"),
+            "{err}"
+        );
+        let mut rng = TensorRng::from_seed(513);
+        let deep = DeepCaps::new(&DeepCapsConfig::small(1, 16), &mut rng);
+        let err = QModel::lower(&deep, &QuantRanges::new()).unwrap_err();
+        assert!(
+            matches!(err, LowerError::MissingRange { ref layer, .. } if layer == "Conv2D"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn weight_code_sample_is_bounded_and_deterministic() {
+        let mut rng = TensorRng::from_seed(514);
+        let mut model = CapsNet::new(&CapsNetConfig::small(1, 16), &mut rng);
+        let image = rng.uniform(&[1, 16, 16], 0.0, 1.0);
+        let q = QModel::calibrated(&mut model, [&image]).unwrap();
+        let full = q.weight_code_sample(usize::MAX);
+        assert!(!full.is_empty());
+        let sample = q.weight_code_sample(100);
+        assert!(sample.len() <= 100 && !sample.is_empty());
+        assert_eq!(sample, q.weight_code_sample(100));
+        assert!(q.weight_code_sample(0).is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn qcapsnet_alias_still_names_the_generic_model() {
+        let mut rng = TensorRng::from_seed(515);
+        let mut model = CapsNet::new(&CapsNetConfig::small(1, 16), &mut rng);
+        let image = rng.uniform(&[1, 16, 16], 0.0, 1.0);
+        let q: QCapsNet = QModel::calibrated(&mut model, [&image]).unwrap();
+        assert_eq!(q.num_classes(), 10);
     }
 }

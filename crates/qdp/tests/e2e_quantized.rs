@@ -6,7 +6,7 @@
 
 use redcane_capsnet::{evaluate_clean, train, CapsNet, CapsNetConfig, TrainConfig};
 use redcane_datasets::{generate, Benchmark, GenerateConfig};
-use redcane_qdp::{evaluate_quantized, MulLut, QCapsNet};
+use redcane_qdp::{calibrate_ranges, evaluate_quantized, MulLut, QModel};
 use redcane_tensor::TensorRng;
 
 #[test]
@@ -40,10 +40,15 @@ fn quantized_exact_inference_matches_float_within_tolerance() {
     );
 
     // Calibrate on (clean) training inputs — the real input
-    // distribution — then run the same test set through the 8-bit
-    // datapath with the exact multiplier.
-    let q = QCapsNet::calibrated(&model, pair.train.samples.iter().take(32).map(|s| &s.image))
-        .expect("calibration succeeds on trained activations");
+    // distribution — then lower through the generic pipeline and run
+    // the same test set through the 8-bit datapath with the exact
+    // multiplier.
+    let ranges = calibrate_ranges(
+        &mut model,
+        pair.train.samples.iter().take(32).map(|s| &s.image),
+    )
+    .expect("calibration succeeds on trained activations");
+    let q = QModel::lower(&model, &ranges).expect("every site calibrated");
     let quant_acc = evaluate_quantized(&q, &eval, &MulLut::exact());
 
     // Quantization tolerance: the 8-bit datapath may flip a borderline
@@ -56,7 +61,10 @@ fn quantized_exact_inference_matches_float_within_tolerance() {
 
     // Seeded determinism: rebuilding and re-running reproduces the
     // accuracy exactly.
-    let q2 = QCapsNet::calibrated(&model, pair.train.samples.iter().take(32).map(|s| &s.image))
-        .expect("calibration is deterministic");
+    let q2 = QModel::calibrated(
+        &mut model,
+        pair.train.samples.iter().take(32).map(|s| &s.image),
+    )
+    .expect("calibration is deterministic");
     assert_eq!(quant_acc, evaluate_quantized(&q2, &eval, &MulLut::exact()));
 }

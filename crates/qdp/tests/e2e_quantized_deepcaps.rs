@@ -1,0 +1,85 @@
+//! End-to-end sanity for the paper's second architecture: a trained
+//! DeepCaps — all 17 capsule layers, Caps3D routing included — lowered
+//! through the architecture-generic pipeline onto the quantized
+//! datapath with the **exact** multiplier must reproduce the float
+//! network's predictions within quantization tolerance. This is the
+//! acceptance bar for the generic lowering being a faithful 8-bit
+//! execution of the same network rather than a different model.
+
+use redcane_capsnet::{evaluate_clean, train, CapsModel, DeepCaps, DeepCapsConfig, TrainConfig};
+use redcane_datasets::{generate, Benchmark, GenerateConfig};
+use redcane_qdp::{calibrate_ranges, evaluate_quantized, MulLut, QModel};
+use redcane_tensor::TensorRng;
+
+#[test]
+fn quantized_deepcaps_matches_float_within_tolerance() {
+    let pair = generate(
+        Benchmark::MnistLike,
+        &GenerateConfig {
+            train: 300,
+            test: 50,
+            seed: 43,
+        },
+    );
+    let mut rng = TensorRng::from_seed(4300);
+    let mut model = DeepCaps::new(&DeepCapsConfig::small(1, 16), &mut rng);
+    train(
+        &mut model,
+        &pair.train,
+        &TrainConfig {
+            epochs: 6,
+            batch_size: 16,
+            lr: 2e-3,
+            seed: 9,
+            verbose: false,
+        },
+    );
+    let eval = pair.test.take(40);
+    let float_acc = evaluate_clean(&model, &eval);
+    assert!(
+        float_acc > 0.2,
+        "float DeepCaps must train above 10% chance, got {float_acc}"
+    );
+
+    // Calibrate on clean training inputs, lower every layer through
+    // the generic pipeline, run the test subset on the 8-bit datapath.
+    let ranges = calibrate_ranges(
+        &mut model,
+        pair.train.samples.iter().take(24).map(|s| &s.image),
+    )
+    .expect("calibration succeeds on trained activations");
+    let q = QModel::lower(&model, &ranges).expect("every DeepCaps site calibrated");
+    let lut = MulLut::exact();
+    let quant_acc = evaluate_quantized(&q, &eval, &lut);
+
+    // Prediction agreement: the quantized-exact datapath must agree
+    // with the float network on the large majority of samples — the
+    // 8-bit requantization through 17 layers may flip borderline
+    // samples, but not change the model.
+    let agree = eval
+        .samples
+        .iter()
+        .filter(|s| q.predict(&s.image, &lut) == model.predict(&s.image))
+        .count();
+    let agreement = agree as f64 / eval.len() as f64;
+    assert!(
+        agreement >= 0.75,
+        "quantized-exact DeepCaps agrees with float on only {agreement:.2} of samples"
+    );
+
+    // Accuracy tolerance, mirroring the CapsNet e2e bar.
+    let drop_pp = (float_acc - quant_acc) * 100.0;
+    assert!(
+        drop_pp.abs() <= 15.0,
+        "quantized-exact accuracy {quant_acc} strays {drop_pp:.1} pp from float {float_acc}"
+    );
+
+    // Seeded determinism: rebuilding and re-running reproduces the
+    // accuracy exactly.
+    let q2 = QModel::calibrated(
+        &mut model,
+        pair.train.samples.iter().take(24).map(|s| &s.image),
+    )
+    .expect("calibration is deterministic");
+    assert_eq!(quant_acc, evaluate_quantized(&q2, &eval, &lut));
+}

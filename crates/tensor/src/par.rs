@@ -2,10 +2,12 @@
 //!
 //! The workspace never pulls a thread-pool crate: hot paths that want
 //! batch-level parallelism call [`for_each_chunk_mut`] (disjoint output
-//! chunks) or fan [`spans`] out over `std::thread::scope` themselves
-//! (the trainer and evaluator). Everything degrades to a plain serial
-//! loop when the configured worker count is 1 or the job is too small
-//! to amortize a thread spawn, so single-core machines pay nothing.
+//! chunks) or [`map_with`] (an indexed map with worker-local state —
+//! the trainer, the evaluator and the qdp component sweep), both built
+//! on [`spans`] + `std::thread::scope`. Everything degrades to a plain
+//! serial loop when the configured worker count is 1 or the job is too
+//! small to amortize a thread spawn, so single-core machines pay
+//! nothing.
 //!
 //! # Thread-count resolution
 //!
@@ -113,6 +115,51 @@ where
     });
 }
 
+/// Maps `0..len` through `f` with one worker-local `state` (built by
+/// `init`, e.g. a model clone) per contiguous span, collecting results
+/// **in index order**.
+///
+/// Each index is computed exactly as the serial loop would — worker
+/// state is an optimization, never an accumulator — so callers that
+/// reduce the returned vector sequentially stay bitwise deterministic
+/// at every thread count. Falls back to a single-state serial loop when
+/// one worker (or fewer items than workers) is available.
+pub fn map_with<S, T, I, F>(len: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let workers = num_threads().min(len);
+    if workers <= 1 {
+        let mut state = init();
+        return (0..len).map(|i| f(&mut state, i)).collect();
+    }
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(len);
+    slots.resize_with(len, || None);
+    let spans = spans(len, workers);
+    std::thread::scope(|scope| {
+        let mut rest: &mut [Option<T>] = &mut slots;
+        let mut consumed = 0;
+        for &(start, end) in &spans {
+            let (head, tail) = rest.split_at_mut(end - consumed);
+            rest = tail;
+            consumed = end;
+            let (init, f) = (&init, &f);
+            scope.spawn(move || {
+                let mut state = init();
+                for (slot, i) in head.iter_mut().zip(start..end) {
+                    *slot = Some(f(&mut state, i));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index computed"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +203,31 @@ mod tests {
             assert_eq!(got, expect, "{threads} threads");
         }
         set_threads(0);
+    }
+
+    #[test]
+    fn map_with_matches_serial_at_any_thread_count() {
+        let _guard = LOCK.lock().unwrap();
+        let expect: Vec<usize> = (0..103).map(|i| i * 3 + 1).collect();
+        for threads in [1usize, 4, 9] {
+            set_threads(threads);
+            let got = map_with(103, || 3usize, |m, i| i * *m + 1);
+            assert_eq!(got, expect, "{threads} threads");
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn map_with_builds_one_state_per_worker() {
+        let _guard = LOCK.lock().unwrap();
+        set_threads(4);
+        let inits = std::sync::atomic::AtomicUsize::new(0);
+        let _ = map_with(16, || inits.fetch_add(1, Ordering::Relaxed), |_, i| i);
+        set_threads(0);
+        assert!(
+            inits.load(Ordering::Relaxed) <= 4,
+            "state per span, not per item"
+        );
     }
 
     #[test]
