@@ -21,6 +21,9 @@
 //!   mapped onto behavioral models whose *measured* error magnitude tracks
 //!   the table; the rest are parametric family members filling out the
 //!   power/error Pareto front;
+//! - [`lut`]: any model tabulated into a 64 KiB [`MulLut`] truth table,
+//!   and [`LutCache`] — one shared table per distinct component of a
+//!   heterogeneous datapath assignment;
 //! - [`error_stats`]: error profiling (mean/std/histogram), MAC-chain
 //!   accumulation (1, 9, 81 multiply-accumulates, as in Fig. 6), Gaussian
 //!   fits, and the paper's `NM`/`NA` noise parameters (Sec. III-B);
@@ -49,12 +52,14 @@
 pub mod adder;
 pub mod error_stats;
 pub mod library;
+pub mod lut;
 pub mod mult;
 pub mod power;
 
 pub use adder::{Adder16, ExactAdder, LowerOrAdder};
 pub use error_stats::{ErrorProfile, InputDistribution, NoiseParams};
 pub use library::{ComponentEntry, MultiplierLibrary};
+pub use lut::{LutCache, MulLut, UnknownComponent};
 pub use mult::{ExactMultiplier, LutMultiplier, Multiplier8};
 
 /// The largest accurate 8×8 product (`255 * 255`); the natural scale for

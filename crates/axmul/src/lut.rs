@@ -1,0 +1,255 @@
+//! Multiply lookup tables: any behavioral multiplier tabulated into a
+//! 64 KiB truth table, and a cache of one table per library component.
+//!
+//! An 8×8 unsigned multiplier has only 65 536 distinct input pairs, so
+//! any [`Multiplier8`] — bit-level behavioral models included — can be
+//! tabulated once into a 64 KiB table and then applied at L1-resident
+//! lookup speed inside integer GEMM inner loops. This is what makes
+//! sweeping a whole component library through end-to-end inference
+//! practical.
+//!
+//! [`MulLut`] is a concrete struct kernels index directly (no virtual
+//! call on the hot path — unlike [`LutMultiplier`](crate::LutMultiplier),
+//! which adapts a table back *into* the [`Multiplier8`] trait).
+//! [`LutCache`] holds **one** table per distinct component of a
+//! heterogeneous datapath assignment, shared across every site that
+//! runs the component and — the tables sit behind [`Arc`] — across
+//! worker threads.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::library::MultiplierLibrary;
+use crate::mult::{ExactMultiplier, Multiplier8};
+
+/// A precomputed table of all 256×256 products of one multiplier model.
+#[derive(Clone)]
+pub struct MulLut {
+    table: Box<[u16; 65536]>,
+    description: String,
+}
+
+impl MulLut {
+    /// Tabulates `model` exhaustively over all 65 536 input pairs.
+    pub fn tabulate(model: &dyn Multiplier8) -> Self {
+        let mut table = vec![0u16; 65536].into_boxed_slice();
+        for a in 0..=255u16 {
+            for b in 0..=255u16 {
+                table[((a as usize) << 8) | b as usize] = model.multiply(a as u8, b as u8);
+            }
+        }
+        MulLut {
+            table: table.try_into().expect("sized 65536"),
+            description: model.description(),
+        }
+    }
+
+    /// The exact 8×8 multiplier's table.
+    pub fn exact() -> Self {
+        Self::tabulate(&ExactMultiplier)
+    }
+
+    /// Looks up `a · b` as the tabulated model computes it.
+    #[inline]
+    pub fn mul(&self, a: u8, b: u8) -> u16 {
+        // The index is < 65536 by construction; with the fixed-size
+        // boxed array the bounds check folds away.
+        self.table[((a as usize) << 8) | b as usize]
+    }
+
+    /// The 256-entry product row for a fixed left operand:
+    /// `row(a)[b] == mul(a, b)`. Hoisting the row lets a GEMM inner
+    /// loop index by the streamed right-operand code alone — `u8`
+    /// indexing into a `[u16; 256]` needs no bounds check at all.
+    #[inline]
+    pub fn row(&self, a: u8) -> &[u16; 256] {
+        let start = (a as usize) << 8;
+        self.table[start..start + 256]
+            .try_into()
+            .expect("sized 256")
+    }
+
+    /// The tabulated model's one-line description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+}
+
+impl std::fmt::Debug for MulLut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MulLut")
+            .field("description", &self.description)
+            .finish()
+    }
+}
+
+/// A component name naming no entry of the library a [`LutCache`] was
+/// built from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownComponent {
+    /// The unresolvable component name.
+    pub component: String,
+}
+
+impl std::fmt::Display for UnknownComponent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no multiplier named '{}' in the library", self.component)
+    }
+}
+
+impl std::error::Error for UnknownComponent {}
+
+/// One 64 KiB [`MulLut`] per **distinct** multiplier of a heterogeneous
+/// datapath, keyed by component name.
+///
+/// A per-layer assignment can name the same component at many sites;
+/// the cache tabulates each component exactly once and every site (and,
+/// through the [`Arc`] handles, every worker thread) shares the same
+/// table.
+#[derive(Debug, Clone, Default)]
+pub struct LutCache {
+    luts: BTreeMap<String, Arc<MulLut>>,
+}
+
+impl LutCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) a pre-tabulated component table.
+    pub fn insert(&mut self, name: impl Into<String>, lut: MulLut) {
+        self.luts.insert(name.into(), Arc::new(lut));
+    }
+
+    /// Tabulates every component of `library` — 64 KiB each, ~2 MiB for
+    /// the standard 35-entry library — so any assignment over that
+    /// library resolves.
+    pub fn tabulate_all(library: &MultiplierLibrary) -> Self {
+        let mut cache = LutCache::new();
+        for entry in library.iter() {
+            cache.insert(entry.name(), MulLut::tabulate(entry.model()));
+        }
+        cache
+    }
+
+    /// Tabulates exactly the named components from `library`.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownComponent`] when a name matches no library entry.
+    pub fn for_components<'a>(
+        library: &MultiplierLibrary,
+        names: impl IntoIterator<Item = &'a str>,
+    ) -> Result<Self, UnknownComponent> {
+        let mut cache = LutCache::new();
+        for name in names {
+            if cache.luts.contains_key(name) {
+                continue;
+            }
+            let entry = library.find(name).ok_or_else(|| UnknownComponent {
+                component: name.to_string(),
+            })?;
+            cache.insert(name, MulLut::tabulate(entry.model()));
+        }
+        Ok(cache)
+    }
+
+    /// The table for one component, if cached.
+    pub fn get(&self, name: &str) -> Option<&MulLut> {
+        self.luts.get(name).map(Arc::as_ref)
+    }
+
+    /// A shareable handle to one component's table, if cached.
+    pub fn get_arc(&self, name: &str) -> Option<Arc<MulLut>> {
+        self.luts.get(name).cloned()
+    }
+
+    /// Number of distinct cached components.
+    pub fn len(&self) -> usize {
+        self.luts.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.luts.is_empty()
+    }
+
+    /// Cached component names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.luts.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive LUT ↔ direct-multiply equivalence over all 65 536
+    /// input pairs, for the exact component and two approximate library
+    /// entries — the LUT path must be bit-identical to calling
+    /// `Multiplier8::multiply` directly.
+    #[test]
+    fn lut_bit_identical_to_direct_multiply_exhaustively() {
+        let lib = MultiplierLibrary::evo_approx_like();
+        for name in ["mul8u_1JFF", "mul8u_NGR", "mul8u_QKX"] {
+            let entry = lib.find(name).unwrap_or_else(|| panic!("missing {name}"));
+            let lut = MulLut::tabulate(entry.model());
+            for a in 0..=255u8 {
+                for b in 0..=255u8 {
+                    assert_eq!(
+                        lut.mul(a, b),
+                        entry.model().multiply(a, b),
+                        "{name}: {a} x {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_lut_is_the_product() {
+        let lut = MulLut::exact();
+        assert_eq!(lut.mul(255, 255), 65025);
+        assert_eq!(lut.mul(0, 200), 0);
+        assert_eq!(lut.mul(12, 11), 132);
+        assert!(lut.description().contains("exact"));
+    }
+
+    #[test]
+    fn cache_tabulates_each_component_once_and_resolves_by_name() {
+        let lib = MultiplierLibrary::evo_approx_like();
+        let cache =
+            LutCache::for_components(&lib, ["mul8u_1JFF", "mul8u_QKX", "mul8u_1JFF"]).unwrap();
+        assert_eq!(cache.len(), 2, "duplicate names share one table");
+        assert_eq!(cache.get("mul8u_1JFF").unwrap().mul(200, 100), 20000);
+        assert!(cache.get("mul8u_NGR").is_none());
+        // Arc handles alias the same table.
+        let a = cache.get_arc("mul8u_QKX").unwrap();
+        let b = cache.get_arc("mul8u_QKX").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn cache_rejects_unknown_components() {
+        let lib = MultiplierLibrary::evo_approx_like();
+        let err = LutCache::for_components(&lib, ["mul8u_nope"]).unwrap_err();
+        assert_eq!(err.component, "mul8u_nope");
+        assert!(err.to_string().contains("mul8u_nope"));
+    }
+
+    #[test]
+    fn tabulate_all_covers_the_library() {
+        let lib = MultiplierLibrary::evo_approx_like();
+        let cache = LutCache::tabulate_all(&lib);
+        assert_eq!(cache.len(), lib.len());
+        for entry in lib.iter() {
+            assert!(
+                cache.get(entry.name()).is_some(),
+                "missing {}",
+                entry.name()
+            );
+        }
+        assert_eq!(cache.names().len(), lib.len());
+    }
+}

@@ -70,11 +70,13 @@ fn main() -> ExitCode {
     );
     let outcome = run_pipeline(&cfg);
     eprintln!(
-        "[pipeline] baseline {:.3}, validated {:.3} (drop {:.2} pp) in {:.2}s \
-         (train {:.2}s, methodology {:.2}s)",
+        "[pipeline] baseline {:.3}, design predicted {:.3} (drop {:.2} pp), \
+         measured {:.3} (drop {:.2} pp) in {:.2}s (train {:.2}s, methodology {:.2}s)",
         outcome.report.group_sweep.baseline_accuracy,
-        outcome.report.design.validated_accuracy,
-        outcome.report.design.validated_drop_pp(),
+        outcome.report.design.predicted_accuracy,
+        outcome.report.design.predicted_drop_pp(),
+        outcome.report.design.measured_accuracy.unwrap_or(f64::NAN),
+        outcome.report.design.measured_drop_pp().unwrap_or(f64::NAN),
         outcome.timings.total_s(),
         outcome.timings.train_s,
         outcome.timings.methodology_s,

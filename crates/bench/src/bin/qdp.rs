@@ -3,16 +3,18 @@
 //!
 //! Trains the small CapsNet and DeepCaps, calibrates and lowers each
 //! through the architecture-generic quantized pipeline, then for every
-//! selected approximate multiplier runs end-to-end inference through
-//! the real component model (**measured**) and through the paper's
-//! Gaussian noise injection (**predicted**), printing one JSON line per
-//! `(architecture, component)` to stdout (progress goes to stderr).
-//! Usage:
+//! selected approximate multiplier scores the same uniform assignment
+//! on the measured backend (the real component model inside every MAC)
+//! and the noise-predicted backend (the paper's Gaussian injection) —
+//! and, in heterogeneous mode (default; `--heterogeneous` forces it
+//! on), re-scores each architecture's Step-6 per-layer design on both
+//! backends. One JSON line per `(architecture, component-or-design)`
+//! to stdout (progress goes to stderr). Usage:
 //!
 //! ```text
 //! qdp [--quick] [--benchmark mnist|fashion|svhn|cifar] [--seed N]
 //!     [--arch capsnet|deepcaps|both] [--components name,name,...]
-//!     [--out PATH] [--threads N]
+//!     [--heterogeneous | --no-heterogeneous] [--out PATH] [--threads N]
 //! ```
 
 use std::process::ExitCode;
@@ -28,15 +30,25 @@ fn main() -> ExitCode {
     while let Some(flag) = args.next() {
         let parsed: Result<(), String> = match flag.as_str() {
             "--quick" => {
-                // Keep any --seed/--benchmark/--arch/--components given
-                // before the flag; --quick only rescales the run.
+                // Keep any --seed/--benchmark/--arch/--components/
+                // --[no-]heterogeneous given before the flag; --quick
+                // only rescales the run.
                 cfg = QdpConfig {
                     benchmark: cfg.benchmark,
                     seed: cfg.seed,
                     archs: cfg.archs,
                     components: cfg.components.or(QdpConfig::quick().components),
+                    heterogeneous: cfg.heterogeneous,
                     ..QdpConfig::quick()
                 };
+                Ok(())
+            }
+            "--heterogeneous" => {
+                cfg.heterogeneous = true;
+                Ok(())
+            }
+            "--no-heterogeneous" => {
+                cfg.heterogeneous = false;
                 Ok(())
             }
             "--benchmark" => next_value(&mut args, "--benchmark").and_then(|v| match v.as_str() {
@@ -82,10 +94,11 @@ fn main() -> ExitCode {
                 .map(|v: usize| redcane_tensor::par::set_threads(v)),
             "--help" | "-h" => {
                 eprintln!(
-                    "qdp: measured vs noise-predicted accuracy drop per multiplier\n\
+                    "qdp: measured vs noise-predicted accuracy drop per multiplier \
+                     and for the heterogeneous Step-6 design\n\
                      flags: --quick, --benchmark mnist|fashion|svhn|cifar, --seed N, \
-                     --arch capsnet|deepcaps|both, --components a,b,..., --out PATH, \
-                     --threads N"
+                     --arch capsnet|deepcaps|both, --components a,b,..., \
+                     --heterogeneous, --no-heterogeneous, --out PATH, --threads N"
                 );
                 return ExitCode::SUCCESS;
             }

@@ -6,9 +6,10 @@
 //!   benchmark datasets and reports raw train/evaluate throughput;
 //! - **`pipeline`** — runs the complete ReD-CaNe methodology end to end
 //!   (dataset generation → tiny CapsNet training → group extraction →
-//!   noise sweep → component selection) from a fixed seed and emits one
-//!   machine-readable JSON line. This is the hook future perf-tracking
-//!   (`BENCH_*.json`) builds on.
+//!   noise sweep → component selection → heterogeneous-design re-score
+//!   on the measured quantized datapath) from a fixed seed and emits
+//!   one machine-readable JSON line. This is the hook future
+//!   perf-tracking (`BENCH_*.json`) builds on.
 //!
 //! The library exposes the pipeline itself ([`run_pipeline`]) so
 //! integration tests can run the exact same code path as the binary and
@@ -24,8 +25,10 @@ use redcane::prelude::*;
 use redcane::report::json::Value;
 use redcane::report::{group_slug, marking_to_json};
 use redcane::{SelectionConfig, SweepConfig};
+use redcane_axmul::MultiplierLibrary;
 use redcane_capsnet::{evaluate_clean, train, CapsNet, CapsNetConfig, TrainConfig};
 use redcane_datasets::{generate, Benchmark, GenerateConfig};
+use redcane_qdp::QuantMeasured;
 use redcane_tensor::TensorRng;
 
 /// Everything a pipeline run needs; fully determined by its fields
@@ -55,6 +58,10 @@ pub struct PipelineConfig {
     pub threads: usize,
     /// Samples per library-component characterization.
     pub characterization_samples: usize,
+    /// Clean training inputs swept through the trained network to
+    /// calibrate the quantized datapath the Step-6 design is re-scored
+    /// on.
+    pub calib_samples: usize,
 }
 
 impl PipelineConfig {
@@ -74,6 +81,7 @@ impl PipelineConfig {
             max_test_samples: Some(40),
             threads: redcane_tensor::par::num_threads(),
             characterization_samples: 4000,
+            calib_samples: 32,
         }
     }
 }
@@ -93,6 +101,9 @@ pub struct StageTimings {
     pub train_s: f64,
     /// Accurate-network test evaluation.
     pub evaluate_s: f64,
+    /// Quantized-datapath calibration + lowering + LUT tabulation (the
+    /// measured backend the Step-6 design is re-scored on).
+    pub calibrate_s: f64,
     /// The six-step methodology (sweeps dominate).
     pub methodology_s: f64,
 }
@@ -100,7 +111,7 @@ pub struct StageTimings {
 impl StageTimings {
     /// Total of all stages.
     pub fn total_s(&self) -> f64 {
-        self.generate_s + self.train_s + self.evaluate_s + self.methodology_s
+        self.generate_s + self.train_s + self.evaluate_s + self.calibrate_s + self.methodology_s
     }
 }
 
@@ -163,23 +174,44 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> PipelineOutcome {
     let test_accuracy = evaluate_clean(&model, &pair.test);
     let evaluate_s = t.elapsed().as_secs_f64();
 
+    // The measured backend: calibrate on clean training inputs, lower
+    // the trained network onto the quantized datapath once, tabulate
+    // the component library. Step 6's heterogeneous design is then
+    // re-scored on it — ground truth next to the noise forecast.
     let t = Instant::now();
-    let methodology = RedCaNe::new(MethodologyConfig {
-        sweep: SweepConfig {
-            nm_values: cfg.nm_values.clone(),
-            na: 0.0,
-            seed: cfg.seed ^ 0x5eed,
-            max_test_samples: cfg.max_test_samples,
-            threads: cfg.threads,
+    let library = MultiplierLibrary::evo_approx_like();
+    let measured = QuantMeasured::calibrated(
+        &mut model,
+        pair.train
+            .samples
+            .iter()
+            .take(cfg.calib_samples.max(1))
+            .map(|s| &s.image),
+        &library,
+    )
+    .expect("calibration succeeds on trained activations");
+    let calibrate_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let methodology = RedCaNe::with_library(
+        MethodologyConfig {
+            sweep: SweepConfig {
+                nm_values: cfg.nm_values.clone(),
+                na: 0.0,
+                seed: cfg.seed ^ 0x5eed,
+                max_test_samples: cfg.max_test_samples,
+                threads: cfg.threads,
+            },
+            selection: SelectionConfig {
+                characterization_samples: cfg.characterization_samples,
+                seed: cfg.seed ^ 0xc0de,
+                ..Default::default()
+            },
+            input_distribution: None,
         },
-        selection: SelectionConfig {
-            characterization_samples: cfg.characterization_samples,
-            seed: cfg.seed ^ 0xc0de,
-            ..Default::default()
-        },
-        input_distribution: None,
-    });
-    let report = methodology.run(&model, &pair.test);
+        library,
+    );
+    let report = methodology.run_with_measured(&model, &pair.test, &measured);
     let methodology_s = t.elapsed().as_secs_f64();
 
     PipelineOutcome {
@@ -191,6 +223,7 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> PipelineOutcome {
             generate_s,
             train_s,
             evaluate_s,
+            calibrate_s,
             methodology_s,
         },
     }
@@ -239,7 +272,10 @@ pub fn outcome_to_json(outcome: &PipelineOutcome) -> Value {
         .collect();
     Value::Obj(vec![
         ("bench".into(), Value::from("pipeline")),
-        ("schema_version".into(), Value::from(1usize)),
+        // v2: the Step-6 design carries predicted AND measured
+        // accuracy (re-scored on the quantized datapath), replacing the
+        // v1 `validated_*` fields.
+        ("schema_version".into(), Value::from(2usize)),
         (
             "benchmark".into(),
             Value::from(outcome.config.benchmark.name()),
@@ -268,6 +304,7 @@ pub fn outcome_to_json(outcome: &PipelineOutcome) -> Value {
                 ("generate".into(), Value::from(outcome.timings.generate_s)),
                 ("train".into(), Value::from(outcome.timings.train_s)),
                 ("evaluate".into(), Value::from(outcome.timings.evaluate_s)),
+                ("calibrate".into(), Value::from(outcome.timings.calibrate_s)),
                 (
                     "methodology".into(),
                     Value::from(outcome.timings.methodology_s),
@@ -292,12 +329,26 @@ pub fn outcome_to_json(outcome: &PipelineOutcome) -> Value {
             Value::from(report.design.mean_power_saving),
         ),
         (
-            "validated_accuracy".into(),
-            Value::from(report.design.validated_accuracy),
+            "predicted_accuracy".into(),
+            Value::from(report.design.predicted_accuracy),
         ),
         (
-            "validated_drop_pp".into(),
-            Value::from(report.design.validated_drop_pp()),
+            "predicted_drop_pp".into(),
+            Value::from(report.design.predicted_drop_pp()),
+        ),
+        (
+            "measured_accuracy".into(),
+            match report.design.measured_accuracy {
+                Some(acc) => Value::from(acc),
+                None => Value::Null,
+            },
+        ),
+        (
+            "measured_drop_pp".into(),
+            match report.design.measured_drop_pp() {
+                Some(drop) => Value::from(drop),
+                None => Value::Null,
+            },
         ),
     ])
 }
@@ -342,10 +393,17 @@ mod tests {
             "baseline_accuracy",
             "groups",
             "components",
-            "validated_accuracy",
+            "predicted_accuracy",
+            "predicted_drop_pp",
+            "measured_accuracy",
+            "measured_drop_pp",
         ] {
             assert!(parsed.get(key).is_some(), "missing key {key}");
         }
+        // The heterogeneous design was re-scored on the measured
+        // datapath: both drops are real numbers.
+        assert!(parsed.get("measured_accuracy").unwrap().as_f64().is_some());
+        assert!(parsed.get("measured_drop_pp").unwrap().as_f64().is_some());
         let groups = parsed.get("groups").unwrap().as_arr().unwrap();
         assert_eq!(groups.len(), 4, "accuracy drop per group");
         for g in groups {

@@ -8,7 +8,9 @@
 
 use std::time::Instant;
 
+use redcane::datapath::DatapathAssignment;
 use redcane::report::json::Value;
+use redcane_axmul::LutCache;
 use redcane_capsnet::routing::{
     dynamic_routing, dynamic_routing_backward, reference as routing_reference,
 };
@@ -199,13 +201,16 @@ fn routing_probes(reps: usize) -> Vec<PerfProbe> {
 }
 
 /// Quantized-DeepCaps probes: what lowering the 17-layer DeepCaps
-/// through the architecture-generic pipeline costs, and what one
-/// end-to-end quantized inference (exact LUT) costs — the tripwire for
-/// the quantized DeepCaps path staying usable for library sweeps.
+/// through the architecture-generic pipeline costs, what one
+/// end-to-end quantized inference (exact uniform assignment) costs,
+/// and what the batch-fused executor saves over per-sample forwards —
+/// the tripwires for the quantized DeepCaps path staying usable for
+/// library sweeps.
 fn qdp_deepcaps_probes(reps: usize) -> Vec<PerfProbe> {
+    const BATCH: usize = 4;
     let mut rng = TensorRng::from_seed(82);
     let mut model = DeepCaps::new(&DeepCapsConfig::small(1, 16), &mut rng);
-    let images: Vec<Tensor> = (0..2)
+    let images: Vec<Tensor> = (0..BATCH)
         .map(|_| rng.uniform(&[1, 16, 16], 0.0, 1.0))
         .collect();
     let mut obs = CalibrationObserver::new();
@@ -217,9 +222,22 @@ fn qdp_deepcaps_probes(reps: usize) -> Vec<PerfProbe> {
         std::hint::black_box(QModel::lower(&model, &ranges).expect("calibrated"));
     });
     let q = QModel::lower(&model, &ranges).expect("calibrated");
-    let lut = MulLut::exact();
+    let assignment = DatapathAssignment::uniform("exact");
+    let mut luts = LutCache::new();
+    luts.insert("exact", MulLut::exact());
     let fwd_ns = time_ns(reps, || {
-        std::hint::black_box(q.forward(&images[0], &lut));
+        std::hint::black_box(q.forward(&images[0], &assignment, &luts).expect("covered"));
+    });
+    // Batch fusion vs its per-sample twin over the same images: the
+    // naive path is BATCH single-sample forwards.
+    let refs: Vec<&Tensor> = images.iter().collect();
+    let batch_ns = time_ns(reps, || {
+        std::hint::black_box(q.forward_batch(&refs, &assignment, &luts).expect("covered"));
+    });
+    let per_sample_ns = time_ns(reps, || {
+        for image in &images {
+            std::hint::black_box(q.forward(image, &assignment, &luts).expect("covered"));
+        }
     });
     vec![
         PerfProbe {
@@ -231,6 +249,11 @@ fn qdp_deepcaps_probes(reps: usize) -> Vec<PerfProbe> {
             name: "qdp_fwd_deepcaps_small".to_string(),
             ns_per_op: fwd_ns,
             naive_ns_per_op: None,
+        },
+        PerfProbe {
+            name: "qdp_fwd_batch_deepcaps_small".to_string(),
+            ns_per_op: batch_ns,
+            naive_ns_per_op: Some(per_sample_ns),
         },
     ]
 }
@@ -364,6 +387,7 @@ mod tests {
             "matmul_256x2304x16_deepcaps_cell4",
             "qdp_lower_deepcaps_small",
             "qdp_fwd_deepcaps_small",
+            "qdp_fwd_batch_deepcaps_small",
         ] {
             assert!(
                 kernels

@@ -1,46 +1,48 @@
 //! The `qdp` bench mode: measured vs noise-predicted accuracy drop,
-//! per approximate multiplier, for **both** of the paper's
-//! architectures.
+//! per approximate multiplier **and for the heterogeneous Step-6
+//! design**, for both of the paper's architectures.
 //!
 //! For every component of the axmul library and every selected
-//! architecture (CapsNet and DeepCaps) this runs the trained network
-//! **twice** on the same seeded test subset:
+//! architecture (CapsNet and DeepCaps) this scores the same uniform
+//! [`DatapathAssignment`] on the two [`AccuracyBackend`]s:
 //!
-//! 1. **Measured** — end-to-end inference through `redcane-qdp`'s
-//!    8-bit datapath (the architecture-generic [`QModel`] lowering)
-//!    with the component's behavioral model serving every MAC multiply
-//!    (ground truth);
-//! 2. **Predicted** — the float network with the paper's Gaussian
-//!    noise model (Eq. 3) at the MAC-output group, parameterized by
-//!    the component's `(NA, NM)` characterized over the **empirical**
-//!    operand distribution observed during calibration (the paper's
-//!    "Real ΔX" column) — quantized activation codes against quantized
-//!    weight codes.
+//! 1. **Measured** ([`QuantMeasured`]) — end-to-end inference through
+//!    `redcane-qdp`'s 8-bit datapath with the component's behavioral
+//!    model serving every MAC multiply (ground truth);
+//! 2. **Predicted** ([`NoisePredicted`]) — the float network with the
+//!    paper's Gaussian noise model (Eq. 3) at the MAC-output group,
+//!    parameterized by the component's `(NA, NM)` characterized over
+//!    the **empirical** operand distribution observed during
+//!    calibration (the paper's "Real ΔX" column).
 //!
-//! One JSON line per `(architecture, component)` pairs the two
-//! accuracy drops — the paper's validation loop (does injected noise
-//! predict real approximate hardware?) closed over both networks in a
-//! single artifact.
+//! With `heterogeneous` enabled (the default), each architecture
+//! additionally runs the full ReD-CaNe methodology and re-scores the
+//! winning per-layer design on the measured backend
+//! ([`RedCaNe::run_with_measured`]), emitting one extra JSON line whose
+//! `predicted_drop_pp` / `measured_drop_pp` close the paper's
+//! validation loop for the *heterogeneous* output — not just
+//! single-component sweeps.
 //!
-//! The per-component evaluations are embarrassingly parallel: they fan
-//! out over `redcane_tensor::par` workers, each component owning its
-//! own [`MulLut`] and noise injector (seeded by component index), so
-//! the JSON output is byte-identical at every `REDCANE_THREADS`
-//! setting.
+//! One JSON line per `(architecture, component-or-design)`; schema v3.
+//! The per-component evaluations fan out over `redcane_tensor::par`
+//! workers sharing one lowered [`QModel`] and one [`LutCache`] (64 KiB
+//! per distinct multiplier); every quantity derives only from the seed,
+//! the architecture tag and the component index, so the JSON output is
+//! byte-identical at every `REDCANE_THREADS` setting.
 
 use std::time::Instant;
 
+use redcane::datapath::{AccuracyBackend, DatapathAssignment, NoisePredicted};
+use redcane::report::group_slug;
 use redcane::report::json::Value;
-use redcane::{GaussianNoiseInjector, NoiseModel, NoiseTarget};
+use redcane::{ApproxDesign, MethodologyConfig, RedCaNe, SelectionConfig, SweepConfig};
 use redcane_axmul::library::{ComponentEntry, MultiplierLibrary};
-use redcane_axmul::InputDistribution;
-use redcane_capsnet::inject::OpKind;
+use redcane_axmul::{InputDistribution, LutCache};
 use redcane_capsnet::{
-    evaluate, evaluate_clean, train, CapsModel, CapsNet, CapsNetConfig, DeepCaps, DeepCapsConfig,
-    TrainConfig,
+    evaluate_clean, train, CapsModel, CapsNet, CapsNetConfig, DeepCaps, DeepCapsConfig, TrainConfig,
 };
 use redcane_datasets::{generate, Benchmark, Dataset, DatasetPair, GenerateConfig};
-use redcane_qdp::{evaluate_quantized, CalibrationObserver, MulLut, QModel};
+use redcane_qdp::{CalibrationObserver, QModel, QuantMeasured};
 use redcane_tensor::{par, TensorRng};
 
 /// Values retained per MAC-input site for the empirical operand pools.
@@ -109,6 +111,10 @@ pub struct QdpConfig {
     pub components: Option<Vec<String>>,
     /// Samples per component `(NA, NM)` characterization.
     pub characterization_samples: usize,
+    /// Also run the six-step methodology per architecture and re-score
+    /// its heterogeneous Step-6 design on the measured backend (one
+    /// extra JSON line per architecture).
+    pub heterogeneous: bool,
 }
 
 impl QdpConfig {
@@ -128,6 +134,7 @@ impl QdpConfig {
             eval_samples: 40,
             components: None,
             characterization_samples: 4000,
+            heterogeneous: true,
         }
     }
 
@@ -170,7 +177,8 @@ pub struct QdpRow {
     pub predicted_accuracy: f64,
 }
 
-/// One architecture's full sweep: float baseline + per-component rows.
+/// One architecture's full sweep: float baseline + per-component rows
+/// + (optionally) the heterogeneous Step-6 design's re-score.
 #[derive(Debug, Clone)]
 pub struct QdpArchOutcome {
     /// The architecture swept.
@@ -182,6 +190,9 @@ pub struct QdpArchOutcome {
     pub float_accuracy: f64,
     /// Per-component rows, in library order.
     pub rows: Vec<QdpRow>,
+    /// The methodology's winning heterogeneous design, scored on both
+    /// backends (`None` unless `heterogeneous` was configured).
+    pub design: Option<ApproxDesign>,
 }
 
 impl QdpArchOutcome {
@@ -208,9 +219,10 @@ pub struct QdpOutcome {
 }
 
 /// Runs dataset generation → training → calibration → the
-/// per-component measured/predicted sweep for every configured
-/// architecture, deterministically from `cfg.seed` (and independent of
-/// the worker-thread count).
+/// per-component measured/predicted sweep (and the heterogeneous
+/// design re-score) for every configured architecture,
+/// deterministically from `cfg.seed` (and independent of the
+/// worker-thread count).
 ///
 /// # Panics
 ///
@@ -236,6 +248,10 @@ pub fn run_qdp(cfg: &QdpConfig) -> QdpOutcome {
         },
     );
     let library = MultiplierLibrary::evo_approx_like();
+    // One 64 KiB table per library component, tabulated once and shared
+    // by every architecture's backend (the cache is model-independent;
+    // cloning only copies Arc handles).
+    let luts = LutCache::tabulate_all(&library);
     let entries: Vec<&ComponentEntry> = match &cfg.components {
         Some(names) => names
             .iter()
@@ -261,11 +277,11 @@ pub fn run_qdp(cfg: &QdpConfig) -> QdpOutcome {
             match arch {
                 QdpArch::CapsNet => {
                     let model = CapsNet::new(&CapsNetConfig::small(channels, height), &mut rng);
-                    sweep_arch(cfg, arch, model, &pair, &entries)
+                    sweep_arch(cfg, arch, model, &pair, &library, &luts, &entries)
                 }
                 QdpArch::DeepCaps => {
                     let model = DeepCaps::new(&DeepCapsConfig::small(channels, height), &mut rng);
-                    sweep_arch(cfg, arch, model, &pair, &entries)
+                    sweep_arch(cfg, arch, model, &pair, &library, &luts, &entries)
                 }
             }
         })
@@ -278,14 +294,16 @@ pub fn run_qdp(cfg: &QdpConfig) -> QdpOutcome {
     }
 }
 
-/// Trains, calibrates and sweeps one architecture. Generic over the
-/// concrete model so training and the noise-injected evaluation reuse
-/// the shared capsnet machinery.
+/// Trains, calibrates, lowers **once**, and sweeps one architecture.
+/// Generic over the concrete model so training and the noise-injected
+/// evaluation reuse the shared capsnet machinery.
 fn sweep_arch<M: CapsModel + Clone + Send + Sync + 'static>(
     cfg: &QdpConfig,
     arch: QdpArch,
     mut model: M,
     pair: &DatasetPair,
+    library: &MultiplierLibrary,
+    luts: &LutCache,
     entries: &[&ComponentEntry],
 ) -> QdpArchOutcome {
     train(
@@ -333,7 +351,20 @@ fn sweep_arch<M: CapsModel + Clone + Send + Sync + 'static>(
         }
     };
 
-    let rows = sweep_components(cfg, arch.seed_tag(), &model, &qmodel, &eval, entries, &dist);
+    // One lowered program + the shared component tables: every uniform
+    // row, the design re-score, and every worker thread use the same
+    // cache.
+    let measured = QuantMeasured::new(qmodel, luts.clone());
+
+    let rows = sweep_components(
+        cfg,
+        arch.seed_tag(),
+        &model,
+        &measured,
+        &eval,
+        entries,
+        &dist,
+    );
     for row in &rows {
         eprintln!(
             "[qdp] {} {:<14} nm {:.5}  measured {:.3}  predicted {:.3}",
@@ -344,11 +375,49 @@ fn sweep_arch<M: CapsModel + Clone + Send + Sync + 'static>(
             row.predicted_accuracy
         );
     }
+
+    // The heterogeneous loop: run the six-step methodology on the eval
+    // subset and score its winning per-layer design on BOTH backends
+    // through the same trait.
+    let design = cfg.heterogeneous.then(|| {
+        let methodology = RedCaNe::with_library(
+            MethodologyConfig {
+                sweep: SweepConfig {
+                    nm_values: vec![0.5, 0.05, 0.005],
+                    na: 0.0,
+                    seed: cfg.seed ^ 0x6e01 ^ (arch.seed_tag() << 16),
+                    max_test_samples: None,
+                    threads: par::num_threads(),
+                },
+                selection: SelectionConfig {
+                    characterization_samples: cfg.characterization_samples,
+                    seed: cfg.seed ^ 0xc0de,
+                    ..Default::default()
+                },
+                input_distribution: Some(dist.clone()),
+            },
+            library.clone(),
+        );
+        let design = methodology
+            .run_with_measured(&model, &eval, &measured)
+            .design;
+        eprintln!(
+            "[qdp] {} heterogeneous   predicted drop {:+.2} pp  measured drop {:+.2} pp  \
+             (mean power saving {:.1}%)",
+            arch.label(),
+            design.predicted_drop_pp(),
+            design.measured_drop_pp().expect("measured backend ran"),
+            design.mean_power_saving * 100.0,
+        );
+        design
+    });
+
     QdpArchOutcome {
         arch,
         model_name: model.name(),
         float_accuracy,
         rows,
+        design,
     }
 }
 
@@ -361,7 +430,7 @@ fn sweep_components<M: CapsModel + Clone + Send + Sync>(
     cfg: &QdpConfig,
     arch_tag: u64,
     model: &M,
-    qmodel: &QModel,
+    measured: &QuantMeasured,
     eval: &Dataset,
     entries: &[&ComponentEntry],
     dist: &InputDistribution,
@@ -371,20 +440,20 @@ fn sweep_components<M: CapsModel + Clone + Send + Sync>(
         || (),
         |(), idx| {
             let entry = entries[idx];
-            // Measured: the component inside every MAC of the datapath.
-            // The LUT is tabulated here, so each worker owns its own.
-            let lut = MulLut::tabulate(entry.model());
-            let measured_accuracy = evaluate_quantized(qmodel, eval, &lut);
-            // Predicted: the paper's Gaussian model at the MAC-output
-            // group, with this component's characterized (NA, NM).
+            let assignment = DatapathAssignment::uniform(entry.name());
+            // Measured: the component inside every MAC of the shared
+            // lowered datapath (ground truth).
+            let measured_accuracy = measured
+                .evaluate(model, eval, &assignment)
+                .expect("uniform assignment covers every site");
+            // Predicted: the same assignment on the noise backend, with
+            // this component's characterized (NA, NM).
             let np = entry.characterize(dist, cfg.characterization_samples, cfg.seed ^ 0xc0de);
-            let mut injector = GaussianNoiseInjector::new(
-                NoiseModel::new(np.nm, np.na),
-                NoiseTarget::group(OpKind::MacOutput),
-                cfg.seed ^ 0x5eed ^ idx as u64 ^ (arch_tag << 32),
-            );
-            let mut validator = model.clone();
-            let predicted_accuracy = evaluate(&mut validator, eval, &mut injector);
+            let predictor = NoisePredicted::new(cfg.seed ^ 0x5eed ^ idx as u64 ^ (arch_tag << 32))
+                .with_component(entry.name(), np.nm, np.na);
+            let predicted_accuracy = predictor
+                .evaluate(model, eval, &assignment)
+                .expect("component characterized");
             QdpRow {
                 component: entry.name().to_string(),
                 power_uw: entry.cost().power_uw,
@@ -401,9 +470,10 @@ fn sweep_components<M: CapsModel + Clone + Send + Sync>(
 pub fn qdp_row_to_json(cfg: &QdpConfig, arch: &QdpArchOutcome, row: &QdpRow) -> Value {
     Value::Obj(vec![
         ("bench".into(), Value::from("qdp")),
-        // v2: rows carry the architecture (`arch`) and sweeps cover
-        // both networks.
-        ("schema_version".into(), Value::from(2usize)),
+        // v3: heterogeneous design rows (component = "heterogeneous")
+        // alongside the per-component rows; both drops go through the
+        // AccuracyBackend trait.
+        ("schema_version".into(), Value::from(3usize)),
         ("benchmark".into(), Value::from(cfg.benchmark.name())),
         // String: u64 seeds above 2^53 would round through a JSON number.
         ("seed".into(), Value::from(cfg.seed.to_string())),
@@ -434,8 +504,57 @@ pub fn qdp_row_to_json(cfg: &QdpConfig, arch: &QdpArchOutcome, row: &QdpRow) -> 
     ])
 }
 
+/// Serializes one architecture's heterogeneous-design re-score as a
+/// self-contained JSON line (`component` = `"heterogeneous"`).
+pub fn qdp_design_to_json(cfg: &QdpConfig, arch: &QdpArchOutcome, design: &ApproxDesign) -> Value {
+    let components: Vec<Value> = design
+        .assignments
+        .iter()
+        .map(|a| {
+            Value::Obj(vec![
+                ("layer".into(), Value::from(a.layer.clone())),
+                ("group".into(), Value::from(group_slug(a.group))),
+                ("component".into(), Value::from(a.component.clone())),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("bench".into(), Value::from("qdp")),
+        ("schema_version".into(), Value::from(3usize)),
+        ("benchmark".into(), Value::from(cfg.benchmark.name())),
+        ("seed".into(), Value::from(cfg.seed.to_string())),
+        ("arch".into(), Value::from(arch.arch.label())),
+        ("model".into(), Value::from(arch.model_name.clone())),
+        ("eval_samples".into(), Value::from(cfg.eval_samples)),
+        ("component".into(), Value::from("heterogeneous")),
+        ("design_components".into(), Value::Arr(components)),
+        (
+            "mean_power_saving".into(),
+            Value::from(design.mean_power_saving),
+        ),
+        ("float_accuracy".into(), Value::from(arch.float_accuracy)),
+        (
+            "measured_accuracy".into(),
+            Value::from(design.measured_accuracy.expect("design was re-scored")),
+        ),
+        (
+            "measured_drop_pp".into(),
+            Value::from(design.measured_drop_pp().expect("design was re-scored")),
+        ),
+        (
+            "predicted_accuracy".into(),
+            Value::from(design.predicted_accuracy),
+        ),
+        (
+            "predicted_drop_pp".into(),
+            Value::from(design.predicted_drop_pp()),
+        ),
+    ])
+}
+
 /// All rows of an outcome as JSON lines: architectures in config
-/// order, components in library order within each.
+/// order, components in library order within each, the heterogeneous
+/// design row (when run) last per architecture.
 pub fn qdp_to_json_lines(outcome: &QdpOutcome) -> Vec<Value> {
     outcome
         .archs
@@ -444,6 +563,11 @@ pub fn qdp_to_json_lines(outcome: &QdpOutcome) -> Vec<Value> {
             arch.rows
                 .iter()
                 .map(|row| qdp_row_to_json(&outcome.config, arch, row))
+                .chain(
+                    arch.design
+                        .iter()
+                        .map(|design| qdp_design_to_json(&outcome.config, arch, design)),
+                )
         })
         .collect()
 }
@@ -466,6 +590,7 @@ mod tests {
             eval_samples: 12,
             characterization_samples: 500,
             components: Some(vec!["mul8u_1JFF".to_string(), "mul8u_QKX".to_string()]),
+            heterogeneous: false,
             ..QdpConfig::smoke()
         }
     }
@@ -495,7 +620,7 @@ mod tests {
                 assert!(parsed.get(key).is_some(), "missing key {key}");
             }
             assert_eq!(parsed.get("bench").unwrap().as_str().unwrap(), "qdp");
-            assert_eq!(parsed.get("schema_version").unwrap().as_f64().unwrap(), 2.0);
+            assert_eq!(parsed.get("schema_version").unwrap().as_f64().unwrap(), 3.0);
         }
         // Both architectures present, in config order.
         let arch_of = |i: usize| {
@@ -527,6 +652,49 @@ mod tests {
         assert!(arch.measured_drop_pp(exact).abs() <= 25.0);
     }
 
+    /// With `heterogeneous` on, every architecture gains one design row
+    /// carrying both drops for the Step-6 per-layer assignment.
+    #[test]
+    fn heterogeneous_design_row_reports_both_drops() {
+        let cfg = QdpConfig {
+            heterogeneous: true,
+            ..tiny(vec![QdpArch::CapsNet])
+        };
+        let outcome = run_qdp(&cfg);
+        let arch = &outcome.archs[0];
+        let design = arch.design.as_ref().expect("design re-score ran");
+        assert!(!design.assignments.is_empty());
+        assert!(design.measured_accuracy.is_some());
+        // The methodology's baseline is the same clean evaluation the
+        // sweep uses, so the design drops share the float baseline.
+        assert_eq!(design.baseline_accuracy, arch.float_accuracy);
+
+        let lines = qdp_to_json_lines(&outcome);
+        assert_eq!(lines.len(), 3, "2 component rows + 1 design row");
+        let parsed = json::parse(&lines[2].dump()).unwrap();
+        assert_eq!(
+            parsed.get("component").unwrap().as_str().unwrap(),
+            "heterogeneous"
+        );
+        for key in [
+            "design_components",
+            "mean_power_saving",
+            "measured_drop_pp",
+            "predicted_drop_pp",
+        ] {
+            assert!(parsed.get(key).is_some(), "missing key {key}");
+        }
+        assert_eq!(
+            parsed
+                .get("design_components")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .len(),
+            design.assignments.len()
+        );
+    }
+
     /// Per-arch seeds key on the architecture's identity, so a
     /// deepcaps-only run reproduces exactly the deepcaps rows of a
     /// both-arch run at the same seed (debuggability of CI artifacts).
@@ -539,11 +707,15 @@ mod tests {
     }
 
     /// The parallel component sweep must not change a single byte of
-    /// the output: equal seeds give equal JSON at every thread count.
+    /// the output: equal seeds give equal JSON at every thread count —
+    /// heterogeneous design row included.
     #[test]
     fn json_is_byte_identical_across_thread_counts() {
         let _guard = THREADS_LOCK.lock().unwrap();
-        let cfg = tiny(vec![QdpArch::CapsNet]);
+        let cfg = QdpConfig {
+            heterogeneous: true,
+            ..tiny(vec![QdpArch::CapsNet])
+        };
         let dump = |threads: usize| {
             par::set_threads(threads);
             let lines: Vec<String> = qdp_to_json_lines(&run_qdp(&cfg))

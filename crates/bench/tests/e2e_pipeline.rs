@@ -20,6 +20,7 @@ fn tiny_config() -> PipelineConfig {
         max_test_samples: Some(25),
         threads: 4,
         characterization_samples: 2000,
+        calib_samples: 16,
     }
 }
 

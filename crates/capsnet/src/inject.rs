@@ -12,7 +12,12 @@ use serde::{Deserialize, Serialize};
 /// The operation taxonomy of the paper's Table III, plus `MacInput`
 /// (observed but never noise-injected: it feeds Fig. 11's input
 /// distributions and the "real input" component characterization).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// `Ord` follows declaration order; it exists so `(layer, kind,
+/// in-routing)` site keys — the currency of calibration ranges and
+/// per-site datapath assignments — can key ordered maps and iterate
+/// deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum OpKind {
     /// Outputs of matrix multiplications / convolutions / vote
     /// accumulations (group #1).

@@ -1,0 +1,588 @@
+//! Heterogeneous-datapath evaluation: per-site multiplier assignments
+//! and the backend trait unifying noise-predicted and measured
+//! accuracy.
+//!
+//! The paper's end product (Step 6) is a *heterogeneous* approximate
+//! design — a different multiplier per layer group. Two questions can
+//! be asked of such a design:
+//!
+//! 1. **Predicted** — what accuracy does the Gaussian noise model
+//!    (Sec. III-C) forecast when every operation carries its selected
+//!    component's `(NA, NM)`? ([`NoisePredicted`])
+//! 2. **Measured** — what accuracy does the real 8-bit integer
+//!    datapath achieve when every MAC multiply actually runs through
+//!    the selected components' behavioral models?
+//!    (`redcane_qdp::QuantMeasured`)
+//!
+//! Both answers are evaluations of the same object — a
+//! [`DatapathAssignment`] mapping the generic `(layer, op kind,
+//! in-routing)` site keys (the same keys calibration ranges use) to
+//! multiplier component names — so both live behind one trait,
+//! [`AccuracyBackend`]. Closing the prediction-vs-ground-truth loop
+//! for a full heterogeneous design is then one assignment evaluated on
+//! two backends.
+
+use std::collections::BTreeMap;
+
+use redcane_axmul::error_stats::InputDistribution;
+use redcane_axmul::library::MultiplierLibrary;
+use redcane_capsnet::inject::OpKind;
+use redcane_capsnet::{evaluate, CapsModel};
+use redcane_datasets::Dataset;
+
+use crate::groups::Group;
+use crate::noise::{NoiseModel, NoiseTarget, PerSiteNoiseInjector};
+use crate::selection::{ApproxDesign, Assignment};
+
+/// A datapath site: `(layer name, operation kind, inside routing?)` —
+/// the same key calibration ranges are stored under.
+pub type SiteKey = (String, OpKind, bool);
+
+/// Which multiplier component serves each operation site of the
+/// datapath — the executable form of an approximate design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatapathAssignment {
+    /// Every site runs the same component (the paper's single-component
+    /// sweeps, and the exact baseline).
+    Uniform(String),
+    /// A different component per site key; sites absent from the map
+    /// are **unassigned** and make evaluation fail loudly rather than
+    /// silently falling back to anything.
+    PerSite(BTreeMap<SiteKey, String>),
+}
+
+impl DatapathAssignment {
+    /// A uniform assignment of one component to every site.
+    pub fn uniform(component: impl Into<String>) -> Self {
+        DatapathAssignment::Uniform(component.into())
+    }
+
+    /// An empty per-site assignment; populate with
+    /// [`DatapathAssignment::assign`].
+    pub fn per_site() -> Self {
+        DatapathAssignment::PerSite(BTreeMap::new())
+    }
+
+    /// Assigns `component` to one site.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`DatapathAssignment::Uniform`] assignment — a
+    /// uniform assignment has no site structure to refine; start from
+    /// [`DatapathAssignment::per_site`] instead.
+    pub fn assign(
+        &mut self,
+        layer: impl Into<String>,
+        kind: OpKind,
+        in_routing: bool,
+        component: impl Into<String>,
+    ) {
+        match self {
+            DatapathAssignment::PerSite(map) => {
+                map.insert((layer.into(), kind, in_routing), component.into());
+            }
+            DatapathAssignment::Uniform(_) => {
+                panic!("cannot add per-site entries to a uniform assignment")
+            }
+        }
+    }
+
+    /// The component assigned to a site, if any.
+    pub fn component_for(&self, layer: &str, kind: OpKind, in_routing: bool) -> Option<&str> {
+        match self {
+            DatapathAssignment::Uniform(c) => Some(c.as_str()),
+            DatapathAssignment::PerSite(map) => map
+                .get(&(layer.to_string(), kind, in_routing))
+                .map(String::as_str),
+        }
+    }
+
+    /// Distinct component names the assignment uses, sorted — the set a
+    /// LUT cache must tabulate.
+    pub fn component_names(&self) -> Vec<&str> {
+        match self {
+            DatapathAssignment::Uniform(c) => vec![c.as_str()],
+            DatapathAssignment::PerSite(map) => {
+                let mut names: Vec<&str> = map.values().map(String::as_str).collect();
+                names.sort_unstable();
+                names.dedup();
+                names
+            }
+        }
+    }
+
+    /// Per-site entries in deterministic (sorted-key) order; a uniform
+    /// assignment has none.
+    pub fn sites(&self) -> Vec<(&str, OpKind, bool, &str)> {
+        match self {
+            DatapathAssignment::Uniform(_) => Vec::new(),
+            DatapathAssignment::PerSite(map) => map
+                .iter()
+                .map(|((layer, kind, routing), c)| (layer.as_str(), *kind, *routing, c.as_str()))
+                .collect(),
+        }
+    }
+
+    /// Bridges a Step-6 [`ApproxDesign`] to its executable site map.
+    ///
+    /// Each `(layer, group)` assignment expands to the site keys its
+    /// group's operations occupy: MAC outputs exist both outside
+    /// routing (convolution / vote GEMMs) and inside it (the routing
+    /// weighted sum), activations both outside (ReLU / squash) and
+    /// inside (the squashed routing capsules), while softmax and the
+    /// logits update only exist inside routing.
+    pub fn from_design(design: &ApproxDesign) -> Self {
+        Self::from_assignments(&design.assignments)
+    }
+
+    /// [`DatapathAssignment::from_design`] over raw assignment rows.
+    pub fn from_assignments(assignments: &[Assignment]) -> Self {
+        let mut out = DatapathAssignment::per_site();
+        for a in assignments {
+            let kind = a.group.op_kind();
+            match a.group {
+                Group::MacOutputs | Group::Activations => {
+                    out.assign(a.layer.clone(), kind, false, a.component.clone());
+                    out.assign(a.layer.clone(), kind, true, a.component.clone());
+                }
+                Group::Softmax | Group::LogitsUpdate => {
+                    out.assign(a.layer.clone(), kind, true, a.component.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Why a backend could not evaluate an assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// The assignment names a component the backend has no
+    /// characterization / lookup table for.
+    UnknownComponent {
+        /// The unresolvable component name.
+        component: String,
+    },
+    /// A site the datapath executes has no assigned component.
+    UnassignedSite {
+        /// Layer of the unassigned site.
+        layer: String,
+        /// Operation kind of the unassigned site.
+        kind: OpKind,
+        /// Whether the site lies inside dynamic routing.
+        in_routing: bool,
+    },
+    /// The backend was prepared for a different model than it was asked
+    /// to evaluate.
+    ModelMismatch {
+        /// The model the backend was built from.
+        expected: String,
+        /// The model passed to `evaluate`.
+        got: String,
+    },
+    /// A `(layer, kind)` pair carries different components inside and
+    /// outside routing — a split the noise model's injection targets
+    /// cannot represent (they match by layer and kind only).
+    RoutingConflict {
+        /// Layer of the conflicting pair.
+        layer: String,
+        /// Operation kind of the conflicting pair.
+        kind: OpKind,
+        /// Component assigned outside routing.
+        outside: String,
+        /// Component assigned inside routing.
+        inside: String,
+    },
+    /// Lowering or calibration failed (measured backend).
+    Lowering {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::UnknownComponent { component } => {
+                write!(f, "no characterization or LUT for component '{component}'")
+            }
+            BackendError::UnassignedSite {
+                layer,
+                kind,
+                in_routing,
+            } => write!(
+                f,
+                "no component assigned to site ({layer}, {kind}{})",
+                if *in_routing { ", in routing" } else { "" }
+            ),
+            BackendError::ModelMismatch { expected, got } => {
+                write!(
+                    f,
+                    "backend prepared for {expected} but asked to evaluate {got}"
+                )
+            }
+            BackendError::RoutingConflict {
+                layer,
+                kind,
+                outside,
+                inside,
+            } => write!(
+                f,
+                "({layer}, {kind}) assigns {outside} outside routing but {inside} inside: \
+                 noise injection cannot split a (layer, kind) pair by routing"
+            ),
+            BackendError::Lowering { message } => write!(f, "cannot lower model: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// Evaluates the accuracy of a model under a heterogeneous datapath
+/// assignment.
+///
+/// Two implementations close the paper's validation loop:
+/// [`NoisePredicted`] (the Gaussian noise forecast) and
+/// `redcane_qdp::QuantMeasured` (ground truth on the 8-bit integer
+/// kernels). Anything comparing the two — Step-6 validation, the `qdp`
+/// bench — goes through this trait so predicted and measured numbers
+/// are produced by interchangeable code paths.
+pub trait AccuracyBackend {
+    /// Stable backend name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Classification accuracy of `model` over `data` with every
+    /// operation served per `assignment`.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] when the assignment names unknown components,
+    /// leaves datapath sites unassigned, or does not match the model
+    /// the backend was prepared for.
+    fn evaluate<M: CapsModel + Clone + Send + Sync>(
+        &self,
+        model: &M,
+        data: &Dataset,
+        assignment: &DatapathAssignment,
+    ) -> Result<f64, BackendError>;
+}
+
+/// The noise-predicted backend: today's Gaussian-injection path
+/// (Sec. III-C) behind the [`AccuracyBackend`] trait, now accepting a
+/// different `(NA, NM)` per site.
+///
+/// Holds a characterization table mapping component names to their
+/// measured noise parameters. A [`DatapathAssignment::Uniform`]
+/// assignment injects at the MAC-output group — the multiplies a
+/// uniform component actually serves on the measured datapath — while a
+/// per-site assignment builds a [`PerSiteNoiseInjector`] with each
+/// site's own component noise (Step-6 validation).
+#[derive(Debug, Clone)]
+pub struct NoisePredicted {
+    noise: BTreeMap<String, NoiseModel>,
+    seed: u64,
+}
+
+impl NoisePredicted {
+    /// An empty table; add components with
+    /// [`NoisePredicted::with_component`].
+    pub fn new(seed: u64) -> Self {
+        NoisePredicted {
+            noise: BTreeMap::new(),
+            seed,
+        }
+    }
+
+    /// Adds (or replaces) one component's characterized `(NM, NA)`.
+    pub fn with_component(mut self, name: impl Into<String>, nm: f64, na: f64) -> Self {
+        self.noise.insert(name.into(), NoiseModel::new(nm, na));
+        self
+    }
+
+    /// Characterizes every component of `library` over `dist` — the
+    /// full-library table Step 6 selects from.
+    pub fn characterized(
+        library: &MultiplierLibrary,
+        dist: &InputDistribution,
+        samples: usize,
+        characterization_seed: u64,
+        injection_seed: u64,
+    ) -> Self {
+        let mut backend = NoisePredicted::new(injection_seed);
+        for (entry, np) in library.characterize_all(dist, samples, characterization_seed) {
+            backend = backend.with_component(entry.name(), np.nm, np.na);
+        }
+        backend
+    }
+
+    /// The characterized noise for one component, if present.
+    pub fn noise_for(&self, component: &str) -> Option<NoiseModel> {
+        self.noise.get(component).copied()
+    }
+
+    fn model_for(&self, component: &str) -> Result<NoiseModel, BackendError> {
+        self.noise_for(component)
+            .ok_or_else(|| BackendError::UnknownComponent {
+                component: component.to_string(),
+            })
+    }
+
+    /// The `(target, noise)` pairs an assignment expands to, in
+    /// deterministic order.
+    ///
+    /// The noise model cannot distinguish in-routing from non-routing
+    /// sites of one `(layer, kind)` — injection targets match by layer
+    /// and kind only — so both keys must name the **same** component
+    /// (as any design produced by
+    /// [`DatapathAssignment::from_design`] does); an assignment that
+    /// splits them is rejected rather than silently mispredicted.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::UnknownComponent`] for components missing from
+    /// the characterization table;
+    /// [`BackendError::RoutingConflict`] when a `(layer, kind)` pair
+    /// carries different components inside and outside routing.
+    pub fn site_models(
+        &self,
+        assignment: &DatapathAssignment,
+    ) -> Result<Vec<(NoiseTarget, NoiseModel)>, BackendError> {
+        match assignment {
+            DatapathAssignment::Uniform(component) => Ok(vec![(
+                NoiseTarget::group(OpKind::MacOutput),
+                self.model_for(component)?,
+            )]),
+            DatapathAssignment::PerSite(_) => {
+                let mut out: Vec<(NoiseTarget, NoiseModel)> = Vec::new();
+                let mut seen: Vec<(String, OpKind, String)> = Vec::new();
+                for (layer, kind, _, component) in assignment.sites() {
+                    // Sorted site order visits in_routing=false first.
+                    if let Some((_, _, prev)) =
+                        seen.iter().find(|(l, k, _)| l == layer && *k == kind)
+                    {
+                        if prev != component {
+                            return Err(BackendError::RoutingConflict {
+                                layer: layer.to_string(),
+                                kind,
+                                outside: prev.clone(),
+                                inside: component.to_string(),
+                            });
+                        }
+                        continue;
+                    }
+                    seen.push((layer.to_string(), kind, component.to_string()));
+                    out.push((NoiseTarget::layer(kind, layer), self.model_for(component)?));
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+impl AccuracyBackend for NoisePredicted {
+    fn name(&self) -> &'static str {
+        "noise-predicted"
+    }
+
+    fn evaluate<M: CapsModel + Clone + Send + Sync>(
+        &self,
+        model: &M,
+        data: &Dataset,
+        assignment: &DatapathAssignment,
+    ) -> Result<f64, BackendError> {
+        let site_models = self.site_models(assignment)?;
+        let mut injector = PerSiteNoiseInjector::new(site_models, self.seed);
+        let mut validator = model.clone();
+        Ok(evaluate(&mut validator, data, &mut injector))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcane_capsnet::{CapsNet, CapsNetConfig};
+    use redcane_datasets::{generate, Benchmark, GenerateConfig};
+    use redcane_tensor::TensorRng;
+
+    fn asg(layer: &str, group: Group, component: &str) -> Assignment {
+        Assignment {
+            layer: layer.to_string(),
+            group,
+            tolerable_nm: 0.1,
+            component: component.to_string(),
+            component_noise: (0.0, 0.001),
+            power_uw: 100.0,
+            area_um2: 100.0,
+        }
+    }
+
+    #[test]
+    fn uniform_assignment_resolves_every_site() {
+        let a = DatapathAssignment::uniform("mul8u_1JFF");
+        assert_eq!(
+            a.component_for("Conv1", OpKind::MacOutput, false),
+            Some("mul8u_1JFF")
+        );
+        assert_eq!(
+            a.component_for("anything", OpKind::LogitsUpdate, true),
+            Some("mul8u_1JFF")
+        );
+        assert_eq!(a.component_names(), vec!["mul8u_1JFF"]);
+        assert!(a.sites().is_empty());
+    }
+
+    #[test]
+    fn per_site_assignment_distinguishes_routing_and_reports_gaps() {
+        let mut a = DatapathAssignment::per_site();
+        a.assign("ClassCaps", OpKind::MacOutput, false, "mul8u_NGR");
+        a.assign("ClassCaps", OpKind::MacOutput, true, "mul8u_QKX");
+        assert_eq!(
+            a.component_for("ClassCaps", OpKind::MacOutput, false),
+            Some("mul8u_NGR")
+        );
+        assert_eq!(
+            a.component_for("ClassCaps", OpKind::MacOutput, true),
+            Some("mul8u_QKX")
+        );
+        assert_eq!(a.component_for("Conv1", OpKind::MacOutput, false), None);
+        assert_eq!(a.component_names(), vec!["mul8u_NGR", "mul8u_QKX"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform assignment")]
+    fn uniform_assignment_rejects_site_entries() {
+        let mut a = DatapathAssignment::uniform("mul8u_1JFF");
+        a.assign("Conv1", OpKind::MacOutput, false, "mul8u_QKX");
+    }
+
+    #[test]
+    fn from_design_expands_groups_to_their_site_keys() {
+        let assignments = vec![
+            asg("Conv1", Group::MacOutputs, "mul8u_NGR"),
+            asg("ClassCaps", Group::MacOutputs, "mul8u_DM1"),
+            asg("ClassCaps", Group::Softmax, "mul8u_QKX"),
+            asg("ClassCaps", Group::LogitsUpdate, "mul8u_JV3"),
+            asg("Conv1", Group::Activations, "mul8u_1JFF"),
+        ];
+        let a = DatapathAssignment::from_assignments(&assignments);
+        // MAC outputs cover both the GEMM and the routing weighted sum.
+        assert_eq!(
+            a.component_for("ClassCaps", OpKind::MacOutput, false),
+            Some("mul8u_DM1")
+        );
+        assert_eq!(
+            a.component_for("ClassCaps", OpKind::MacOutput, true),
+            Some("mul8u_DM1")
+        );
+        // Routing-only groups map to in-routing keys only.
+        assert_eq!(
+            a.component_for("ClassCaps", OpKind::LogitsUpdate, true),
+            Some("mul8u_JV3")
+        );
+        assert_eq!(
+            a.component_for("ClassCaps", OpKind::LogitsUpdate, false),
+            None
+        );
+        assert_eq!(
+            a.component_for("ClassCaps", OpKind::Softmax, true),
+            Some("mul8u_QKX")
+        );
+        // Unlisted layers stay unassigned.
+        assert_eq!(
+            a.component_for("PrimaryCaps", OpKind::MacOutput, false),
+            None
+        );
+        let names = a.component_names();
+        assert!(names.contains(&"mul8u_NGR") && names.contains(&"mul8u_JV3"));
+    }
+
+    #[test]
+    fn noise_predicted_uniform_targets_the_mac_output_group() {
+        let backend = NoisePredicted::new(7).with_component("mul8u_NGR", 0.004, 0.0001);
+        let models = backend
+            .site_models(&DatapathAssignment::uniform("mul8u_NGR"))
+            .unwrap();
+        assert_eq!(models.len(), 1);
+        assert_eq!(models[0].0, NoiseTarget::group(OpKind::MacOutput));
+        assert_eq!(models[0].1.nm, 0.004);
+        let err = backend
+            .site_models(&DatapathAssignment::uniform("mul8u_missing"))
+            .unwrap_err();
+        assert!(
+            matches!(err, BackendError::UnknownComponent { ref component } if component == "mul8u_missing")
+        );
+    }
+
+    #[test]
+    fn noise_predicted_per_site_builds_one_target_per_layer_kind() {
+        let backend = NoisePredicted::new(7)
+            .with_component("mul8u_NGR", 0.004, 0.0)
+            .with_component("mul8u_QKX", 0.3, -0.1);
+        let assignments = vec![
+            asg("Conv1", Group::MacOutputs, "mul8u_NGR"),
+            asg("ClassCaps", Group::Softmax, "mul8u_QKX"),
+        ];
+        let a = DatapathAssignment::from_assignments(&assignments);
+        let models = backend.site_models(&a).unwrap();
+        // (Conv1, MacOutput) collapses its routing/non-routing keys.
+        assert_eq!(models.len(), 2);
+        assert!(models
+            .iter()
+            .any(|(t, m)| *t == NoiseTarget::layer(OpKind::MacOutput, "Conv1") && m.nm == 0.004));
+        assert!(models
+            .iter()
+            .any(|(t, m)| *t == NoiseTarget::layer(OpKind::Softmax, "ClassCaps") && m.nm == 0.3));
+    }
+
+    /// An assignment that splits a `(layer, kind)` pair by routing flag
+    /// cannot be represented by injection targets — it must error, not
+    /// silently predict with only one of the two components.
+    #[test]
+    fn noise_predicted_rejects_split_routing_assignments() {
+        let backend = NoisePredicted::new(7)
+            .with_component("mul8u_1JFF", 0.0, 0.0)
+            .with_component("mul8u_QKX", 0.3, -0.1);
+        let mut split = DatapathAssignment::per_site();
+        split.assign("ClassCaps", OpKind::MacOutput, false, "mul8u_1JFF");
+        split.assign("ClassCaps", OpKind::MacOutput, true, "mul8u_QKX");
+        let err = backend.site_models(&split).unwrap_err();
+        assert_eq!(
+            err,
+            BackendError::RoutingConflict {
+                layer: "ClassCaps".to_string(),
+                kind: OpKind::MacOutput,
+                outside: "mul8u_1JFF".to_string(),
+                inside: "mul8u_QKX".to_string(),
+            }
+        );
+        // Agreeing keys are fine.
+        let mut agreeing = DatapathAssignment::per_site();
+        agreeing.assign("ClassCaps", OpKind::MacOutput, false, "mul8u_QKX");
+        agreeing.assign("ClassCaps", OpKind::MacOutput, true, "mul8u_QKX");
+        assert_eq!(backend.site_models(&agreeing).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn noise_predicted_exact_uniform_reproduces_clean_accuracy() {
+        let pair = generate(
+            Benchmark::MnistLike,
+            &GenerateConfig {
+                train: 1,
+                test: 12,
+                seed: 11,
+            },
+        );
+        let mut rng = TensorRng::from_seed(900);
+        let model = CapsNet::new(&CapsNetConfig::small(1, 16), &mut rng);
+        let backend = NoisePredicted::new(3).with_component("mul8u_1JFF", 0.0, 0.0);
+        let acc = backend
+            .evaluate(
+                &model,
+                &pair.test,
+                &DatapathAssignment::uniform("mul8u_1JFF"),
+            )
+            .unwrap();
+        let clean = redcane_capsnet::evaluate_clean(&model, &pair.test);
+        assert_eq!(acc, clean, "zero noise must equal the clean evaluation");
+    }
+}

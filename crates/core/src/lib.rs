@@ -20,6 +20,14 @@
 //!    fits the tolerable `NM`, and validate the resulting approximate
 //!    CapsNet end to end.
 //!
+//! The [`datapath`] module makes the selected heterogeneous design an
+//! executable object: [`DatapathAssignment`] maps `(layer, op kind,
+//! in-routing)` sites to components, and the [`AccuracyBackend`] trait
+//! scores it interchangeably on the noise forecast
+//! ([`NoisePredicted`]) or — via `redcane-qdp`'s `QuantMeasured` — on
+//! the real 8-bit integer datapath
+//! ([`RedCaNe::run_with_measured`](methodology::RedCaNe::run_with_measured)).
+//!
 //! # Example
 //!
 //! ```no_run
@@ -38,6 +46,7 @@
 //! ```
 
 pub mod analysis;
+pub mod datapath;
 pub mod groups;
 pub mod input_stats;
 pub mod methodology;
@@ -46,6 +55,7 @@ pub mod report;
 pub mod selection;
 
 pub use analysis::{GroupSweep, LayerSweep, SweepConfig};
+pub use datapath::{AccuracyBackend, BackendError, DatapathAssignment, NoisePredicted, SiteKey};
 pub use groups::{extract_groups, Group, GroupInventory};
 pub use methodology::{MethodologyConfig, RedCaNe, RedCaNeReport};
 pub use noise::{GaussianNoiseInjector, NoiseModel, NoiseTarget, PerSiteNoiseInjector};
@@ -54,6 +64,7 @@ pub use selection::{ApproxDesign, Assignment, SelectionConfig};
 /// Convenient glob import of the main entry points.
 pub mod prelude {
     pub use crate::analysis::{GroupSweep, LayerSweep, SweepConfig};
+    pub use crate::datapath::{AccuracyBackend, DatapathAssignment, NoisePredicted};
     pub use crate::groups::{extract_groups, Group};
     pub use crate::methodology::{MethodologyConfig, RedCaNe, RedCaNeReport};
     pub use crate::noise::{GaussianNoiseInjector, NoiseModel, NoiseTarget};

@@ -8,6 +8,7 @@ use redcane_datasets::Dataset;
 use serde::{Deserialize, Serialize};
 
 use crate::analysis::{group_sweep, layer_sweep, SweepConfig};
+use crate::datapath::{AccuracyBackend, NoisePredicted};
 use crate::groups::extract_groups;
 use crate::selection::{
     inventory_layers, mark_groups, mark_layers, select_components, SelectionConfig, ToleranceTable,
@@ -54,7 +55,10 @@ impl RedCaNe {
     }
 
     /// Runs Steps 1–6 on a trained model and a test set, producing the
-    /// full report (including the validated approximate design).
+    /// full report. The Step-6 design is validated on the
+    /// noise-predicted backend only; use
+    /// [`RedCaNe::run_with_measured`] to additionally re-score the
+    /// heterogeneous design on a ground-truth datapath.
     ///
     /// # Panics
     ///
@@ -63,6 +67,35 @@ impl RedCaNe {
         &self,
         model: &M,
         test: &Dataset,
+    ) -> RedCaNeReport {
+        self.run_inner(model, test, None::<&NoisePredicted>)
+    }
+
+    /// As [`RedCaNe::run`], but Step 6's winning design is also
+    /// re-scored on `measured` — typically `redcane_qdp`'s
+    /// `QuantMeasured`, the real 8-bit integer datapath — filling
+    /// `design.measured_accuracy` so the report pairs the noise
+    /// forecast with its ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty test set, or if `measured` cannot evaluate
+    /// the selected design (e.g. it was calibrated for a different
+    /// model).
+    pub fn run_with_measured<M: CapsModel + Clone + Send + Sync, B: AccuracyBackend>(
+        &self,
+        model: &M,
+        test: &Dataset,
+        measured: &B,
+    ) -> RedCaNeReport {
+        self.run_inner(model, test, Some(measured))
+    }
+
+    fn run_inner<M: CapsModel + Clone + Send + Sync, B: AccuracyBackend>(
+        &self,
+        model: &M,
+        test: &Dataset,
+        measured: Option<&B>,
     ) -> RedCaNeReport {
         assert!(!test.is_empty(), "methodology needs a non-empty test set");
         // Step 1: group extraction (one recorded inference).
@@ -97,6 +130,7 @@ impl RedCaNe {
             &self.library,
             &dist,
             &self.cfg.selection,
+            measured,
         );
         RedCaNeReport {
             inventory,

@@ -50,17 +50,31 @@ impl RedCaNeReport {
             .filter(|(_, _, r)| !*r)
             .map(|(g, nm, _)| format!("{g} (critical NM {nm:.4})"))
             .collect();
+        let measured = match (
+            self.design.measured_accuracy,
+            self.design.measured_drop_pp(),
+        ) {
+            (Some(acc), Some(drop)) => {
+                format!(
+                    ", measured accuracy {:.2}% (drop {:.2} pp)",
+                    acc * 100.0,
+                    drop
+                )
+            }
+            _ => String::new(),
+        };
         format!(
             "ReD-CaNe on {}: baseline {:.2}% | resilient groups: [{}] | \
              non-resilient groups: [{}] | design: mean multiplier power \
-             saving {:.1}%, validated accuracy {:.2}% (drop {:.2} pp)",
+             saving {:.1}%, predicted accuracy {:.2}% (drop {:.2} pp){}",
             self.inventory.model_name,
             self.group_sweep.baseline_accuracy * 100.0,
             resilient.join(", "),
             non_resilient.join(", "),
             self.design.mean_power_saving * 100.0,
-            self.design.validated_accuracy * 100.0,
-            self.design.validated_drop_pp(),
+            self.design.predicted_accuracy * 100.0,
+            self.design.predicted_drop_pp(),
+            measured,
         )
     }
 
@@ -175,12 +189,26 @@ impl RedCaNeReport {
                         Value::from(self.design.baseline_accuracy),
                     ),
                     (
-                        "validated_accuracy".into(),
-                        Value::from(self.design.validated_accuracy),
+                        "predicted_accuracy".into(),
+                        Value::from(self.design.predicted_accuracy),
                     ),
                     (
-                        "validated_drop_pp".into(),
-                        Value::from(self.design.validated_drop_pp()),
+                        "predicted_drop_pp".into(),
+                        Value::from(self.design.predicted_drop_pp()),
+                    ),
+                    (
+                        "measured_accuracy".into(),
+                        match self.design.measured_accuracy {
+                            Some(acc) => Value::from(acc),
+                            None => Value::Null,
+                        },
+                    ),
+                    (
+                        "measured_drop_pp".into(),
+                        match self.design.measured_drop_pp() {
+                            Some(drop) => Value::from(drop),
+                            None => Value::Null,
+                        },
                     ),
                 ]),
             ),
@@ -367,7 +395,8 @@ mod tests {
                 }],
                 mean_power_saving: 0.31,
                 baseline_accuracy: 0.9,
-                validated_accuracy: 0.885,
+                predicted_accuracy: 0.885,
+                measured_accuracy: Some(0.88),
             },
         }
     }
@@ -418,8 +447,10 @@ mod tests {
                 .as_str(),
             Some("mul8u_NGR")
         );
-        let drop = design.get("validated_drop_pp").unwrap().as_f64().unwrap();
+        let drop = design.get("predicted_drop_pp").unwrap().as_f64().unwrap();
         assert!((drop - 1.5).abs() < 1e-9);
+        let measured = design.get("measured_drop_pp").unwrap().as_f64().unwrap();
+        assert!((measured - 2.0).abs() < 1e-9);
     }
 
     #[test]

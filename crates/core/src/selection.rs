@@ -5,8 +5,13 @@
 //! **cheapest** multiplier from the component library whose measured noise
 //! magnitude fits within that operation's tolerable `NM` (derived from the
 //! sweeps of Steps 2 and 4). The output is an *approximate CapsNet
-//! design*, which is then validated end-to-end by simulating every
-//! operation with its selected component's `(NA, NM)`.
+//! design*, validated end-to-end through the
+//! [`AccuracyBackend`](crate::datapath::AccuracyBackend) trait: always
+//! on the noise-predicted backend (every operation simulated with its
+//! component's `(NA, NM)`), and — when a measured backend is supplied —
+//! re-scored on the real quantized datapath, so the heterogeneous
+//! design's forecast and its ground truth come from interchangeable
+//! code paths.
 
 use redcane_axmul::error_stats::InputDistribution;
 use redcane_axmul::library::MultiplierLibrary;
@@ -17,8 +22,8 @@ use redcane_datasets::Dataset;
 use serde::{Deserialize, Serialize};
 
 use crate::analysis::{GroupSweep, LayerSweep};
+use crate::datapath::{AccuracyBackend, DatapathAssignment, NoisePredicted};
 use crate::groups::Group;
-use crate::noise::{NoiseModel, NoiseTarget, PerSiteNoiseInjector};
 
 /// Thresholds governing resilience marking and component choice.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -151,14 +156,31 @@ pub struct ApproxDesign {
     pub mean_power_saving: f64,
     /// Accuracy of the accurate baseline on the validation subset.
     pub baseline_accuracy: f64,
-    /// Accuracy of the design validated with per-operation noise.
-    pub validated_accuracy: f64,
+    /// Accuracy forecast by the noise-predicted backend (every
+    /// operation carrying its component's `(NA, NM)`).
+    pub predicted_accuracy: f64,
+    /// Ground-truth accuracy on the quantized integer datapath running
+    /// the selected components, when a measured backend was supplied.
+    pub measured_accuracy: Option<f64>,
 }
 
 impl ApproxDesign {
-    /// Accuracy drop of the validated design, in percentage points.
-    pub fn validated_drop_pp(&self) -> f64 {
-        (self.baseline_accuracy - self.validated_accuracy) * 100.0
+    /// Noise-predicted accuracy drop of the design, in percentage
+    /// points.
+    pub fn predicted_drop_pp(&self) -> f64 {
+        (self.baseline_accuracy - self.predicted_accuracy) * 100.0
+    }
+
+    /// Measured accuracy drop of the design, in percentage points, when
+    /// the design was re-scored on a measured backend.
+    pub fn measured_drop_pp(&self) -> Option<f64> {
+        self.measured_accuracy
+            .map(|acc| (self.baseline_accuracy - acc) * 100.0)
+    }
+
+    /// The design's executable per-site multiplier assignment.
+    pub fn datapath_assignment(&self) -> DatapathAssignment {
+        DatapathAssignment::from_design(self)
     }
 }
 
@@ -201,15 +223,25 @@ impl ToleranceTable {
 
 /// **Step 6** — selects, per `(layer, group)` operation, the cheapest
 /// library component whose measured `NM` (and `|NA|`) fit the tolerable
-/// noise, then validates the full design end to end with per-site
-/// injection.
-pub fn select_components<M: CapsModel + Clone + Send + Sync>(
+/// noise, then validates the full design end to end: always through the
+/// [`NoisePredicted`] backend (per-site injection of each component's
+/// noise), and additionally through `measured` — the real quantized
+/// datapath — when one is supplied, filling
+/// [`ApproxDesign::measured_accuracy`].
+///
+/// # Panics
+///
+/// Panics if a supplied measured backend cannot evaluate the selected
+/// design (model mismatch or sites the backend's lowering executes that
+/// the design does not cover — both configuration errors).
+pub fn select_components<M: CapsModel + Clone + Send + Sync, B: AccuracyBackend>(
     model: &M,
     validation: &Dataset,
     tolerances: &ToleranceTable,
     library: &MultiplierLibrary,
     dist: &InputDistribution,
     cfg: &SelectionConfig,
+    measured: Option<&B>,
 ) -> ApproxDesign {
     // Characterize the library once.
     let characterized: Vec<(String, NoiseParams, f64, f64)> = library
@@ -261,31 +293,37 @@ pub fn select_components<M: CapsModel + Clone + Send + Sync>(
             / assignments.len() as f64
     };
 
-    // Validate: per-site injection with each assignment's (NA, NM).
-    let site_models: Vec<(NoiseTarget, NoiseModel)> = assignments
-        .iter()
-        .map(|a| {
-            (
-                NoiseTarget::layer(a.group.op_kind(), a.layer.clone()),
-                NoiseModel::new(a.component_noise.1, a.component_noise.0),
-            )
-        })
-        .collect();
+    // Validate through the backend trait: the selected design as an
+    // executable per-site assignment, forecast by the noise model and —
+    // when a measured backend is supplied — re-scored on the real
+    // quantized datapath.
+    let datapath = DatapathAssignment::from_assignments(&assignments);
+    let mut predictor = NoisePredicted::new(cfg.seed ^ 0x5eed);
+    for (name, np, _, _) in &characterized {
+        predictor = predictor.with_component(name.clone(), np.nm, np.na);
+    }
     let mut validator = model.clone();
     let baseline_accuracy = evaluate(
         &mut validator,
         validation,
         &mut redcane_capsnet::NoInjection,
     );
-    let mut injector = PerSiteNoiseInjector::new(site_models, cfg.seed ^ 0x5eed);
-    let validated_accuracy = evaluate(&mut validator, validation, &mut injector);
+    let predicted_accuracy = predictor
+        .evaluate(model, validation, &datapath)
+        .expect("every selected component is characterized");
+    let measured_accuracy = measured.map(|backend| {
+        backend
+            .evaluate(model, validation, &datapath)
+            .unwrap_or_else(|e| panic!("measured backend cannot score the design: {e}"))
+    });
 
     ApproxDesign {
         model_name: validator.name(),
         assignments,
         mean_power_saving,
         baseline_accuracy,
-        validated_accuracy,
+        predicted_accuracy,
+        measured_accuracy,
     }
 }
 
@@ -447,6 +485,7 @@ mod tests {
             &lib,
             &InputDistribution::Uniform,
             &cfg,
+            None::<&NoisePredicted>,
         );
         assert_eq!(design.assignments.len(), 2);
         let conv = &design.assignments[0];
@@ -460,6 +499,21 @@ mod tests {
             conv.power_uw
         );
         assert!(design.mean_power_saving > 0.0);
-        assert!(design.validated_accuracy >= 0.0);
+        assert!(design.predicted_accuracy >= 0.0);
+        assert!(
+            design.measured_accuracy.is_none() && design.measured_drop_pp().is_none(),
+            "no measured backend was supplied"
+        );
+        // The design round-trips into an executable assignment covering
+        // its layers' site keys.
+        let dpa = design.datapath_assignment();
+        assert_eq!(
+            dpa.component_for("Conv1", OpKind::MacOutput, false),
+            Some(design.assignments[0].component.as_str())
+        );
+        assert_eq!(
+            dpa.component_for("ClassCaps", OpKind::Softmax, true),
+            Some(design.assignments[1].component.as_str())
+        );
     }
 }

@@ -180,7 +180,8 @@ mod tests {
                 assignments,
                 mean_power_saving: 0.2,
                 baseline_accuracy: 0.9,
-                validated_accuracy: 0.88,
+                predicted_accuracy: 0.88,
+                measured_accuracy: None,
             },
         }
     }

@@ -1,0 +1,156 @@
+//! The measured half of the paper's validation loop:
+//! [`QuantMeasured`], an [`AccuracyBackend`] that scores a datapath
+//! assignment by *running* it — every MAC multiply through the
+//! assigned components' behavioral models on the 8-bit integer
+//! kernels — instead of forecasting it from noise statistics.
+//!
+//! Construction does the expensive, assignment-independent work once:
+//! calibrate, lower the model into a [`QModel`] program, and tabulate
+//! the component LUTs. `evaluate` then just resolves an assignment
+//! against the cached tables and runs batched quantized inference, so
+//! sweeping many assignments (uniform per-component rows, the Step-6
+//! heterogeneous design) over one trained model shares all of the
+//! lowering.
+
+use redcane::datapath::{AccuracyBackend, BackendError, DatapathAssignment};
+use redcane_axmul::{LutCache, MultiplierLibrary};
+use redcane_capsnet::CapsModel;
+use redcane_datasets::Dataset;
+use redcane_tensor::Tensor;
+
+use crate::lower::{calibrate_ranges, LowerError, QuantRanges};
+use crate::qmodel::{evaluate_quantized, QModel};
+
+/// Ground-truth accuracy backend: lower once, then run any
+/// [`DatapathAssignment`] on the quantized integer datapath.
+#[derive(Debug, Clone)]
+pub struct QuantMeasured {
+    qmodel: QModel,
+    luts: LutCache,
+}
+
+impl QuantMeasured {
+    /// Wraps an already-lowered program and a LUT cache.
+    pub fn new(qmodel: QModel, luts: LutCache) -> Self {
+        QuantMeasured { qmodel, luts }
+    }
+
+    /// Lowers `model` with pre-computed calibration ranges and
+    /// tabulates every component of `library` (one 64 KiB table each),
+    /// so any assignment over that library resolves.
+    ///
+    /// # Errors
+    ///
+    /// As [`QModel::lower`].
+    pub fn from_ranges(
+        model: &dyn CapsModel,
+        ranges: &QuantRanges,
+        library: &MultiplierLibrary,
+    ) -> Result<Self, LowerError> {
+        Ok(QuantMeasured {
+            qmodel: QModel::lower(model, ranges)?,
+            luts: LutCache::tabulate_all(library),
+        })
+    }
+
+    /// Calibrates on `images`, lowers, and tabulates `library` in one
+    /// step.
+    ///
+    /// # Errors
+    ///
+    /// As [`QModel::calibrated`].
+    pub fn calibrated<'a>(
+        model: &mut dyn CapsModel,
+        images: impl IntoIterator<Item = &'a Tensor>,
+        library: &MultiplierLibrary,
+    ) -> Result<Self, LowerError> {
+        let ranges = calibrate_ranges(model, images)?;
+        Self::from_ranges(&*model, &ranges, library)
+    }
+
+    /// The lowered quantized program.
+    pub fn qmodel(&self) -> &QModel {
+        &self.qmodel
+    }
+
+    /// The shared component tables.
+    pub fn luts(&self) -> &LutCache {
+        &self.luts
+    }
+}
+
+impl AccuracyBackend for QuantMeasured {
+    fn name(&self) -> &'static str {
+        "quant-measured"
+    }
+
+    fn evaluate<M: CapsModel + Clone + Send + Sync>(
+        &self,
+        model: &M,
+        data: &Dataset,
+        assignment: &DatapathAssignment,
+    ) -> Result<f64, BackendError> {
+        // The program was lowered from a specific trained model; the
+        // trait hands the model back in, so guard against scoring a
+        // different network with another network's weights. The guard
+        // compares display names — architecture + config, not weight
+        // identity — so a same-config model with different weights
+        // would pass: keep the backend paired with the exact model it
+        // was calibrated from.
+        let got = model.name();
+        if got != self.qmodel.arch() {
+            return Err(BackendError::ModelMismatch {
+                expected: self.qmodel.arch().to_string(),
+                got,
+            });
+        }
+        evaluate_quantized(&self.qmodel, data, assignment, &self.luts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcane_capsnet::{evaluate_clean, CapsNet, CapsNetConfig, DeepCaps, DeepCapsConfig};
+    use redcane_datasets::{generate, Benchmark, GenerateConfig};
+    use redcane_tensor::TensorRng;
+
+    #[test]
+    fn measured_backend_scores_uniform_and_rejects_wrong_model() {
+        let pair = generate(
+            Benchmark::MnistLike,
+            &GenerateConfig {
+                train: 8,
+                test: 10,
+                seed: 31,
+            },
+        );
+        let mut rng = TensorRng::from_seed(910);
+        let mut model = CapsNet::new(&CapsNetConfig::small(1, 16), &mut rng);
+        let library = MultiplierLibrary::evo_approx_like();
+        let backend = QuantMeasured::calibrated(
+            &mut model,
+            pair.train.samples.iter().map(|s| &s.image),
+            &library,
+        )
+        .unwrap();
+        assert_eq!(backend.name(), "quant-measured");
+        assert_eq!(backend.luts().len(), library.len());
+
+        let exact = DatapathAssignment::uniform("mul8u_1JFF");
+        let acc = backend.evaluate(&model, &pair.test, &exact).unwrap();
+        // Untrained model, but the measured accuracy is a valid rate
+        // and deterministic.
+        assert!((0.0..=1.0).contains(&acc));
+        assert_eq!(acc, backend.evaluate(&model, &pair.test, &exact).unwrap());
+        // The exact uniform datapath tracks the float model closely.
+        let float_acc = evaluate_clean(&model, &pair.test);
+        assert!((acc - float_acc).abs() <= 0.2, "{acc} vs float {float_acc}");
+
+        // A different architecture is rejected, not silently mis-scored.
+        let mut rng = TensorRng::from_seed(911);
+        let other = DeepCaps::new(&DeepCapsConfig::small(1, 16), &mut rng);
+        let err = backend.evaluate(&other, &pair.test, &exact).unwrap_err();
+        assert!(matches!(err, BackendError::ModelMismatch { .. }), "{err}");
+    }
+}

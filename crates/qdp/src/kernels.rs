@@ -1,18 +1,24 @@
 //! Blocked integer GEMM kernels over a pluggable 8-bit multiply.
 //!
-//! These mirror the structure of `redcane_tensor::ops::gemm`: the left
-//! operand is packed into an `MR`-row micro-panel per `KC`-sized
-//! k-block, and the inner tile walks the right operand's rows
-//! contiguously — so four output rows share each streamed `B` row and
-//! the 64 KiB [`MulLut`] stays hot in cache. The accumulator is `u32`
-//! (8×8 products are ≤ 65 025, so `k` can reach ~66 000 before
-//! overflow — far beyond any layer in the workspace; debug builds
-//! assert the bound).
+//! [`qgemm_nn`] picks between two loop orders by reduction depth.
+//! Deep reductions (`k ≥ TALL_K`) compute the output in `MR×NR`
+//! **register tiles**: `u32` accumulators for the whole tile live in a
+//! local array across the entire `k` loop, so `C` is read and written
+//! exactly once per tile instead of once per `k` step — the memory
+//! traffic that capped the tall-`k` DeepCaps shapes at ~1.1× over
+//! naive. Short reductions **stream** each `B` row across all `MR`
+//! output rows at full width, amortizing loop overhead over `n`. Both
+//! paths hoist the left operand's 256-entry LUT row, leaving the
+//! 64 KiB [`MulLut`] the only irregular access, and both reduce in
+//! ascending-`k` order so the dispatch never changes an output bit.
+//! The accumulator is `u32` (8×8 products are ≤ 65 025, so `k` can
+//! reach ~66 000 before overflow — far beyond any layer in the
+//! workspace; debug builds assert the bound).
 //!
 //! The naive triple loop survives as [`reference`], the correctness
-//! oracle the blocked kernel is property-tested against (bit-identical
+//! oracle both paths are property-tested against (bit-identical
 //! output — trivially order-independent for integer adds, but the test
-//! keeps the packing honest).
+//! keeps the tiling honest across the `TALL_K` split).
 //!
 //! [`affine_dequant`] folds an integer accumulator matrix back to
 //! float: with `value(q) = min + lsb·q` on both operands,
@@ -27,12 +33,17 @@
 
 use redcane_fxp::QuantParams;
 
-use crate::lut::MulLut;
+use redcane_axmul::MulLut;
 
-/// Rows per micro-panel (register tile height), matching the float GEMM.
+/// Rows per register tile, matching the float GEMM.
 pub const MR: usize = 4;
-/// k-block size: the packed panel stays small while `B` rows stream.
-const KC: usize = 256;
+/// Columns per register tile: `MR × NR` u32 accumulators live in
+/// registers across the whole `k` reduction.
+pub const NR: usize = 8;
+/// Reductions at least this deep take the register-tile path: beyond
+/// it the row-streaming kernel's per-`k`-step reload of the `C` rows
+/// costs more than the tile's narrower `B` segments.
+const TALL_K: usize = 192;
 
 /// Largest `k` the `u32` accumulator provably cannot overflow at.
 pub const MAX_ACC_K: usize = (u32::MAX / (255 * 255)) as usize;
@@ -51,27 +62,65 @@ pub fn qgemm_nn(a: &[u8], b: &[u8], c: &mut [u32], m: usize, k: usize, n: usize,
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    let mut panel = [0u8; KC * MR];
-    for p0 in (0..k).step_by(KC) {
-        let kc = KC.min(k - p0);
-        for i0 in (0..m).step_by(MR) {
-            let mr = MR.min(m - i0);
-            // Pack A[i0..i0+mr][p0..p0+kc] as panel[p][row].
-            for r in 0..mr {
-                let arow = &a[(i0 + r) * k + p0..(i0 + r) * k + p0 + kc];
-                for (p, &v) in arow.iter().enumerate() {
-                    panel[p * MR + r] = v;
+    // Both paths reduce each output element in ascending-k order with
+    // u32 adds, so the choice never changes a single output bit — only
+    // which memory traffic is paid.
+    if k >= TALL_K {
+        qgemm_tall_k(a, b, c, m, k, n, lut);
+    } else {
+        qgemm_stream(a, b, c, m, k, n, lut);
+    }
+}
+
+/// Register-tile path for deep reductions: `MR × NR` u32 accumulators
+/// live in a local array across the **whole** `k` loop, so `C` is read
+/// and written exactly once per tile instead of once per `k` step (the
+/// traffic that capped the tall-`k` DeepCaps shapes at ~1.1× over
+/// naive).
+#[inline(never)]
+fn qgemm_tall_k(a: &[u8], b: &[u8], c: &mut [u32], m: usize, k: usize, n: usize, lut: &MulLut) {
+    for i0 in (0..m).step_by(MR) {
+        let mr = MR.min(m - i0);
+        for j0 in (0..n).step_by(NR) {
+            let nr = NR.min(n - j0);
+            let mut acc = [[0u32; NR]; MR];
+            for p in 0..k {
+                let brow = &b[p * n + j0..p * n + j0 + nr];
+                for r in 0..mr {
+                    // Hoist the left operand's 256-entry LUT row: the
+                    // inner loop then indexes by the streamed right
+                    // code alone (`u8` into `[u16; 256]` — checkless).
+                    let row = lut.row(a[(i0 + r) * k + p]);
+                    for (o, &bv) in acc[r][..nr].iter_mut().zip(brow) {
+                        *o += row[bv as usize] as u32;
+                    }
                 }
             }
-            // Inner tile: each streamed B row updates all mr output rows.
-            for p in 0..kc {
-                let brow = &b[(p0 + p) * n..(p0 + p + 1) * n];
-                for r in 0..mr {
-                    let av = panel[p * MR + r];
-                    let crow = &mut c[(i0 + r) * n..(i0 + r) * n + n];
-                    for (o, &bv) in crow.iter_mut().zip(brow) {
-                        *o += lut.mul(av, bv) as u32;
-                    }
+            for (r, arow) in acc.iter().enumerate().take(mr) {
+                let crow = &mut c[(i0 + r) * n + j0..(i0 + r) * n + j0 + nr];
+                for (o, &v) in crow.iter_mut().zip(&arow[..nr]) {
+                    *o += v;
+                }
+            }
+        }
+    }
+}
+
+/// Row-streaming path for short reductions: each `B` row is streamed
+/// across all `MR` output rows at full width, amortizing loop overhead
+/// over `n` instead of `NR`; re-reading the `C` rows per `k` step is
+/// cheap when `k` is small.
+#[inline(never)]
+fn qgemm_stream(a: &[u8], b: &[u8], c: &mut [u32], m: usize, k: usize, n: usize, lut: &MulLut) {
+    for i0 in (0..m).step_by(MR) {
+        let mr = MR.min(m - i0);
+        for p in 0..k {
+            let brow = &b[p * n..(p + 1) * n];
+            for r in 0..mr {
+                let row = lut.row(a[(i0 + r) * k + p]);
+                let crow = &mut c[(i0 + r) * n..(i0 + r) * n + n];
+                for (o, &bv) in crow.iter_mut().zip(brow) {
+                    *o += row[bv as usize] as u32;
                 }
             }
         }
@@ -135,7 +184,7 @@ pub fn affine_dequant(
 /// Naive triple-loop twin of [`qgemm_nn`]: the correctness oracle the
 /// blocked kernel is property-tested against. Never used on a hot path.
 pub mod reference {
-    use crate::lut::MulLut;
+    use redcane_axmul::MulLut;
 
     /// Textbook `C += A·B` over code matrices in `i-k-j` order.
     pub fn qgemm_nn(a: &[u8], b: &[u8], c: &mut [u32], m: usize, k: usize, n: usize, lut: &MulLut) {

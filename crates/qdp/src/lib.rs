@@ -20,38 +20,47 @@
 //!    `Conv2d`→`QConv2d`, `ConvCaps2d`→`QConvCaps2d`,
 //!    `ConvCaps3d`→`QConvCaps3d`, `ClassCaps`→`QClassCaps`);
 //!    [`QModel::lower`] assembles them into a dataflow program for the
-//!    whole network. Weights and activations become 8-bit codes
-//!    ([`QTensor`], Eq. 1 of the paper) and the MACs integer kernels
-//!    ([`kernels::qgemm_nn`]) whose every multiply is a [`MulLut`]
-//!    lookup — a 64 KiB table of any
-//!    [`Multiplier8`](redcane_axmul::Multiplier8)'s full truth table.
-//! 3. **Run** — [`QModel`] executes end-to-end inference on that
-//!    datapath for **both** of the paper's architectures (CapsNet and
-//!    the 17-layer DeepCaps, Caps3D routing included), so swapping the
-//!    LUT swaps the arithmetic of the whole network.
+//!    whole network whose steps remember their **site** keys. Weights
+//!    and activations become 8-bit codes ([`QTensor`], Eq. 1 of the
+//!    paper) and the MACs integer kernels ([`kernels::qgemm_nn`])
+//!    whose every multiply is a [`MulLut`] lookup — a 64 KiB table of
+//!    any [`Multiplier8`](redcane_axmul::Multiplier8)'s full truth
+//!    table.
+//! 3. **Run** — [`QModel`] executes end-to-end inference (per sample,
+//!    or batch-fused into wide GEMMs via [`QModel::forward_batch`])
+//!    under a [`DatapathAssignment`]: a *heterogeneous* map from site
+//!    keys to multiplier components, resolved against a [`LutCache`]
+//!    holding one shared table per distinct component. Both of the
+//!    paper's architectures (CapsNet and the 17-layer DeepCaps, Caps3D
+//!    routing included) run the same executor, from the uniform exact
+//!    baseline to the methodology's full Step-6 per-layer design.
 //!
-//! With the exact multiplier the datapath reproduces each float
-//! network's predictions to within quantization tolerance; with an
-//! approximate component it measures the *actual* accuracy drop that
-//! `redcane-bench`'s `qdp` binary then pairs with the noise-model
-//! prediction — the paper's validation loop, closed over both
-//! networks.
+//! [`QuantMeasured`] packages all of that behind `redcane`'s
+//! [`AccuracyBackend`](redcane::datapath::AccuracyBackend) trait, so
+//! the *measured* accuracy of any assignment is interchangeable with
+//! the noise-*predicted* accuracy of the same assignment — the paper's
+//! validation loop, closed over both networks and over heterogeneous
+//! designs.
 
+pub mod backend;
 pub mod calib;
 pub mod kernels;
 pub mod lower;
-pub mod lut;
 pub mod qlayers;
 pub mod qmodel;
 pub mod qtensor;
 
+pub use backend::QuantMeasured;
 pub use calib::CalibrationObserver;
 pub use lower::{calibrate_ranges, LowerError, LowerToQuant, QuantRanges};
-pub use lut::MulLut;
 pub use qlayers::{
     quantized_routing, QClassCaps, QConv2d, QConvCaps2d, QConvCaps3d, QDense, QVotes,
 };
-#[allow(deprecated)]
-pub use qmodel::QCapsNet;
 pub use qmodel::{evaluate_quantized, QModel, QStep};
 pub use qtensor::QTensor;
+// The LUT machinery lives beside the multiplier models in
+// `redcane-axmul`; re-exported here because the quantized kernels are
+// its main consumer.
+pub use redcane_axmul::{LutCache, MulLut};
+// The assignment/backend vocabulary used throughout the execution API.
+pub use redcane::datapath::{AccuracyBackend, BackendError, DatapathAssignment};

@@ -24,8 +24,9 @@ use redcane_tensor::Tensor;
 
 use redcane_capsnet::layers::{ClassCaps, ConvCaps2d, ConvCaps3d};
 
+use redcane_axmul::MulLut;
+
 use crate::kernels::{affine_dequant, col_sums, qgemm_nn, row_sums};
-use crate::lut::MulLut;
 use crate::qtensor::quantize_codes;
 
 // ------------------------------------------------------------- QDense
@@ -193,6 +194,76 @@ impl QConv2d {
         Tensor::from_vec(out, &[self.c_out, h_out, w_out]).expect("conv output shape")
     }
 
+    /// Batched twin of [`QConv2d::forward_chw`]: fuses every sample's
+    /// im2col columns into **one** wide quantized GEMM (`[C_out, K²] ×
+    /// [K², B·H'·W']`), then splits the dequantized output back into
+    /// per-sample tensors. Bit-identical to calling `forward_chw` per
+    /// sample — quantization is elementwise and each output column's
+    /// integer reduction is independent — while amortizing the kernel's
+    /// tile setup and keeping the LUT hot across the whole batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless every input has `c_in * h * w` elements with valid
+    /// geometry.
+    pub fn forward_batch_chw(
+        &self,
+        inputs: &[&[f32]],
+        h: usize,
+        w: usize,
+        lut: &MulLut,
+    ) -> Vec<Tensor> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let bsz = inputs.len();
+        let h_out = self.spec.output_size(h).expect("valid geometry");
+        let w_out = self.spec.output_size(w).expect("valid geometry");
+        let k2 = self.c_in * self.spec.kernel * self.spec.kernel;
+        let n = h_out * w_out;
+        let wide = bsz * n;
+        let mut cols = vec![0.0f32; k2 * n];
+        let mut fused = vec![0.0f32; k2 * wide];
+        for (bi, data) in inputs.iter().enumerate() {
+            assert_eq!(data.len(), self.c_in * h * w, "QConv2d batch input size");
+            im2col_slice(data, self.c_in, h, w, self.spec, &mut cols).expect("valid conv input");
+            for r in 0..k2 {
+                fused[r * wide + bi * n..r * wide + bi * n + n]
+                    .copy_from_slice(&cols[r * n..(r + 1) * n]);
+            }
+        }
+        let qcols = quantize_codes(&fused, self.in_params);
+        let mut acc = vec![0u32; self.c_out * wide];
+        qgemm_nn(&self.qweight, &qcols, &mut acc, self.c_out, k2, wide, lut);
+        let cs = col_sums(&qcols, k2, wide);
+        let mut out = vec![0.0f32; self.c_out * wide];
+        affine_dequant(
+            &acc,
+            &self.wrowsums,
+            &cs,
+            k2,
+            self.wparams,
+            self.in_params,
+            &mut out,
+        );
+        (0..bsz)
+            .map(|bi| {
+                let mut o = vec![0.0f32; self.c_out * n];
+                for co in 0..self.c_out {
+                    let dst = &mut o[co * n..(co + 1) * n];
+                    dst.copy_from_slice(&out[co * wide + bi * n..co * wide + bi * n + n]);
+                    let b = self.bias[co];
+                    if b != 0.0 {
+                        for v in dst {
+                            *v += b;
+                        }
+                    }
+                }
+                Tensor::from_vec(o, &[self.c_out, h_out, w_out]).expect("conv output shape")
+            })
+            .collect()
+    }
+
     /// Forward over a `[C_in, H, W]` tensor.
     ///
     /// # Panics
@@ -289,6 +360,71 @@ impl QVotes {
         }
         Tensor::from_vec(out, &[self.i_caps, self.j_caps, self.d_out]).expect("votes shape")
     }
+
+    /// Batched twin of [`QVotes::forward`]: for each input capsule `i`,
+    /// fuses every sample's GEMV into one `(J·D_out × D_in) × (D_in ×
+    /// B)` quantized GEMM. Bit-identical to the per-sample path (each
+    /// output column reduces independently).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an input shape mismatch.
+    pub fn forward_batch(&self, us: &[&Tensor], lut: &MulLut) -> Vec<Tensor> {
+        if us.is_empty() {
+            return Vec::new();
+        }
+        let bsz = us.len();
+        let rows = self.j_caps * self.d_out;
+        let wstride = rows * self.d_in;
+        let qus: Vec<Vec<u8>> = us
+            .iter()
+            .map(|u| {
+                assert_eq!(u.shape(), [self.i_caps, self.d_in], "QVotes input");
+                quantize_codes(u.data(), self.in_params)
+            })
+            .collect();
+        let mut outs = vec![vec![0.0f32; self.i_caps * rows]; bsz];
+        let mut bmat = vec![0u8; self.d_in * bsz];
+        let mut acc = vec![0u32; rows * bsz];
+        let mut dq = vec![0.0f32; rows * bsz];
+        for i in 0..self.i_caps {
+            for dk in 0..self.d_in {
+                for (bi, qu) in qus.iter().enumerate() {
+                    bmat[dk * bsz + bi] = qu[i * self.d_in + dk];
+                }
+            }
+            acc.fill(0);
+            qgemm_nn(
+                &self.qweight[i * wstride..(i + 1) * wstride],
+                &bmat,
+                &mut acc,
+                rows,
+                self.d_in,
+                bsz,
+                lut,
+            );
+            let cs = col_sums(&bmat, self.d_in, bsz);
+            affine_dequant(
+                &acc,
+                &self.wrowsums[i * rows..(i + 1) * rows],
+                &cs,
+                self.d_in,
+                self.wparams,
+                self.in_params,
+                &mut dq,
+            );
+            for (r, dqrow) in dq.chunks_exact(bsz).enumerate() {
+                for (bi, &v) in dqrow.iter().enumerate() {
+                    outs[bi][i * rows + r] = v;
+                }
+            }
+        }
+        outs.into_iter()
+            .map(|o| {
+                Tensor::from_vec(o, &[self.i_caps, self.j_caps, self.d_out]).expect("votes shape")
+            })
+            .collect()
+    }
 }
 
 // -------------------------------------------------- quantized routing
@@ -306,6 +442,12 @@ impl QVotes {
 /// `act_params` are the calibrated requantization ranges for the
 /// votes, the coupling coefficients and the squashed capsules.
 ///
+/// The two MAC sites are independent multiplier sites of a
+/// heterogeneous datapath: `sum_lut` serves the weighted sum (the
+/// in-routing MAC-output site) and `agree_lut` the agreement dot (the
+/// logits-update site). Pass the same table twice for a homogeneous
+/// routing block.
+///
 /// # Panics
 ///
 /// Panics unless `votes` is rank 3 or 4 and `iterations >= 1`.
@@ -315,7 +457,8 @@ pub fn quantized_routing(
     vote_params: QuantParams,
     coupling_params: QuantParams,
     act_params: QuantParams,
-    lut: &MulLut,
+    sum_lut: &MulLut,
+    agree_lut: &MulLut,
 ) -> Tensor {
     let (i_caps, j_caps, d, p, spatial) = match votes.ndim() {
         3 => (
@@ -392,7 +535,7 @@ pub fn quantized_routing(
                 for pi in 0..p {
                     let mut acc = 0u32;
                     for i in 0..i_caps {
-                        acc += lut.mul(
+                        acc += sum_lut.mul(
                             qk[(i * j_caps + j) * p + pi],
                             qu[((i * j_caps + j) * d + di) * p + pi],
                         ) as u32;
@@ -424,7 +567,7 @@ pub fn quantized_routing(
                 for pi in 0..p {
                     let mut acc = 0u32;
                     for di in 0..d {
-                        acc += lut.mul(
+                        acc += agree_lut.mul(
                             qu[((i * j_caps + j) * d + di) * p + pi],
                             qv[(j * d + di) * p + pi],
                         ) as u32;
@@ -503,6 +646,44 @@ impl QConvCaps2d {
             "QConvCaps2d input capsules"
         );
         let y = self.conv.forward_chw(x.data(), h, w, lut);
+        self.finish(y)
+    }
+
+    /// Batched twin of [`QConvCaps2d::forward`]: one fused wide GEMM
+    /// across the whole batch (see [`QConv2d::forward_batch_chw`]),
+    /// per-sample squash.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a geometry mismatch.
+    pub fn forward_batch(&self, xs: &[&Tensor], lut: &MulLut) -> Vec<Tensor> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let nd = xs[0].ndim();
+        assert!(nd >= 3, "QConvCaps2d expects at least [C, H, W]");
+        let (h, w) = (xs[0].shape()[nd - 2], xs[0].shape()[nd - 1]);
+        let inputs: Vec<&[f32]> = xs
+            .iter()
+            .map(|x| {
+                assert_eq!(
+                    x.len(),
+                    self.c_in * self.d_in * h * w,
+                    "QConvCaps2d input capsules"
+                );
+                x.data()
+            })
+            .collect();
+        self.conv
+            .forward_batch_chw(&inputs, h, w, lut)
+            .into_iter()
+            .map(|y| self.finish(y))
+            .collect()
+    }
+
+    /// Capsule unfold + optional squash shared by the single and
+    /// batched paths.
+    fn finish(&self, y: Tensor) -> Tensor {
         let (h_out, w_out) = (y.shape()[1], y.shape()[2]);
         let p = h_out * w_out;
         let s = y
@@ -580,42 +761,93 @@ impl QConvCaps3d {
     }
 
     /// Forward over `[C_in, D_in, H, W]` capsules; returns the routed
-    /// `[C_out, D_out, H', W']` capsules with every MAC on `lut`.
+    /// `[C_out, D_out, H', W']` capsules. `conv_lut` serves the vote
+    /// convolutions, `sum_lut` the routing weighted sum and `agree_lut`
+    /// the agreement dot — three independently assignable multiplier
+    /// sites.
     ///
     /// # Panics
     ///
     /// Panics on a geometry mismatch.
-    pub fn forward(&self, x: &Tensor, lut: &MulLut) -> Tensor {
-        assert_eq!(x.ndim(), 4, "QConvCaps3d expects [C, D, H, W]");
-        assert_eq!(x.shape()[0], self.c_in, "capsule types");
-        assert_eq!(x.shape()[1], self.d_in, "capsule dims");
-        let (h, w) = (x.shape()[2], x.shape()[3]);
+    pub fn forward(
+        &self,
+        x: &Tensor,
+        conv_lut: &MulLut,
+        sum_lut: &MulLut,
+        agree_lut: &MulLut,
+    ) -> Tensor {
+        self.forward_batch(&[x], conv_lut, sum_lut, agree_lut)
+            .pop()
+            .expect("one sample in, one out")
+    }
+
+    /// Batched twin of [`QConvCaps3d::forward`]: each per-type vote
+    /// convolution fuses across the whole batch (one wide GEMM per
+    /// type); the routing — whose coupling coefficients are
+    /// input-dependent — stays per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a geometry mismatch.
+    pub fn forward_batch(
+        &self,
+        xs: &[&Tensor],
+        conv_lut: &MulLut,
+        sum_lut: &MulLut,
+        agree_lut: &MulLut,
+    ) -> Vec<Tensor> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let bsz = xs.len();
+        for x in xs {
+            assert_eq!(x.ndim(), 4, "QConvCaps3d expects [C, D, H, W]");
+            assert_eq!(x.shape()[0], self.c_in, "capsule types");
+            assert_eq!(x.shape()[1], self.d_in, "capsule dims");
+        }
+        let (h, w) = (xs[0].shape()[2], xs[0].shape()[3]);
         let type_len = self.d_in * h * w;
-        // Per-type vote convolutions, assembled as votes [I, J, D, P].
-        let mut flat = Vec::new();
+        // Per-type vote convolutions across the batch, assembled as
+        // per-sample votes [I, J, D, P].
+        let mut flats: Vec<Vec<f32>> = vec![Vec::new(); bsz];
         let mut out_hw = (0usize, 0usize);
         for (i, conv) in self.convs.iter().enumerate() {
-            let vi = conv.forward_chw(&x.data()[i * type_len..(i + 1) * type_len], h, w, lut);
-            out_hw = (vi.shape()[1], vi.shape()[2]);
-            if flat.is_empty() {
-                flat.reserve_exact(self.c_in * vi.len());
+            let inputs: Vec<&[f32]> = xs
+                .iter()
+                .map(|x| &x.data()[i * type_len..(i + 1) * type_len])
+                .collect();
+            for (bi, vi) in conv
+                .forward_batch_chw(&inputs, h, w, conv_lut)
+                .into_iter()
+                .enumerate()
+            {
+                out_hw = (vi.shape()[1], vi.shape()[2]);
+                if flats[bi].is_empty() {
+                    flats[bi].reserve_exact(self.c_in * vi.len());
+                }
+                flats[bi].extend_from_slice(vi.data());
             }
-            flat.extend_from_slice(vi.data());
         }
         let (h_out, w_out) = out_hw;
         let p = h_out * w_out;
-        let votes =
-            Tensor::from_vec(flat, &[self.c_in, self.c_out, self.d_out, p]).expect("vote assembly");
-        let v = quantized_routing(
-            &votes,
-            self.iterations,
-            self.vote_params,
-            self.coupling_params,
-            self.act_params,
-            lut,
-        );
-        v.into_reshaped(&[self.c_out, self.d_out, h_out, w_out])
-            .expect("spatial unfold")
+        flats
+            .into_iter()
+            .map(|flat| {
+                let votes = Tensor::from_vec(flat, &[self.c_in, self.c_out, self.d_out, p])
+                    .expect("vote assembly");
+                let v = quantized_routing(
+                    &votes,
+                    self.iterations,
+                    self.vote_params,
+                    self.coupling_params,
+                    self.act_params,
+                    sum_lut,
+                    agree_lut,
+                );
+                v.into_reshaped(&[self.c_out, self.d_out, h_out, w_out])
+                    .expect("spatial unfold")
+            })
+            .collect()
     }
 }
 
@@ -662,20 +894,54 @@ impl QClassCaps {
     }
 
     /// Forward over units `[I, D_in]`; returns the routed class
-    /// capsules `[J, D_out]` with every MAC on `lut`.
+    /// capsules `[J, D_out]`. `vote_lut` serves the vote transform,
+    /// `sum_lut` the routing weighted sum and `agree_lut` the agreement
+    /// dot — three independently assignable multiplier sites.
     ///
     /// # Panics
     ///
     /// Panics on an input shape mismatch.
-    pub fn forward(&self, u: &Tensor, lut: &MulLut) -> Tensor {
-        let votes = self.votes.forward(u, lut);
+    pub fn forward(
+        &self,
+        u: &Tensor,
+        vote_lut: &MulLut,
+        sum_lut: &MulLut,
+        agree_lut: &MulLut,
+    ) -> Tensor {
+        let votes = self.votes.forward(u, vote_lut);
+        self.route(&votes, sum_lut, agree_lut)
+    }
+
+    /// Batched twin of [`QClassCaps::forward`]: the vote transform
+    /// fuses across the batch ([`QVotes::forward_batch`]); routing
+    /// stays per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an input shape mismatch.
+    pub fn forward_batch(
+        &self,
+        us: &[&Tensor],
+        vote_lut: &MulLut,
+        sum_lut: &MulLut,
+        agree_lut: &MulLut,
+    ) -> Vec<Tensor> {
+        self.votes
+            .forward_batch(us, vote_lut)
+            .iter()
+            .map(|votes| self.route(votes, sum_lut, agree_lut))
+            .collect()
+    }
+
+    fn route(&self, votes: &Tensor, sum_lut: &MulLut, agree_lut: &MulLut) -> Tensor {
         quantized_routing(
-            &votes,
+            votes,
             self.iterations,
             self.vote_params,
             self.coupling_params,
             self.act_params,
-            lut,
+            sum_lut,
+            agree_lut,
         )
     }
 }
@@ -761,13 +1027,15 @@ mod tests {
         let votes4 = votes3.reshape(&[i_caps, j_caps, d, 1]).unwrap();
         let cache = dynamic_routing(votes4, 3, 0, "X", &mut NoInjection);
         let want = cache.v.reshape(&[j_caps, d]).unwrap();
+        let exact = MulLut::exact();
         let got = quantized_routing(
             &votes3,
             3,
             QuantParams::calibrate(&votes3, 8).unwrap(),
             p(0.0, 1.0),
             p(-1.0, 1.0),
-            &MulLut::exact(),
+            &exact,
+            &exact,
         );
         assert_eq!(got.shape(), &[j_caps, d]);
         for (a, b) in want.data().iter().zip(got.data()) {
@@ -783,13 +1051,15 @@ mod tests {
         let (i_caps, j_caps, d, p_dim) = (4, 3, 4, 6);
         let votes = rng.uniform(&[i_caps, j_caps, d, p_dim], -1.0, 1.0);
         let cache = dynamic_routing(votes.clone(), 3, 0, "X", &mut NoInjection);
+        let exact = MulLut::exact();
         let got = quantized_routing(
             &votes,
             3,
             QuantParams::calibrate(&votes, 8).unwrap(),
             p(0.0, 1.0),
             p(-1.0, 1.0),
-            &MulLut::exact(),
+            &exact,
+            &exact,
         );
         assert_eq!(got.shape(), &[j_caps, d, p_dim]);
         for (a, b) in cache.v.data().iter().zip(got.data()) {
@@ -842,7 +1112,8 @@ mod tests {
                 .unwrap(),
         )
         .unwrap();
-        let got = q.forward(&x, &MulLut::exact());
+        let exact = MulLut::exact();
+        let got = q.forward(&x, &exact, &exact, &exact);
         assert_eq!(got.shape(), want.shape());
         for (a, b) in want.data().iter().zip(got.data()) {
             assert!((a - b).abs() < 0.12, "float {a} vs quantized {b}");
@@ -873,10 +1144,43 @@ mod tests {
                 .unwrap(),
         )
         .unwrap();
-        let got = q.forward(&u, &MulLut::exact());
+        let exact = MulLut::exact();
+        let got = q.forward(&u, &exact, &exact, &exact);
         assert_eq!(got.shape(), want.shape());
         for (a, b) in want.data().iter().zip(got.data()) {
             assert!((a - b).abs() < 0.1, "float {a} vs quantized {b}");
+        }
+    }
+
+    /// The fused wide-GEMM batch paths must be bit-identical to their
+    /// per-sample twins: quantization is elementwise and every output
+    /// column's integer reduction is independent of the others.
+    #[test]
+    fn conv_batch_is_bit_identical_to_per_sample() {
+        let mut rng = TensorRng::from_seed(520);
+        let conv = Conv2d::new(3, 5, 3, 1, 1, &mut rng);
+        let q = QConv2d::from_conv(&conv, p(-1.0, 1.0)).unwrap();
+        let lut = MulLut::exact();
+        let xs: Vec<Tensor> = (0..5).map(|_| rng.uniform(&[3, 6, 6], -1.0, 1.0)).collect();
+        let inputs: Vec<&[f32]> = xs.iter().map(|x| x.data()).collect();
+        let batched = q.forward_batch_chw(&inputs, 6, 6, &lut);
+        for (x, got) in xs.iter().zip(&batched) {
+            assert_eq!(&q.forward(x, &lut), got);
+        }
+        assert!(q.forward_batch_chw(&[], 6, 6, &lut).is_empty());
+    }
+
+    #[test]
+    fn votes_batch_is_bit_identical_to_per_sample() {
+        let mut rng = TensorRng::from_seed(521);
+        let layer = ClassCaps::new(0, "CC", 6, 4, 3, 5, 3, &mut rng);
+        let q = QVotes::from_class_caps(&layer, p(-1.0, 1.0)).unwrap();
+        let lut = MulLut::tabulate(&redcane_axmul::mult::TruncatedMultiplier::new(5));
+        let us: Vec<Tensor> = (0..4).map(|_| rng.uniform(&[6, 3], -1.0, 1.0)).collect();
+        let refs: Vec<&Tensor> = us.iter().collect();
+        let batched = q.forward_batch(&refs, &lut);
+        for (u, got) in us.iter().zip(&batched) {
+            assert_eq!(&q.forward(u, &lut), got);
         }
     }
 }

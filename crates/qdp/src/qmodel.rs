@@ -1,5 +1,6 @@
 //! [`QModel`]: end-to-end quantized inference for **any** capsule
-//! architecture, assembled from the generic lowering pipeline.
+//! architecture, assembled from the generic lowering pipeline and
+//! executed under a heterogeneous per-site multiplier assignment.
 //!
 //! A `QModel` is a small dataflow program over the quantized layer
 //! primitives of [`crate::qlayers`] plus the float glue an accelerator
@@ -7,13 +8,21 @@
 //! reordering, concatenation, capsule lengths). Lowering walks a
 //! trained float model's layer graph, lowers every layer through
 //! [`LowerToQuant`](crate::LowerToQuant) with the calibrated
-//! [`QuantRanges`], and emits the steps; `forward` then executes them
-//! with every MAC multiply served by a pluggable [`MulLut`].
+//! [`QuantRanges`], and emits steps that remember their **site** — the
+//! same `(layer, op kind, in-routing)` keys the ranges are stored
+//! under. Execution then resolves, per site, which multiplier serves
+//! its MACs from a [`DatapathAssignment`] and a [`LutCache`] (one
+//! shared 64 KiB table per distinct component), so a single lowered
+//! model runs anything from the uniform exact baseline to the
+//! methodology's full heterogeneous Step-6 design.
 //!
 //! Both of the paper's architectures lower onto the same step set:
 //! CapsNet is 4 steps, the 17-layer DeepCaps (Caps3D routing included)
 //! is 24 — no per-architecture execution code.
 
+use redcane::datapath::{BackendError, DatapathAssignment};
+use redcane_axmul::{LutCache, MulLut};
+use redcane_capsnet::inject::OpKind;
 use redcane_capsnet::model::caps_to_units;
 use redcane_capsnet::squash::{caps_lengths, squash_caps};
 use redcane_capsnet::{CapsModel, CapsNet, DeepCaps};
@@ -21,16 +30,23 @@ use redcane_datasets::Dataset;
 use redcane_tensor::Tensor;
 
 use crate::lower::{calibrate_ranges, LowerError, LowerToQuant, QuantRanges};
-use crate::lut::MulLut;
 use crate::qlayers::{QClassCaps, QConv2d, QConvCaps2d, QConvCaps3d};
+
+/// Samples fused per wide GEMM when evaluating a dataset
+/// ([`evaluate_quantized`]); bounds the fused-column scratch while
+/// keeping the batch wide enough to amortize tile setup.
+const EVAL_BATCH: usize = 16;
 
 /// One step of a quantized dataflow program. `src`/`a`/`b` index the
 /// value produced by that step of the program (step 0's input is the
-/// network input, value 0; step `i` produces value `i + 1`).
+/// network input, value 0; step `i` produces value `i + 1`). MAC steps
+/// carry `site`, the layer name their multiplier sites resolve under.
 #[derive(Debug, Clone)]
 pub enum QStep {
     /// Plain convolution (+ optional ReLU) on the quantized GEMM.
     Conv {
+        /// Site (layer) name of the convolution's MACs.
+        site: String,
         /// The quantized convolution.
         conv: QConv2d,
         /// Apply a float ReLU to the output (SFU).
@@ -40,6 +56,8 @@ pub enum QStep {
     },
     /// 2-D conv-caps (conv on codes, optional float squash).
     CapsConv {
+        /// Site (layer) name of the convolution's MACs.
+        site: String,
         /// The quantized conv-caps layer.
         layer: QConvCaps2d,
         /// Input value index.
@@ -47,6 +65,8 @@ pub enum QStep {
     },
     /// Routing 3-D conv-caps (votes + routing MACs on codes).
     Caps3d {
+        /// Site (layer) name of the vote and routing MACs.
+        site: String,
         /// The quantized routing conv-caps layer.
         layer: QConvCaps3d,
         /// Input value index.
@@ -73,6 +93,8 @@ pub enum QStep {
     },
     /// Fully-connected class capsules (votes + routing MACs on codes).
     ClassCaps {
+        /// Site (layer) name of the vote and routing MACs.
+        site: String,
         /// The quantized class-capsule layer.
         layer: QClassCaps,
         /// Input value index.
@@ -80,9 +102,24 @@ pub enum QStep {
     },
 }
 
+/// A step's multiplier tables, resolved from an assignment.
+enum StepLuts<'a> {
+    /// No MACs in this step (pure float glue).
+    None,
+    /// One MAC site: the convolution / vote GEMM.
+    Mac(&'a MulLut),
+    /// A routing step's three sites: vote GEMM, weighted sum,
+    /// agreement dot.
+    Routing {
+        mac: &'a MulLut,
+        sum: &'a MulLut,
+        agree: &'a MulLut,
+    },
+}
+
 /// A trained capsule model lowered onto the quantized datapath: same
-/// weights, but every MAC runs on 8-bit codes through a pluggable
-/// multiplier model. Architecture-generic — built from any
+/// weights, but every MAC runs on 8-bit codes through per-site
+/// pluggable multiplier models. Architecture-generic — built from any
 /// [`CapsModel`] with a registered lowering plus calibrated
 /// [`QuantRanges`].
 #[derive(Debug, Clone)]
@@ -138,11 +175,13 @@ impl QModel {
         let cfg = model.config();
         let steps = vec![
             QStep::Conv {
+                site: "Conv1".to_string(),
                 conv: model.conv1().lower_to_quant("Conv1", ranges)?,
                 relu: true,
                 src: 0,
             },
             QStep::CapsConv {
+                site: model.primary().name().to_string(),
                 layer: model
                     .primary()
                     .lower_to_quant(model.primary().name(), ranges)?,
@@ -150,6 +189,7 @@ impl QModel {
             },
             QStep::ToUnits { src: 2 },
             QStep::ClassCaps {
+                site: model.class_caps().name().to_string(),
                 layer: model
                     .class_caps()
                     .lower_to_quant(model.class_caps().name(), ranges)?,
@@ -176,6 +216,7 @@ impl QModel {
                          src: usize|
          -> Result<QStep, LowerError> {
             Ok(QStep::CapsConv {
+                site: layer.name().to_string(),
                 layer: layer.lower_to_quant(layer.name(), ranges)?,
                 src,
             })
@@ -193,6 +234,7 @@ impl QModel {
         let c3 = push(
             &mut steps,
             QStep::Caps3d {
+                site: model.caps3d().name().to_string(),
                 layer: model
                     .caps3d()
                     .lower_to_quant(model.caps3d().name(), ranges)?,
@@ -206,6 +248,7 @@ impl QModel {
         push(
             &mut steps,
             QStep::ClassCaps {
+                site: model.class_caps().name().to_string(),
                 layer: model
                     .class_caps()
                     .lower_to_quant(model.class_caps().name(), ranges)?,
@@ -233,6 +276,82 @@ impl QModel {
     /// The dataflow program (introspection / cost accounting).
     pub fn steps(&self) -> &[QStep] {
         &self.steps
+    }
+
+    /// Every multiplier site the program executes, in program order:
+    /// `(layer, op kind, in-routing)` — the keys a
+    /// [`DatapathAssignment`] must cover.
+    pub fn multiply_sites(&self) -> Vec<(String, OpKind, bool)> {
+        let mut out = Vec::new();
+        for step in &self.steps {
+            match step {
+                QStep::Conv { site, .. } | QStep::CapsConv { site, .. } => {
+                    out.push((site.clone(), OpKind::MacOutput, false));
+                }
+                QStep::Caps3d { site, .. } | QStep::ClassCaps { site, .. } => {
+                    out.push((site.clone(), OpKind::MacOutput, false));
+                    out.push((site.clone(), OpKind::MacOutput, true));
+                    out.push((site.clone(), OpKind::LogitsUpdate, true));
+                }
+                QStep::AddSquash { .. } | QStep::ToUnits { .. } | QStep::ConcatUnits { .. } => {}
+            }
+        }
+        out
+    }
+
+    /// Verifies that `assignment` covers every multiplier site of the
+    /// program and that `luts` tabulates every named component.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::UnassignedSite`] naming the first uncovered
+    /// site, or [`BackendError::UnknownComponent`] for a component
+    /// without a table.
+    pub fn check_assignment(
+        &self,
+        assignment: &DatapathAssignment,
+        luts: &LutCache,
+    ) -> Result<(), BackendError> {
+        self.resolve(assignment, luts).map(|_| ())
+    }
+
+    /// Resolves each step's multiplier tables from the assignment.
+    fn resolve<'a>(
+        &self,
+        assignment: &DatapathAssignment,
+        luts: &'a LutCache,
+    ) -> Result<Vec<StepLuts<'a>>, BackendError> {
+        let lut_for = |site: &str, kind: OpKind, in_routing: bool| {
+            let component = assignment.component_for(site, kind, in_routing).ok_or(
+                BackendError::UnassignedSite {
+                    layer: site.to_string(),
+                    kind,
+                    in_routing,
+                },
+            )?;
+            luts.get(component)
+                .ok_or_else(|| BackendError::UnknownComponent {
+                    component: component.to_string(),
+                })
+        };
+        self.steps
+            .iter()
+            .map(|step| match step {
+                QStep::Conv { site, .. } | QStep::CapsConv { site, .. } => {
+                    Ok(StepLuts::Mac(lut_for(site, OpKind::MacOutput, false)?))
+                }
+                QStep::Caps3d { site, .. } | QStep::ClassCaps { site, .. } => {
+                    Ok(StepLuts::Routing {
+                        mac: lut_for(site, OpKind::MacOutput, false)?,
+                        sum: lut_for(site, OpKind::MacOutput, true)?,
+                        agree: lut_for(site, OpKind::LogitsUpdate, true)?,
+                    })
+                }
+                QStep::AddSquash { .. } | QStep::ToUnits { .. } | QStep::ConcatUnits { .. } => {
+                    Ok(StepLuts::None)
+                }
+            })
+            .collect()
     }
 
     /// A deterministic sample of at most `max_len` quantized weight
@@ -269,85 +388,185 @@ impl QModel {
     }
 
     /// Full quantized inference: returns the class-capsule lengths
-    /// (`[num_classes]`), every MAC multiplied through `lut`.
+    /// (`[num_classes]`), every MAC multiply served by the multiplier
+    /// `assignment` resolves for its site.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] when a multiplier site is unassigned or names a
+    /// component absent from `luts`.
     ///
     /// # Panics
     ///
     /// Panics on an input shape mismatch.
-    pub fn forward(&self, x: &Tensor, lut: &MulLut) -> Tensor {
-        assert_eq!(x.shape(), self.input_shape, "QModel input");
-        let mut vals: Vec<Tensor> = Vec::with_capacity(self.steps.len() + 1);
-        vals.push(x.clone());
-        for step in &self.steps {
-            let y = match step {
-                QStep::Conv { conv, relu, src } => {
-                    let mut y = conv.forward(&vals[*src], lut);
-                    if *relu {
-                        for v in y.data_mut() {
-                            *v = v.max(0.0);
-                        }
-                    }
-                    y
+    pub fn forward(
+        &self,
+        x: &Tensor,
+        assignment: &DatapathAssignment,
+        luts: &LutCache,
+    ) -> Result<Tensor, BackendError> {
+        let resolved = self.resolve(assignment, luts)?;
+        Ok(self
+            .forward_batch_resolved(&[x], &resolved)
+            .pop()
+            .expect("one sample in, one out"))
+    }
+
+    /// Argmax class prediction under `assignment`.
+    ///
+    /// # Errors / Panics
+    ///
+    /// As [`QModel::forward`].
+    pub fn predict(
+        &self,
+        x: &Tensor,
+        assignment: &DatapathAssignment,
+        luts: &LutCache,
+    ) -> Result<usize, BackendError> {
+        Ok(self
+            .forward(x, assignment, luts)?
+            .argmax()
+            .expect("non-empty lengths"))
+    }
+
+    /// Batched quantized inference: one program execution for the whole
+    /// batch, with every convolution / vote step fusing its per-sample
+    /// im2col columns into a single wide quantized GEMM (mirroring the
+    /// float trainer's batch fusion). Bit-identical to per-sample
+    /// [`QModel::forward`]; returns one length tensor per input.
+    ///
+    /// # Errors / Panics
+    ///
+    /// As [`QModel::forward`].
+    pub fn forward_batch(
+        &self,
+        xs: &[&Tensor],
+        assignment: &DatapathAssignment,
+        luts: &LutCache,
+    ) -> Result<Vec<Tensor>, BackendError> {
+        let resolved = self.resolve(assignment, luts)?;
+        Ok(self.forward_batch_resolved(xs, &resolved))
+    }
+
+    /// The executor behind [`QModel::forward`] /
+    /// [`QModel::forward_batch`]: values are per-sample columns of the
+    /// dataflow program; MAC steps run fused across the batch, float
+    /// glue runs per sample.
+    fn forward_batch_resolved(&self, xs: &[&Tensor], resolved: &[StepLuts<'_>]) -> Vec<Tensor> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        for x in xs {
+            assert_eq!(x.shape(), self.input_shape, "QModel input");
+        }
+        let bsz = xs.len();
+        let mut vals: Vec<Vec<Tensor>> = Vec::with_capacity(self.steps.len() + 1);
+        vals.push(xs.iter().map(|x| (*x).clone()).collect());
+        for (step, luts) in self.steps.iter().zip(resolved) {
+            let ys: Vec<Tensor> = match (step, luts) {
+                (
+                    QStep::Conv {
+                        conv, relu, src, ..
+                    },
+                    StepLuts::Mac(lut),
+                ) => {
+                    let inputs: Vec<&[f32]> = vals[*src].iter().map(|v| v.data()).collect();
+                    let (h, w) = (vals[*src][0].shape()[1], vals[*src][0].shape()[2]);
+                    conv.forward_batch_chw(&inputs, h, w, lut)
+                        .into_iter()
+                        .map(|mut y| {
+                            if *relu {
+                                for v in y.data_mut() {
+                                    *v = v.max(0.0);
+                                }
+                            }
+                            y
+                        })
+                        .collect()
                 }
-                QStep::CapsConv { layer, src } => layer.forward(&vals[*src], lut),
-                QStep::Caps3d { layer, src } => layer.forward(&vals[*src], lut),
-                QStep::AddSquash { a, b } => {
-                    let sum = vals[*a].add(&vals[*b]).expect("residual shapes match");
-                    let (c, d, h, w) = (
-                        sum.shape()[0],
-                        sum.shape()[1],
-                        sum.shape()[2],
-                        sum.shape()[3],
-                    );
-                    let s3 = sum.into_reshaped(&[c, d, h * w]).expect("caps fold");
-                    squash_caps(&s3)
-                        .into_reshaped(&[c, d, h, w])
-                        .expect("spatial unfold")
+                (QStep::CapsConv { layer, src, .. }, StepLuts::Mac(lut)) => {
+                    let inputs: Vec<&Tensor> = vals[*src].iter().collect();
+                    layer.forward_batch(&inputs, lut)
                 }
-                QStep::ToUnits { src } => caps_to_units(&vals[*src]),
-                QStep::ConcatUnits { a, b } => {
-                    Tensor::concat(&[&vals[*a], &vals[*b]], 0).expect("unit concat")
+                (QStep::Caps3d { layer, src, .. }, StepLuts::Routing { mac, sum, agree }) => {
+                    let inputs: Vec<&Tensor> = vals[*src].iter().collect();
+                    layer.forward_batch(&inputs, mac, sum, agree)
                 }
-                QStep::ClassCaps { layer, src } => layer.forward(&vals[*src], lut),
+                (QStep::ClassCaps { layer, src, .. }, StepLuts::Routing { mac, sum, agree }) => {
+                    let inputs: Vec<&Tensor> = vals[*src].iter().collect();
+                    layer.forward_batch(&inputs, mac, sum, agree)
+                }
+                (QStep::AddSquash { a, b }, _) => (0..bsz)
+                    .map(|bi| {
+                        let sum = vals[*a][bi]
+                            .add(&vals[*b][bi])
+                            .expect("residual shapes match");
+                        let (c, d, h, w) = (
+                            sum.shape()[0],
+                            sum.shape()[1],
+                            sum.shape()[2],
+                            sum.shape()[3],
+                        );
+                        let s3 = sum.into_reshaped(&[c, d, h * w]).expect("caps fold");
+                        squash_caps(&s3)
+                            .into_reshaped(&[c, d, h, w])
+                            .expect("spatial unfold")
+                    })
+                    .collect(),
+                (QStep::ToUnits { src }, _) => vals[*src].iter().map(caps_to_units).collect(),
+                (QStep::ConcatUnits { a, b }, _) => (0..bsz)
+                    .map(|bi| {
+                        Tensor::concat(&[&vals[*a][bi], &vals[*b][bi]], 0).expect("unit concat")
+                    })
+                    .collect(),
+                _ => unreachable!("resolve() pairs every MAC step with its luts"),
             };
-            vals.push(y);
+            vals.push(ys);
         }
         // The last step produces the class capsules [J, D]; their
         // lengths are the network output, computed exactly as the
         // float models compute them.
-        let v = vals.last().expect("at least one step");
-        let (j, d) = (v.shape()[0], v.shape()[1]);
-        let v3 = v.reshape(&[j, d, 1]).expect("caps form");
-        caps_lengths(&v3).into_reshaped(&[j]).expect("drop P")
-    }
-
-    /// Argmax class prediction under `lut`.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an input shape mismatch.
-    pub fn predict(&self, x: &Tensor, lut: &MulLut) -> usize {
-        self.forward(x, lut).argmax().expect("non-empty lengths")
+        let last = vals.last().expect("at least one step");
+        last.iter()
+            .map(|v| {
+                let (j, d) = (v.shape()[0], v.shape()[1]);
+                let v3 = v.reshape(&[j, d, 1]).expect("caps form");
+                caps_lengths(&v3).into_reshaped(&[j]).expect("drop P")
+            })
+            .collect()
     }
 }
 
-/// The pre-generic name of the quantized execution type.
-#[deprecated(note = "use the architecture-generic `QModel` \
-                     (`QModel::lower` / `QModel::calibrated`)")]
-pub type QCapsNet = QModel;
-
-/// Classification accuracy of the quantized datapath over a dataset,
-/// every multiply served by `lut`. Serial and deterministic.
-pub fn evaluate_quantized(model: &QModel, data: &Dataset, lut: &MulLut) -> f64 {
+/// Classification accuracy of the quantized datapath over a dataset
+/// under a heterogeneous multiplier assignment. Deterministic; samples
+/// run through the batched executor in [`EVAL_BATCH`]-wide fused GEMMs.
+///
+/// # Errors
+///
+/// [`BackendError`] when the assignment leaves a multiplier site
+/// uncovered or names a component absent from `luts` — checked once
+/// up front, before any inference runs.
+pub fn evaluate_quantized(
+    model: &QModel,
+    data: &Dataset,
+    assignment: &DatapathAssignment,
+    luts: &LutCache,
+) -> Result<f64, BackendError> {
+    let resolved = model.resolve(assignment, luts)?;
     if data.is_empty() {
-        return 0.0;
+        return Ok(0.0);
     }
-    let correct = data
-        .samples
-        .iter()
-        .filter(|s| model.predict(&s.image, lut) == s.label)
-        .count();
-    correct as f64 / data.len() as f64
+    let mut correct = 0usize;
+    for chunk in data.samples.chunks(EVAL_BATCH) {
+        let images: Vec<&Tensor> = chunk.iter().map(|s| &s.image).collect();
+        let lengths = model.forward_batch_resolved(&images, &resolved);
+        for (sample, l) in chunk.iter().zip(&lengths) {
+            if l.argmax().expect("non-empty lengths") == sample.label {
+                correct += 1;
+            }
+        }
+    }
+    Ok(correct as f64 / data.len() as f64)
 }
 
 #[cfg(test)]
@@ -356,8 +575,15 @@ mod tests {
     use redcane_capsnet::{CapsNetConfig, DeepCapsConfig, NoInjection};
     use redcane_tensor::TensorRng;
 
+    /// An exact-only cache + uniform assignment: the baseline datapath.
+    fn exact_setup() -> (DatapathAssignment, LutCache) {
+        let mut luts = LutCache::new();
+        luts.insert("exact", MulLut::exact());
+        (DatapathAssignment::uniform("exact"), luts)
+    }
+
     #[test]
-    fn qmodel_capsnet_with_exact_lut_tracks_float_lengths() {
+    fn qmodel_capsnet_with_exact_assignment_tracks_float_lengths() {
         let mut rng = TensorRng::from_seed(504);
         let cfg = CapsNetConfig::small(1, 16);
         let mut model = CapsNet::new(&cfg, &mut rng);
@@ -368,10 +594,11 @@ mod tests {
         assert_eq!(q.num_classes(), 10);
         assert_eq!(q.steps().len(), 4);
         assert!(q.arch().starts_with("CapsNet"));
-        let lut = MulLut::exact();
+        let (assignment, luts) = exact_setup();
+        q.check_assignment(&assignment, &luts).unwrap();
         for image in &images {
             let want = model.forward(image, &mut NoInjection);
-            let got = q.forward(image, &lut);
+            let got = q.forward(image, &assignment, &luts).unwrap();
             assert_eq!(got.shape(), want.shape());
             for (a, b) in want.data().iter().zip(got.data()) {
                 assert!((a - b).abs() < 0.15, "length {a} vs quantized {b}");
@@ -380,7 +607,7 @@ mod tests {
     }
 
     #[test]
-    fn qmodel_deepcaps_with_exact_lut_tracks_float_lengths() {
+    fn qmodel_deepcaps_with_exact_assignment_tracks_float_lengths() {
         let mut rng = TensorRng::from_seed(511);
         let cfg = DeepCapsConfig::small(1, 16);
         let mut model = DeepCaps::new(&cfg, &mut rng);
@@ -393,10 +620,10 @@ mod tests {
         // Stem + 3 cells × 5 + lead/mid/caps3d/skip + 2 units + concat
         // + class caps = 24 steps covering all 17 quantized layers.
         assert_eq!(q.steps().len(), 24);
-        let lut = MulLut::exact();
+        let (assignment, luts) = exact_setup();
         for image in &images {
             let want = model.forward(image, &mut NoInjection);
-            let got = q.forward(image, &lut);
+            let got = q.forward(image, &assignment, &luts).unwrap();
             assert_eq!(got.shape(), want.shape());
             for (a, b) in want.data().iter().zip(got.data()) {
                 assert!((a - b).abs() < 0.2, "length {a} vs quantized {b}");
@@ -405,13 +632,64 @@ mod tests {
     }
 
     #[test]
-    fn quantized_forward_is_deterministic() {
+    fn quantized_forward_is_deterministic_and_batch_matches_single() {
         let mut rng = TensorRng::from_seed(505);
+        let mut model = CapsNet::new(&CapsNetConfig::small(1, 16), &mut rng);
+        let images: Vec<Tensor> = (0..3)
+            .map(|_| rng.uniform(&[1, 16, 16], 0.0, 1.0))
+            .collect();
+        let q = QModel::calibrated(&mut model, images.iter()).unwrap();
+        let (assignment, luts) = exact_setup();
+        let single: Vec<Tensor> = images
+            .iter()
+            .map(|x| q.forward(x, &assignment, &luts).unwrap())
+            .collect();
+        let refs: Vec<&Tensor> = images.iter().collect();
+        let batched = q.forward_batch(&refs, &assignment, &luts).unwrap();
+        assert_eq!(single, batched, "batch fusion must be bit-identical");
+        assert_eq!(
+            q.forward(&images[0], &assignment, &luts).unwrap(),
+            single[0].clone(),
+            "re-running reproduces the output exactly"
+        );
+    }
+
+    #[test]
+    fn multiply_sites_cover_the_program_and_unassigned_sites_error() {
+        let mut rng = TensorRng::from_seed(516);
         let mut model = CapsNet::new(&CapsNetConfig::small(1, 16), &mut rng);
         let image = rng.uniform(&[1, 16, 16], 0.0, 1.0);
         let q = QModel::calibrated(&mut model, [&image]).unwrap();
-        let lut = MulLut::exact();
-        assert_eq!(q.forward(&image, &lut), q.forward(&image, &lut));
+        let sites = q.multiply_sites();
+        // Conv1 + PrimaryCaps GEMMs, ClassCaps votes + 2 routing sites.
+        assert_eq!(sites.len(), 5);
+        assert!(sites.contains(&("Conv1".to_string(), OpKind::MacOutput, false)));
+        assert!(sites.contains(&("ClassCaps".to_string(), OpKind::LogitsUpdate, true)));
+
+        let mut luts = LutCache::new();
+        luts.insert("exact", MulLut::exact());
+        // A per-site assignment missing the routing sites fails loudly.
+        let mut partial = DatapathAssignment::per_site();
+        for (layer, kind, in_routing) in &sites[..sites.len() - 1] {
+            partial.assign(layer.clone(), *kind, *in_routing, "exact");
+        }
+        let err = q.check_assignment(&partial, &luts).unwrap_err();
+        assert_eq!(
+            err,
+            BackendError::UnassignedSite {
+                layer: "ClassCaps".to_string(),
+                kind: OpKind::LogitsUpdate,
+                in_routing: true,
+            }
+        );
+        // An assignment naming an untabulated component also fails.
+        let ghost = DatapathAssignment::uniform("mul8u_ghost");
+        assert!(matches!(
+            q.check_assignment(&ghost, &luts).unwrap_err(),
+            BackendError::UnknownComponent { ref component } if component == "mul8u_ghost"
+        ));
+        // And forward surfaces the same error.
+        assert!(q.forward(&image, &partial, &luts).is_err());
     }
 
     #[test]
@@ -452,15 +730,5 @@ mod tests {
         assert!(sample.len() <= 100 && !sample.is_empty());
         assert_eq!(sample, q.weight_code_sample(100));
         assert!(q.weight_code_sample(0).is_empty());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn qcapsnet_alias_still_names_the_generic_model() {
-        let mut rng = TensorRng::from_seed(515);
-        let mut model = CapsNet::new(&CapsNetConfig::small(1, 16), &mut rng);
-        let image = rng.uniform(&[1, 16, 16], 0.0, 1.0);
-        let q: QCapsNet = QModel::calibrated(&mut model, [&image]).unwrap();
-        assert_eq!(q.num_classes(), 10);
     }
 }

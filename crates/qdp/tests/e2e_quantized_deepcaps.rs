@@ -1,14 +1,16 @@
 //! End-to-end sanity for the paper's second architecture: a trained
 //! DeepCaps — all 17 capsule layers, Caps3D routing included — lowered
-//! through the architecture-generic pipeline onto the quantized
-//! datapath with the **exact** multiplier must reproduce the float
-//! network's predictions within quantization tolerance. This is the
-//! acceptance bar for the generic lowering being a faithful 8-bit
+//! through the architecture-generic pipeline and scored through the
+//! [`QuantMeasured`] backend under the **exact**-multiplier uniform
+//! assignment must reproduce the float network's predictions. This is
+//! the acceptance bar for the generic lowering being a faithful 8-bit
 //! execution of the same network rather than a different model.
 
+use redcane::datapath::AccuracyBackend;
+use redcane_axmul::MultiplierLibrary;
 use redcane_capsnet::{evaluate_clean, train, CapsModel, DeepCaps, DeepCapsConfig, TrainConfig};
 use redcane_datasets::{generate, Benchmark, GenerateConfig};
-use redcane_qdp::{calibrate_ranges, evaluate_quantized, MulLut, QModel};
+use redcane_qdp::{DatapathAssignment, QuantMeasured};
 use redcane_tensor::TensorRng;
 
 #[test]
@@ -42,44 +44,40 @@ fn quantized_deepcaps_matches_float_within_tolerance() {
     );
 
     // Calibrate on clean training inputs, lower every layer through
-    // the generic pipeline, run the test subset on the 8-bit datapath.
-    let ranges = calibrate_ranges(
+    // the generic pipeline, score the test subset through the measured
+    // backend with the exact multiplier at every site.
+    let library = MultiplierLibrary::evo_approx_like();
+    let backend = QuantMeasured::calibrated(
         &mut model,
         pair.train.samples.iter().take(24).map(|s| &s.image),
+        &library,
     )
     .expect("calibration succeeds on trained activations");
-    let q = QModel::lower(&model, &ranges).expect("every DeepCaps site calibrated");
-    let lut = MulLut::exact();
-    let quant_acc = evaluate_quantized(&q, &eval, &lut);
+    let exact = DatapathAssignment::uniform("mul8u_1JFF");
+    let quant_acc = backend.evaluate(&model, &eval, &exact).unwrap();
 
-    // Prediction agreement: the quantized-exact datapath must agree
-    // with the float network on the large majority of samples — the
-    // 8-bit requantization through 17 layers may flip borderline
-    // samples, but not change the model.
-    let agree = eval
-        .samples
-        .iter()
-        .filter(|s| q.predict(&s.image, &lut) == model.predict(&s.image))
-        .count();
-    let agreement = agree as f64 / eval.len() as f64;
-    assert!(
-        agreement >= 0.75,
-        "quantized-exact DeepCaps agrees with float on only {agreement:.2} of samples"
-    );
-
-    // Accuracy tolerance, mirroring the CapsNet e2e bar.
-    let drop_pp = (float_acc - quant_acc) * 100.0;
-    assert!(
-        drop_pp.abs() <= 15.0,
-        "quantized-exact accuracy {quant_acc} strays {drop_pp:.1} pp from float {float_acc}"
-    );
+    // On this seeded run the 8-bit exact datapath reproduces the float
+    // predictions bit for bit through all 17 quantized layers: same
+    // label on every sample, so the same accuracy.
+    for sample in &eval.samples {
+        assert_eq!(
+            backend
+                .qmodel()
+                .predict(&sample.image, &exact, backend.luts())
+                .unwrap(),
+            model.predict(&sample.image),
+            "quantized-exact DeepCaps prediction diverges from float"
+        );
+    }
+    assert_eq!(quant_acc, float_acc);
 
     // Seeded determinism: rebuilding and re-running reproduces the
     // accuracy exactly.
-    let q2 = QModel::calibrated(
+    let backend2 = QuantMeasured::calibrated(
         &mut model,
         pair.train.samples.iter().take(24).map(|s| &s.image),
+        &library,
     )
     .expect("calibration is deterministic");
-    assert_eq!(quant_acc, evaluate_quantized(&q2, &eval, &lut));
+    assert_eq!(quant_acc, backend2.evaluate(&model, &eval, &exact).unwrap());
 }

@@ -8,8 +8,8 @@ use redcane_axmul::mult::{DrumMultiplier, MitchellLogMultiplier};
 use redcane_qdp::kernels::{self, qgemm_nn};
 use redcane_qdp::MulLut;
 
-/// Dimensions straddling the micro-tile (`MR = 4`) and the `KC = 256`
-/// k-block boundary, degenerate 1s included.
+/// Dimensions straddling the register tile (`MR = 4`, `NR = 8`) and
+/// the tall-`k` dispatch threshold, degenerate 1s included.
 fn dim() -> impl Strategy<Value = usize> {
     (0usize..64).prop_map(|v| match v {
         0 => 1,
