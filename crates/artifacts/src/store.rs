@@ -1,0 +1,185 @@
+//! The store itself: a directory of artifact files plus the
+//! `load_or_train` entry point every consumer goes through.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use redcane_capsnet::io::{weights_from_bytes, weights_to_bytes};
+use redcane_capsnet::CapsModel;
+
+use crate::format::{decode_artifact, encode_artifact, is_not_found};
+use crate::{ArtifactError, ArtifactKey, ArtifactPayload};
+
+/// Default store directory, relative to the working directory.
+pub const DEFAULT_STORE_DIR: &str = ".redcane-artifacts";
+
+/// Environment variable overriding the store directory. An empty value
+/// is treated as unset.
+pub const STORE_ENV_VAR: &str = "REDCANE_ARTIFACTS";
+
+/// Whether an artifact came out of a fresh training run or was
+/// restored from the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// The producer ran (training, calibration, characterization).
+    Trained,
+    /// The artifact was loaded from the store; zero training epochs ran.
+    Restored,
+}
+
+impl Provenance {
+    /// Lowercase label for logs and JSON (`trained` / `restored`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Provenance::Trained => "trained",
+            Provenance::Restored => "restored",
+        }
+    }
+}
+
+/// A directory of artifact files addressed by [`ArtifactKey`].
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Opens (without touching the filesystem) a store rooted at `dir`.
+    /// The directory is created lazily on first save.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ArtifactStore { dir: dir.into() }
+    }
+
+    /// Resolves the store directory from an explicit `--artifacts` flag,
+    /// the [`STORE_ENV_VAR`] environment variable, or
+    /// [`DEFAULT_STORE_DIR`], in that precedence order. `no_cache`
+    /// disables the store entirely (`None` → always train, never save).
+    pub fn resolve_dir(flag: Option<&str>, no_cache: bool) -> Option<PathBuf> {
+        if no_cache {
+            return None;
+        }
+        if let Some(dir) = flag {
+            return Some(PathBuf::from(dir));
+        }
+        match std::env::var(STORE_ENV_VAR) {
+            Ok(dir) if !dir.is_empty() => Some(PathBuf::from(dir)),
+            _ => Some(PathBuf::from(DEFAULT_STORE_DIR)),
+        }
+    }
+
+    /// Store directory shared by in-repo tests: [`STORE_ENV_VAR`] when
+    /// set, otherwise a fixed subdirectory of the system temp dir, so
+    /// repeated test runs on one machine reuse each other's training.
+    pub fn for_tests() -> Self {
+        let dir = match std::env::var(STORE_ENV_VAR) {
+            Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
+            _ => std::env::temp_dir().join("redcane-artifacts"),
+        };
+        ArtifactStore::new(dir)
+    }
+
+    /// Root directory of this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Absolute-or-relative path the given key lives at.
+    pub fn path_for(&self, key: &ArtifactKey) -> PathBuf {
+        self.dir.join(key.file_name())
+    }
+
+    /// Loads the artifact for `key`, applying its weights into `model`.
+    /// Fails loudly ([`ArtifactError`]) on missing, truncated, corrupt,
+    /// wrong-schema or wrong-key entries — and on weights whose tensor
+    /// shapes the model rejects.
+    pub fn load(
+        &self,
+        key: &ArtifactKey,
+        model: &mut dyn CapsModel,
+    ) -> Result<ArtifactPayload, ArtifactError> {
+        let data = fs::read(self.path_for(key))?;
+        let (weights, payload) = decode_artifact(key, &data)?;
+        weights_from_bytes(model, &weights).map_err(|e| ArtifactError::Corrupt {
+            what: format!("weight codec rejected WGHT section: {e}"),
+        })?;
+        Ok(payload)
+    }
+
+    /// Serializes `model`'s weights plus `payload` under `key`,
+    /// creating the store directory if needed. The write goes through a
+    /// temp file and an atomic rename so a crash never leaves a torn
+    /// entry under the final name.
+    pub fn save(
+        &self,
+        key: &ArtifactKey,
+        model: &mut dyn CapsModel,
+        payload: &ArtifactPayload,
+    ) -> Result<PathBuf, ArtifactError> {
+        fs::create_dir_all(&self.dir)?;
+        let weights = weights_to_bytes(model);
+        let encoded = encode_artifact(key, &weights, payload);
+        let path = self.path_for(key);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        fs::write(&tmp, &encoded)?;
+        fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// See the free function [`load_or_train`]; this is the same with
+    /// the store always present.
+    pub fn load_or_train<M, F>(
+        &self,
+        key: &ArtifactKey,
+        model: &mut M,
+        produce: F,
+    ) -> (ArtifactPayload, Provenance)
+    where
+        M: CapsModel,
+        F: FnOnce(&mut M) -> ArtifactPayload,
+    {
+        load_or_train(Some(self), key, model, produce)
+    }
+}
+
+/// The single entry point consumers use: restore the artifact for
+/// `key` into `model` if the store holds a valid one, otherwise run
+/// `produce` (train/calibrate/characterize) and persist its result.
+///
+/// A rejected entry (corrupt, truncated, stale schema, wrong key,
+/// shape-mismatched weights) is reported on stderr with its named
+/// error, then retrained and overwritten. With `store == None`
+/// (`--no-cache`), `produce` always runs and nothing is written —
+/// bit-for-bit the same model and payload as a cache miss.
+pub fn load_or_train<M, F>(
+    store: Option<&ArtifactStore>,
+    key: &ArtifactKey,
+    model: &mut M,
+    produce: F,
+) -> (ArtifactPayload, Provenance)
+where
+    M: CapsModel,
+    F: FnOnce(&mut M) -> ArtifactPayload,
+{
+    let Some(store) = store else {
+        return (produce(model), Provenance::Trained);
+    };
+    match store.load(key, model) {
+        Ok(payload) => (payload, Provenance::Restored),
+        Err(err) => {
+            if !is_not_found(&err) {
+                eprintln!(
+                    "artifact store: rejecting {} ({err}); retraining",
+                    store.path_for(key).display()
+                );
+            }
+            let payload = produce(model);
+            if let Err(err) = store.save(key, model, &payload) {
+                eprintln!(
+                    "artifact store: failed to save {} ({err}); continuing untrained-cache",
+                    store.path_for(key).display()
+                );
+            }
+            (payload, Provenance::Trained)
+        }
+    }
+}

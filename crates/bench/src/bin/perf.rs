@@ -7,14 +7,18 @@
 //!
 //! ```text
 //! perf [--quick] [--out PATH] [--budget-s SECONDS] [--threads N]
+//!      [--artifacts DIR] [--no-cache]
 //! ```
 //!
 //! With `--budget-s`, the binary exits non-zero if the seeded pipeline
 //! exceeds the given wall-clock budget — CI uses this as a generous
-//! regression tripwire.
+//! regression tripwire. The embedded pipeline run goes through the
+//! trained-artifact store (default `.redcane-artifacts`, or
+//! `REDCANE_ARTIFACTS`); `--no-cache` forces it to train.
 
 use std::process::ExitCode;
 
+use redcane_artifacts::ArtifactStore;
 use redcane_bench::cli::{next_parsed, next_value};
 use redcane_bench::perf::{perf_to_json, run_perf};
 
@@ -22,6 +26,8 @@ fn main() -> ExitCode {
     let mut quick = false;
     let mut out_path = "BENCH_perf.json".to_string();
     let mut budget_s: Option<f64> = None;
+    let mut artifacts_flag: Option<String> = None;
+    let mut no_cache = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let parsed: Result<(), String> = match flag.as_str() {
@@ -31,12 +37,18 @@ fn main() -> ExitCode {
             }
             "--out" => next_value(&mut args, "--out").map(|v| out_path = v),
             "--budget-s" => next_parsed(&mut args, "--budget-s").map(|v| budget_s = Some(v)),
+            "--artifacts" => next_value(&mut args, "--artifacts").map(|v| artifacts_flag = Some(v)),
+            "--no-cache" => {
+                no_cache = true;
+                Ok(())
+            }
             "--threads" => next_parsed(&mut args, "--threads")
                 .map(|v: usize| redcane_tensor::par::set_threads(v)),
             "--help" | "-h" => {
                 eprintln!(
                     "perf: hot-path kernel benchmark\n\
-                     flags: --quick, --out PATH, --budget-s SECONDS, --threads N"
+                     flags: --quick, --out PATH, --budget-s SECONDS, --threads N, \
+                     --artifacts DIR, --no-cache"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -47,7 +59,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    let report = run_perf(quick);
+    let report = run_perf(
+        quick,
+        ArtifactStore::resolve_dir(artifacts_flag.as_deref(), no_cache),
+    );
     for probe in &report.probes {
         match probe.speedup_vs_naive() {
             Some(speedup) => eprintln!(

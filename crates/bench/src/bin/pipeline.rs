@@ -7,15 +7,26 @@
 //! ```text
 //! pipeline [--benchmark mnist|fashion|svhn|cifar] [--seed N]
 //!          [--train N] [--test N] [--epochs N] [--threads N]
+//!          [--artifacts DIR] [--no-cache] [--no-timings]
 //! ```
+//!
+//! Trained weights and calibrated ranges go through the
+//! trained-artifact store (default `.redcane-artifacts`, or
+//! `REDCANE_ARTIFACTS`): warm runs restore instead of training.
+//! `--no-cache` forces a cold run; `--no-timings` drops the wall-clock
+//! `timings_s` field so cold and warm outputs can be byte-compared.
 
 use std::process::ExitCode;
 
+use redcane_artifacts::ArtifactStore;
 use redcane_bench::cli::{next_parsed, next_value, require_nonzero};
-use redcane_bench::{outcome_to_json, run_pipeline, PipelineConfig};
+use redcane_bench::{outcome_to_json, outcome_to_json_stable, run_pipeline, PipelineConfig};
 use redcane_datasets::Benchmark;
 
-fn parse_args(mut cfg: PipelineConfig) -> Result<PipelineConfig, String> {
+fn parse_args(mut cfg: PipelineConfig) -> Result<(PipelineConfig, bool), String> {
+    let mut artifacts_flag: Option<String> = None;
+    let mut no_cache = false;
+    let mut no_timings = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -38,11 +49,15 @@ fn parse_args(mut cfg: PipelineConfig) -> Result<PipelineConfig, String> {
                 // the sweep workers.
                 redcane_tensor::par::set_threads(cfg.threads);
             }
+            "--artifacts" => artifacts_flag = Some(next_value(&mut args, "--artifacts")?),
+            "--no-cache" => no_cache = true,
+            "--no-timings" => no_timings = true,
             "--help" | "-h" => {
                 eprintln!(
                     "pipeline: seeded end-to-end ReD-CaNe smoke benchmark\n\
                      flags: --benchmark mnist|fashion|svhn|cifar, --seed N, \
-                     --train N, --test N, --epochs N, --threads N"
+                     --train N, --test N, --epochs N, --threads N, \
+                     --artifacts DIR, --no-cache, --no-timings"
                 );
                 std::process::exit(0);
             }
@@ -53,12 +68,13 @@ fn parse_args(mut cfg: PipelineConfig) -> Result<PipelineConfig, String> {
     // asserts.
     require_nonzero(cfg.train, "--train")?;
     require_nonzero(cfg.test, "--test")?;
-    Ok(cfg)
+    cfg.artifacts = ArtifactStore::resolve_dir(artifacts_flag.as_deref(), no_cache);
+    Ok((cfg, no_timings))
 }
 
 fn main() -> ExitCode {
-    let cfg = match parse_args(PipelineConfig::smoke()) {
-        Ok(cfg) => cfg,
+    let (cfg, no_timings) = match parse_args(PipelineConfig::smoke()) {
+        Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("pipeline: {msg}");
             return ExitCode::FAILURE;
@@ -81,6 +97,11 @@ fn main() -> ExitCode {
         outcome.timings.train_s,
         outcome.timings.methodology_s,
     );
-    println!("{}", outcome_to_json(&outcome).dump());
+    let json = if no_timings {
+        outcome_to_json_stable(&outcome)
+    } else {
+        outcome_to_json(&outcome)
+    };
+    println!("{}", json.dump());
     ExitCode::SUCCESS
 }

@@ -1,30 +1,37 @@
 //! Training/evaluation throughput probe for the two reference models.
 //!
-//! Trains the small CapsNet on the MNIST-like benchmark and the small
-//! DeepCaps on the CIFAR-like benchmark and reports wall-clock times.
-//! Scale the run down for quick checks:
+//! Trains (or restores from the trained-artifact store) the small
+//! CapsNet on the MNIST-like benchmark and the small DeepCaps on the
+//! CIFAR-like benchmark and reports wall-clock times. Scale the run
+//! down for quick checks:
 //!
 //! ```text
 //! probe [--train N] [--test N] [--epochs N] [--quick]
+//!       [--artifacts DIR] [--no-cache]
 //! ```
 //!
 //! `--quick` is shorthand for `--train 100 --test 30 --epochs 1`.
+//! The store (default `.redcane-artifacts`, or `REDCANE_ARTIFACTS`)
+//! lets warm runs skip training entirely; `--no-cache` forces a cold
+//! run.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use redcane_bench::cli::{next_parsed, require_nonzero};
+use redcane_artifacts::{fingerprint, load_or_train, ArtifactKey, ArtifactPayload, ArtifactStore};
+use redcane_bench::cli::{next_parsed, next_value, require_nonzero};
 use redcane_capsnet::{
-    evaluate, inject::NoInjection, train, CapsNet, CapsNetConfig, DeepCaps, DeepCapsConfig,
-    TrainConfig,
+    evaluate, inject::NoInjection, train, CapsModel, CapsNet, CapsNetConfig, DeepCaps,
+    DeepCapsConfig, TrainConfig,
 };
-use redcane_datasets::{generate, Benchmark, GenerateConfig};
+use redcane_datasets::{generate, Benchmark, Dataset, GenerateConfig};
 use redcane_tensor::TensorRng;
 
 struct ProbeConfig {
     train: usize,
     test: usize,
     epochs: usize,
+    artifacts: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<ProbeConfig, String> {
@@ -32,7 +39,10 @@ fn parse_args() -> Result<ProbeConfig, String> {
         train: 1500,
         test: 300,
         epochs: 6,
+        artifacts: None,
     };
+    let mut artifacts_flag: Option<String> = None;
+    let mut no_cache = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -44,9 +54,14 @@ fn parse_args() -> Result<ProbeConfig, String> {
                 cfg.test = 30;
                 cfg.epochs = 1;
             }
+            "--artifacts" => artifacts_flag = Some(next_value(&mut args, "--artifacts")?),
+            "--no-cache" => no_cache = true,
             "--help" | "-h" => {
                 eprintln!("probe: train/evaluate throughput microbenchmark");
-                eprintln!("flags: --train N, --test N, --epochs N, --quick");
+                eprintln!(
+                    "flags: --train N, --test N, --epochs N, --quick, \
+                     --artifacts DIR, --no-cache"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag '{other}'")),
@@ -55,7 +70,50 @@ fn parse_args() -> Result<ProbeConfig, String> {
     // Scaled-down runs must not panic: training needs at least one
     // sample, and zero test samples simply evaluates to accuracy 0.
     require_nonzero(cfg.train, "--train")?;
+    cfg.artifacts = ArtifactStore::resolve_dir(artifacts_flag.as_deref(), no_cache);
     Ok(cfg)
+}
+
+/// Trains (or restores) one model through the store, evaluates, and
+/// prints its throughput line.
+#[allow(clippy::too_many_arguments)]
+fn probe_model<M: CapsModel + Clone + Send + Sync>(
+    label: &str,
+    model: &mut M,
+    arch: &str,
+    dataset: &Dataset,
+    test: &Dataset,
+    probe: &ProbeConfig,
+    tcfg: &TrainConfig,
+    store: Option<&ArtifactStore>,
+) {
+    let key = ArtifactKey::new(
+        arch,
+        label.split(' ').nth(1).unwrap_or(label),
+        1,
+        probe.epochs,
+        fingerprint(&format!(
+            "probe-v1;train={};test={}",
+            probe.train, probe.test
+        )),
+    );
+    let t0 = Instant::now();
+    let (payload, prov) = load_or_train(store, &key, model, |m| {
+        let report = train(m, dataset, tcfg);
+        ArtifactPayload {
+            epoch_losses: report.epoch_losses,
+            train_accuracy: report.train_accuracy,
+            ..ArtifactPayload::default()
+        }
+    });
+    let acc = evaluate(model, test, &mut NoInjection);
+    println!(
+        "{label}: {} train_acc={:.3} test_acc={:.3} in {:?}",
+        prov.label(),
+        payload.train_accuracy,
+        acc,
+        t0.elapsed()
+    );
 }
 
 fn main() -> ExitCode {
@@ -78,30 +136,33 @@ fn main() -> ExitCode {
         seed: 3,
         verbose: true,
     };
+    let store = probe.artifacts.as_ref().map(ArtifactStore::new);
 
     let pair = generate(Benchmark::MnistLike, &cfg);
     let mut rng = TensorRng::from_seed(42);
     let mut m = CapsNet::new(&CapsNetConfig::small(1, 16), &mut rng);
-    let t0 = Instant::now();
-    let rep = train(&mut m, &pair.train, &tcfg);
-    let acc = evaluate(&mut m, &pair.test, &mut NoInjection);
-    println!(
-        "CapsNet mnist-like: train_acc={:.3} test_acc={:.3} in {:?}",
-        rep.train_accuracy,
-        acc,
-        t0.elapsed()
+    probe_model(
+        "CapsNet mnist-like",
+        &mut m,
+        "capsnet",
+        &pair.train,
+        &pair.test,
+        &probe,
+        &tcfg,
+        store.as_ref(),
     );
 
     let pair = generate(Benchmark::Cifar10Like, &cfg);
     let mut m = DeepCaps::new(&DeepCapsConfig::small(3, 20), &mut rng);
-    let t0 = Instant::now();
-    let rep = train(&mut m, &pair.train, &tcfg);
-    let acc = evaluate(&mut m, &pair.test, &mut NoInjection);
-    println!(
-        "DeepCaps cifar-like: train_acc={:.3} test_acc={:.3} in {:?}",
-        rep.train_accuracy,
-        acc,
-        t0.elapsed()
+    probe_model(
+        "DeepCaps cifar-like",
+        &mut m,
+        "deepcaps",
+        &pair.train,
+        &pair.test,
+        &probe,
+        &tcfg,
+        store.as_ref(),
     );
     ExitCode::SUCCESS
 }

@@ -15,10 +15,17 @@
 //! qdp [--quick] [--benchmark mnist|fashion|svhn|cifar] [--seed N]
 //!     [--arch capsnet|deepcaps|both] [--components name,name,...]
 //!     [--heterogeneous | --no-heterogeneous] [--out PATH] [--threads N]
+//!     [--artifacts DIR] [--no-cache]
 //! ```
+//!
+//! Trained weights, calibrated ranges and the characterized `(NA, NM)`
+//! table go through the trained-artifact store (default
+//! `.redcane-artifacts`, or `REDCANE_ARTIFACTS`): warm runs restore
+//! instead of training. `--no-cache` forces a cold run.
 
 use std::process::ExitCode;
 
+use redcane_artifacts::ArtifactStore;
 use redcane_bench::cli::{next_parsed, next_value};
 use redcane_bench::qdp::{qdp_to_json_lines, run_qdp, QdpArch, QdpConfig};
 use redcane_datasets::Benchmark;
@@ -26,6 +33,8 @@ use redcane_datasets::Benchmark;
 fn main() -> ExitCode {
     let mut cfg = QdpConfig::smoke();
     let mut out_path: Option<String> = None;
+    let mut artifacts_flag: Option<String> = None;
+    let mut no_cache = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let parsed: Result<(), String> = match flag.as_str() {
@@ -90,6 +99,11 @@ fn main() -> ExitCode {
                 cfg.components = Some(v.split(',').map(|s| s.trim().to_string()).collect());
             }),
             "--out" => next_value(&mut args, "--out").map(|v| out_path = Some(v)),
+            "--artifacts" => next_value(&mut args, "--artifacts").map(|v| artifacts_flag = Some(v)),
+            "--no-cache" => {
+                no_cache = true;
+                Ok(())
+            }
             "--threads" => next_parsed(&mut args, "--threads")
                 .map(|v: usize| redcane_tensor::par::set_threads(v)),
             "--help" | "-h" => {
@@ -98,7 +112,8 @@ fn main() -> ExitCode {
                      and for the heterogeneous Step-6 design\n\
                      flags: --quick, --benchmark mnist|fashion|svhn|cifar, --seed N, \
                      --arch capsnet|deepcaps|both, --components a,b,..., \
-                     --heterogeneous, --no-heterogeneous, --out PATH, --threads N"
+                     --heterogeneous, --no-heterogeneous, --out PATH, --threads N, \
+                     --artifacts DIR, --no-cache"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -110,6 +125,7 @@ fn main() -> ExitCode {
         }
     }
 
+    cfg.artifacts = ArtifactStore::resolve_dir(artifacts_flag.as_deref(), no_cache);
     let outcome = run_qdp(&cfg);
     let lines: Vec<String> = qdp_to_json_lines(&outcome)
         .iter()
@@ -120,8 +136,9 @@ fn main() -> ExitCode {
     }
     for arch in &outcome.archs {
         eprintln!(
-            "[qdp] {}: {} component(s), float baseline {:.3}",
+            "[qdp] {}: {} ({} component(s), float baseline {:.3})",
             arch.arch.label(),
+            arch.provenance.label(),
             arch.rows.len(),
             arch.float_accuracy
         );

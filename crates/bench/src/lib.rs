@@ -15,6 +15,7 @@
 //! integration tests can run the exact same code path as the binary and
 //! parse the exact same JSON ([`outcome_to_json`]).
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 pub mod cli;
@@ -25,10 +26,13 @@ use redcane::prelude::*;
 use redcane::report::json::Value;
 use redcane::report::{group_slug, marking_to_json};
 use redcane::{SelectionConfig, SweepConfig};
+use redcane_artifacts::{
+    fingerprint, load_or_train, ArtifactKey, ArtifactPayload, ArtifactStore, Provenance,
+};
 use redcane_axmul::MultiplierLibrary;
 use redcane_capsnet::{evaluate_clean, train, CapsNet, CapsNetConfig, TrainConfig};
 use redcane_datasets::{generate, Benchmark, GenerateConfig};
-use redcane_qdp::QuantMeasured;
+use redcane_qdp::{calibrate_ranges, QuantMeasured, QuantRanges};
 use redcane_tensor::TensorRng;
 
 /// Everything a pipeline run needs; fully determined by its fields
@@ -62,6 +66,11 @@ pub struct PipelineConfig {
     /// calibrate the quantized datapath the Step-6 design is re-scored
     /// on.
     pub calib_samples: usize,
+    /// Trained-artifact store directory: restore the trained weights
+    /// and calibrated ranges when a valid entry exists, train (and
+    /// persist) otherwise. `None` disables the store (always train,
+    /// never save).
+    pub artifacts: Option<PathBuf>,
 }
 
 impl PipelineConfig {
@@ -82,6 +91,7 @@ impl PipelineConfig {
             threads: redcane_tensor::par::num_threads(),
             characterization_samples: 4000,
             calib_samples: 32,
+            artifacts: None,
         }
     }
 }
@@ -97,12 +107,13 @@ impl Default for PipelineConfig {
 pub struct StageTimings {
     /// Dataset generation.
     pub generate_s: f64,
-    /// Model construction + training.
+    /// Model construction + training + range calibration — or, on an
+    /// artifact-store hit, restoring all of it.
     pub train_s: f64,
     /// Accurate-network test evaluation.
     pub evaluate_s: f64,
-    /// Quantized-datapath calibration + lowering + LUT tabulation (the
-    /// measured backend the Step-6 design is re-scored on).
+    /// Quantized-datapath lowering + LUT tabulation (the measured
+    /// backend the Step-6 design is re-scored on).
     pub calibrate_s: f64,
     /// The six-step methodology (sweeps dominate).
     pub methodology_s: f64,
@@ -128,6 +139,10 @@ pub struct PipelineOutcome {
     pub report: RedCaNeReport,
     /// Per-stage wall-clock timings.
     pub timings: StageTimings,
+    /// Whether the model was trained this run or restored from the
+    /// artifact store. Deliberately **not** part of the JSON schema:
+    /// cold and warm runs must emit byte-identical artifacts.
+    pub provenance: Provenance,
 }
 
 /// Runs dataset generation → training → the six-step ReD-CaNe
@@ -157,39 +172,71 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> PipelineOutcome {
     let t = Instant::now();
     let mut rng = TensorRng::from_seed(cfg.seed.wrapping_mul(0x9e37_79b9).wrapping_add(7));
     let mut model = CapsNet::new(&CapsNetConfig::small(channels, height), &mut rng);
-    let train_report = train(
-        &mut model,
-        &pair.train,
-        &TrainConfig {
-            epochs: cfg.epochs,
-            batch_size: cfg.batch_size,
-            lr: cfg.lr,
-            seed: cfg.seed ^ 0x71a1,
-            verbose: false,
-        },
+
+    // Weights and calibrated ranges go through the trained-artifact
+    // store: restore when a valid entry exists, train-and-persist
+    // otherwise. The fingerprint pins every knob the trained content
+    // depends on (the sweep knobs deliberately don't invalidate it).
+    let store = cfg.artifacts.as_ref().map(ArtifactStore::new);
+    let key = ArtifactKey::new(
+        "capsnet",
+        cfg.benchmark.name(),
+        cfg.seed,
+        cfg.epochs,
+        fingerprint(&format!(
+            "pipeline-v1;train={};test={};batch={};lr={:08x};calib={}",
+            cfg.train,
+            cfg.test,
+            cfg.batch_size,
+            cfg.lr.to_bits(),
+            cfg.calib_samples.max(1)
+        )),
     );
+    let (payload, provenance) = load_or_train(store.as_ref(), &key, &mut model, |m| {
+        let report = train(
+            m,
+            &pair.train,
+            &TrainConfig {
+                epochs: cfg.epochs,
+                batch_size: cfg.batch_size,
+                lr: cfg.lr,
+                seed: cfg.seed ^ 0x71a1,
+                verbose: false,
+            },
+        );
+        let ranges = calibrate_ranges(
+            m,
+            pair.train
+                .samples
+                .iter()
+                .take(cfg.calib_samples.max(1))
+                .map(|s| &s.image),
+        )
+        .expect("calibration succeeds on trained activations");
+        ArtifactPayload {
+            epoch_losses: report.epoch_losses,
+            train_accuracy: report.train_accuracy,
+            ranges: ranges.to_entries(),
+            ..ArtifactPayload::default()
+        }
+    });
     let train_s = t.elapsed().as_secs_f64();
+    eprintln!("[pipeline] capsnet model: {}", provenance.label());
 
     let t = Instant::now();
     let test_accuracy = evaluate_clean(&model, &pair.test);
     let evaluate_s = t.elapsed().as_secs_f64();
 
-    // The measured backend: calibrate on clean training inputs, lower
-    // the trained network onto the quantized datapath once, tabulate
-    // the component library. Step 6's heterogeneous design is then
-    // re-scored on it — ground truth next to the noise forecast.
+    // The measured backend: lower the trained network onto the
+    // quantized datapath once with the (stored or freshly calibrated)
+    // ranges, tabulate the component library. Step 6's heterogeneous
+    // design is then re-scored on it — ground truth next to the noise
+    // forecast.
     let t = Instant::now();
     let library = MultiplierLibrary::evo_approx_like();
-    let measured = QuantMeasured::calibrated(
-        &mut model,
-        pair.train
-            .samples
-            .iter()
-            .take(cfg.calib_samples.max(1))
-            .map(|s| &s.image),
-        &library,
-    )
-    .expect("calibration succeeds on trained activations");
+    let ranges = QuantRanges::from_entries(&payload.ranges);
+    let measured = QuantMeasured::from_ranges(&model, &ranges, &library)
+        .expect("lowering succeeds on the calibrated ranges");
     let calibrate_s = t.elapsed().as_secs_f64();
 
     let t = Instant::now();
@@ -217,7 +264,7 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> PipelineOutcome {
     PipelineOutcome {
         config: cfg.clone(),
         test_accuracy,
-        final_train_loss: train_report.epoch_losses.last().copied().unwrap_or(0.0),
+        final_train_loss: payload.epoch_losses.last().copied().unwrap_or(0.0),
         report,
         timings: StageTimings {
             generate_s,
@@ -226,6 +273,7 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> PipelineOutcome {
             calibrate_s,
             methodology_s,
         },
+        provenance,
     }
 }
 
@@ -353,6 +401,22 @@ pub fn outcome_to_json(outcome: &PipelineOutcome) -> Value {
     ])
 }
 
+/// [`outcome_to_json`] without the wall-clock `timings_s` field: the
+/// byte-stable subset, identical between a cold (train) run and a warm
+/// (artifact-restore) run, at any thread count. CI's determinism checks
+/// `cmp` this form.
+pub fn outcome_to_json_stable(outcome: &PipelineOutcome) -> Value {
+    match outcome_to_json(outcome) {
+        Value::Obj(fields) => Value::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "timings_s")
+                .collect(),
+        ),
+        other => other,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,21 +497,46 @@ mod tests {
             threads: 2,
             ..PipelineConfig::smoke()
         };
-        let a = outcome_to_json(&run_pipeline(&cfg));
+        let a = outcome_to_json_stable(&run_pipeline(&cfg));
         let mut cfg_b = cfg.clone();
         cfg_b.threads = 1; // determinism must not depend on parallelism
-        let b = outcome_to_json(&run_pipeline(&cfg_b));
-        // Timings differ run to run; compare everything else.
-        let strip = |v: &Value| match v {
-            Value::Obj(fields) => Value::Obj(
-                fields
-                    .iter()
-                    .filter(|(k, _)| k != "timings_s")
-                    .cloned()
-                    .collect(),
-            ),
-            other => other.clone(),
+        let b = outcome_to_json_stable(&run_pipeline(&cfg_b));
+        // Timings differ run to run; the stable form strips them.
+        assert_eq!(a, b);
+    }
+
+    /// The artifact-store acceptance bar: a cold (train) run and a warm
+    /// (restore) run emit byte-identical stable JSON, and both match a
+    /// storeless run. The warm run must not train at all.
+    #[test]
+    fn cold_and_warm_runs_give_identical_json() {
+        let dir = std::env::temp_dir().join(format!(
+            "redcane-bench-pipeline-store-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = PipelineConfig {
+            train: 30,
+            test: 12,
+            epochs: 1,
+            characterization_samples: 500,
+            max_test_samples: Some(8),
+            nm_values: vec![0.5],
+            artifacts: Some(dir.clone()),
+            ..PipelineConfig::smoke()
         };
-        assert_eq!(strip(&a), strip(&b));
+        let cold = run_pipeline(&cfg);
+        assert_eq!(cold.provenance, Provenance::Trained);
+        let warm = run_pipeline(&cfg);
+        assert_eq!(warm.provenance, Provenance::Restored);
+        let uncached = run_pipeline(&PipelineConfig {
+            artifacts: None,
+            ..cfg.clone()
+        });
+        assert_eq!(uncached.provenance, Provenance::Trained);
+        let dump = |o: &PipelineOutcome| outcome_to_json_stable(o).dump();
+        assert_eq!(dump(&cold), dump(&warm));
+        assert_eq!(dump(&cold), dump(&uncached));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -6,10 +6,12 @@
 //! training epoch and the full seeded pipeline, which is the number the
 //! CI regression tripwire watches.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use redcane::datapath::DatapathAssignment;
 use redcane::report::json::Value;
+use redcane_artifacts::{fingerprint, ArtifactKey, ArtifactPayload, ArtifactStore};
 use redcane_axmul::LutCache;
 use redcane_capsnet::routing::{
     dynamic_routing, dynamic_routing_backward, reference as routing_reference,
@@ -287,8 +289,69 @@ fn epoch_probe() -> PerfProbe {
     }
 }
 
+/// Trained-artifact store probe: what restoring a trained model costs
+/// versus training it (the naive twin), on a scratch store under the
+/// temp dir. The load-vs-retrain win the CI tripwire watches: restore
+/// should be orders of magnitude (≥10×) faster than even one epoch.
+fn artifact_load_probe<M: CapsModel + Clone + Send + Sync>(
+    name: &str,
+    arch: &str,
+    mut model: M,
+    reps: usize,
+) -> PerfProbe {
+    let pair = generate(
+        Benchmark::MnistLike,
+        &GenerateConfig {
+            train: 120,
+            test: 1,
+            seed: 6,
+        },
+    );
+    let t = Instant::now();
+    let _ = train(
+        &mut model,
+        &pair.train,
+        &TrainConfig {
+            epochs: 1,
+            batch_size: 16,
+            lr: 2e-3,
+            seed: 3,
+            verbose: false,
+        },
+    );
+    let train_ns = t.elapsed().as_nanos() as f64;
+
+    let dir = std::env::temp_dir().join(format!(
+        "redcane-perf-artifacts-{arch}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ArtifactStore::new(dir.clone());
+    let key = ArtifactKey::new(
+        arch,
+        "mnist-like",
+        6,
+        1,
+        fingerprint("perf-artifact-load-v1"),
+    );
+    store
+        .save(&key, &mut model, &ArtifactPayload::default())
+        .expect("scratch store is writable");
+    let load_ns = time_ns(reps, || {
+        std::hint::black_box(store.load(&key, &mut model).expect("entry just saved"));
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    PerfProbe {
+        name: name.to_string(),
+        ns_per_op: load_ns,
+        naive_ns_per_op: Some(train_ns),
+    }
+}
+
 /// Runs every probe plus one full pipeline and assembles the report.
-pub fn run_perf(quick: bool) -> PerfReport {
+/// `artifacts` is threaded into the pipeline run's store setting, so a
+/// perf job on a warm store measures the restore path.
+pub fn run_perf(quick: bool, artifacts: Option<PathBuf>) -> PerfReport {
     let reps = if quick { 5 } else { 40 };
     let mut probes = vec![
         // The two GEMM shapes the small CapsNet actually runs, plus a
@@ -308,7 +371,20 @@ pub fn run_perf(quick: bool) -> PerfReport {
     probes.extend(routing_probes(reps));
     probes.extend(qdp_deepcaps_probes(reps));
     probes.push(epoch_probe());
+    probes.push(artifact_load_probe(
+        "artifact_load_capsnet",
+        "capsnet",
+        CapsNet::new(&CapsNetConfig::small(1, 16), &mut TensorRng::from_seed(83)),
+        reps,
+    ));
+    probes.push(artifact_load_probe(
+        "artifact_load_deepcaps_small",
+        "deepcaps",
+        DeepCaps::new(&DeepCapsConfig::small(1, 16), &mut TensorRng::from_seed(84)),
+        reps,
+    ));
     let mut cfg = PipelineConfig::smoke();
+    cfg.artifacts = artifacts;
     if quick {
         cfg.train = 60;
         cfg.test = 20;
@@ -368,7 +444,7 @@ mod tests {
 
     #[test]
     fn quick_perf_report_schema() {
-        let report = run_perf(true);
+        let report = run_perf(true, None);
         assert!(!report.probes.is_empty());
         assert!(report.pipeline_total_s > 0.0);
         let line = perf_to_json(&report).dump();
@@ -388,6 +464,8 @@ mod tests {
             "qdp_lower_deepcaps_small",
             "qdp_fwd_deepcaps_small",
             "qdp_fwd_batch_deepcaps_small",
+            "artifact_load_capsnet",
+            "artifact_load_deepcaps_small",
         ] {
             assert!(
                 kernels
@@ -397,5 +475,18 @@ mod tests {
             );
         }
         assert!(parsed.get("pipeline_total_s").unwrap().as_f64().is_some());
+        // The artifact-store win: restoring trained weights must beat
+        // even a single training epoch by a wide margin (the tripwire
+        // bar is 10×; in practice it is orders of magnitude).
+        for p in &report.probes {
+            if p.name.starts_with("artifact_load_") {
+                let speedup = p.speedup_vs_naive().expect("training twin timed");
+                assert!(
+                    speedup >= 10.0,
+                    "{} restore speedup only {speedup:.1}×",
+                    p.name
+                );
+            }
+        }
     }
 }

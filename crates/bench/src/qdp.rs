@@ -30,19 +30,24 @@
 //! the architecture tag and the component index, so the JSON output is
 //! byte-identical at every `REDCANE_THREADS` setting.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use redcane::datapath::{AccuracyBackend, DatapathAssignment, NoisePredicted};
 use redcane::report::group_slug;
 use redcane::report::json::Value;
 use redcane::{ApproxDesign, MethodologyConfig, RedCaNe, SelectionConfig, SweepConfig};
+use redcane_artifacts::{
+    fingerprint, load_or_train, ArtifactKey, ArtifactPayload, ArtifactStore, ComponentNoise,
+    Provenance,
+};
 use redcane_axmul::library::{ComponentEntry, MultiplierLibrary};
-use redcane_axmul::{InputDistribution, LutCache};
+use redcane_axmul::{InputDistribution, LutCache, NoiseParams};
 use redcane_capsnet::{
     evaluate_clean, train, CapsModel, CapsNet, CapsNetConfig, DeepCaps, DeepCapsConfig, TrainConfig,
 };
 use redcane_datasets::{generate, Benchmark, Dataset, DatasetPair, GenerateConfig};
-use redcane_qdp::{CalibrationObserver, QModel, QuantMeasured};
+use redcane_qdp::{CalibrationObserver, QModel, QuantMeasured, QuantRanges};
 use redcane_tensor::{par, TensorRng};
 
 /// Values retained per MAC-input site for the empirical operand pools.
@@ -115,6 +120,11 @@ pub struct QdpConfig {
     /// its heterogeneous Step-6 design on the measured backend (one
     /// extra JSON line per architecture).
     pub heterogeneous: bool,
+    /// Trained-artifact store directory: restore trained weights,
+    /// calibrated ranges, the characterized `(NA, NM)` table and the
+    /// calibration operand pool when a valid entry exists; train and
+    /// persist otherwise. `None` disables the store.
+    pub artifacts: Option<PathBuf>,
 }
 
 impl QdpConfig {
@@ -135,6 +145,7 @@ impl QdpConfig {
             components: None,
             characterization_samples: 4000,
             heterogeneous: true,
+            artifacts: None,
         }
     }
 
@@ -193,6 +204,11 @@ pub struct QdpArchOutcome {
     /// The methodology's winning heterogeneous design, scored on both
     /// backends (`None` unless `heterogeneous` was configured).
     pub design: Option<ApproxDesign>,
+    /// Whether this architecture's model was trained this run or
+    /// restored from the artifact store. Deliberately **not** part of
+    /// the JSON schema: cold and warm runs must emit byte-identical
+    /// artifacts.
+    pub provenance: Provenance,
 }
 
 impl QdpArchOutcome {
@@ -265,6 +281,7 @@ pub fn run_qdp(cfg: &QdpConfig) -> QdpOutcome {
     };
 
     let (channels, height, _) = cfg.benchmark.geometry();
+    let store = cfg.artifacts.as_ref().map(ArtifactStore::new);
     let archs = cfg
         .archs
         .iter()
@@ -277,11 +294,29 @@ pub fn run_qdp(cfg: &QdpConfig) -> QdpOutcome {
             match arch {
                 QdpArch::CapsNet => {
                     let model = CapsNet::new(&CapsNetConfig::small(channels, height), &mut rng);
-                    sweep_arch(cfg, arch, model, &pair, &library, &luts, &entries)
+                    sweep_arch(
+                        cfg,
+                        arch,
+                        model,
+                        &pair,
+                        &library,
+                        &luts,
+                        &entries,
+                        store.as_ref(),
+                    )
                 }
                 QdpArch::DeepCaps => {
                     let model = DeepCaps::new(&DeepCapsConfig::small(channels, height), &mut rng);
-                    sweep_arch(cfg, arch, model, &pair, &library, &luts, &entries)
+                    sweep_arch(
+                        cfg,
+                        arch,
+                        model,
+                        &pair,
+                        &library,
+                        &luts,
+                        &entries,
+                        store.as_ref(),
+                    )
                 }
             }
         })
@@ -294,9 +329,10 @@ pub fn run_qdp(cfg: &QdpConfig) -> QdpOutcome {
     }
 }
 
-/// Trains, calibrates, lowers **once**, and sweeps one architecture.
+/// Trains (or restores), lowers **once**, and sweeps one architecture.
 /// Generic over the concrete model so training and the noise-injected
 /// evaluation reuse the shared capsnet machinery.
+#[allow(clippy::too_many_arguments)]
 fn sweep_arch<M: CapsModel + Clone + Send + Sync + 'static>(
     cfg: &QdpConfig,
     arch: QdpArch,
@@ -305,51 +341,112 @@ fn sweep_arch<M: CapsModel + Clone + Send + Sync + 'static>(
     library: &MultiplierLibrary,
     luts: &LutCache,
     entries: &[&ComponentEntry],
+    store: Option<&ArtifactStore>,
 ) -> QdpArchOutcome {
-    train(
-        &mut model,
-        &pair.train,
-        &TrainConfig {
-            epochs: cfg.epochs,
-            batch_size: cfg.batch_size,
-            lr: cfg.lr,
-            seed: cfg.seed ^ 0x71a1,
-            verbose: false,
-        },
+    // Everything seed-determined and expensive goes through the
+    // artifact store: trained weights, calibrated ranges, the
+    // calibration operand pool and the full library's characterized
+    // `(NA, NM)` table. The fingerprint pins the training/calibration
+    // knobs; the component subset and evaluation knobs deliberately
+    // don't invalidate it.
+    let key = ArtifactKey::new(
+        arch.label(),
+        cfg.benchmark.name(),
+        cfg.seed,
+        cfg.epochs,
+        fingerprint(&format!(
+            "qdp-v1;train={};test={};batch={};lr={:08x};calib={}",
+            cfg.train,
+            cfg.test,
+            cfg.batch_size,
+            cfg.lr.to_bits(),
+            cfg.calib_samples
+        )),
     );
+    let (payload, provenance) = load_or_train(store, &key, &mut model, |m| {
+        let report = train(
+            m,
+            &pair.train,
+            &TrainConfig {
+                epochs: cfg.epochs,
+                batch_size: cfg.batch_size,
+                lr: cfg.lr,
+                seed: cfg.seed ^ 0x71a1,
+                verbose: false,
+            },
+        );
+        // Calibrate through the generic pipeline, retaining MAC-input
+        // samples for the empirical operand pools.
+        let mut obs = CalibrationObserver::with_samples(CALIB_SAMPLES_PER_SITE);
+        for sample in pair.train.samples.iter().take(cfg.calib_samples) {
+            let _ = m.forward(&sample.image, &mut obs);
+        }
+        let ranges = obs
+            .ranges(8)
+            .expect("calibration succeeds on trained activations");
+        let activations = obs.sampled_input_codes(&ranges);
+        // Characterize the WHOLE library over this run's empirical
+        // distribution, so later runs with any `--components` subset
+        // restore their `(NA, NM)` rows from the same table.
+        let qmodel = QModel::lower(m, &ranges).expect("every site calibrated");
+        let dist = operand_distribution(activations.clone(), &qmodel);
+        let noise_table = library
+            .iter()
+            .map(|entry| {
+                let np = entry.characterize(&dist, cfg.characterization_samples, cfg.seed ^ 0xc0de);
+                ComponentNoise {
+                    component: entry.name().to_string(),
+                    samples: cfg.characterization_samples as u64,
+                    na: np.na,
+                    nm: np.nm,
+                }
+            })
+            .collect();
+        ArtifactPayload {
+            epoch_losses: report.epoch_losses,
+            train_accuracy: report.train_accuracy,
+            ranges: ranges.to_entries(),
+            noise_table,
+            activation_codes: activations,
+        }
+    });
+
     let eval = pair.test.take(cfg.eval_samples);
     let float_accuracy = evaluate_clean(&model, &eval);
     eprintln!(
-        "[qdp] trained {} — float baseline {:.3} on {} samples",
+        "[qdp] {} {} — float baseline {:.3} on {} samples",
+        provenance.label(),
         model.name(),
         float_accuracy,
         eval.len()
     );
 
-    // Calibrate through the generic pipeline, retaining MAC-input
-    // samples for the empirical operand pools.
-    let mut obs = CalibrationObserver::with_samples(CALIB_SAMPLES_PER_SITE);
-    for sample in pair.train.samples.iter().take(cfg.calib_samples) {
-        let _ = model.forward(&sample.image, &mut obs);
-    }
-    let ranges = obs
-        .ranges(8)
-        .expect("calibration succeeds on trained activations");
+    // Lower the (trained or restored) network once; rebuild the
+    // paper's "Real ΔX" operand distribution from the stored activation
+    // pool plus the (deterministic) quantized weight codes.
+    let ranges = QuantRanges::from_entries(&payload.ranges);
     let qmodel = QModel::lower(&model, &ranges).expect("every site calibrated");
+    let dist = operand_distribution(payload.activation_codes.clone(), &qmodel);
 
-    // The paper's "Real ΔX": characterize each component over operands
-    // actually seen by the datapath — quantized activation codes from
-    // calibration against quantized weight codes — instead of uniform.
-    let activations = obs.sampled_input_codes(&ranges);
-    let weights = qmodel.weight_code_sample(WEIGHT_POOL_CODES);
-    let dist = if activations.is_empty() || weights.is_empty() {
-        InputDistribution::Uniform
-    } else {
-        InputDistribution::Empirical {
-            activations,
-            weights,
-        }
-    };
+    // Per-component noise parameters come from the stored table; a row
+    // missing there (e.g. the table was characterized with a different
+    // sample count) is characterized live — same numbers, just not
+    // cached.
+    let nanm: Vec<NoiseParams> = entries
+        .iter()
+        .map(|entry| {
+            payload
+                .noise_table
+                .iter()
+                .find(|c| {
+                    c.component == entry.name() && c.samples == cfg.characterization_samples as u64
+                })
+                .map(|c| NoiseParams { na: c.na, nm: c.nm })
+                .unwrap_or_else(|| {
+                    entry.characterize(&dist, cfg.characterization_samples, cfg.seed ^ 0xc0de)
+                })
+        })
+        .collect();
 
     // One lowered program + the shared component tables: every uniform
     // row, the design re-score, and every worker thread use the same
@@ -363,7 +460,7 @@ fn sweep_arch<M: CapsModel + Clone + Send + Sync + 'static>(
         &measured,
         &eval,
         entries,
-        &dist,
+        &nanm,
     );
     for row in &rows {
         eprintln!(
@@ -418,6 +515,23 @@ fn sweep_arch<M: CapsModel + Clone + Send + Sync + 'static>(
         float_accuracy,
         rows,
         design,
+        provenance,
+    }
+}
+
+/// The empirical operand distribution for component characterization:
+/// quantized activation codes retained during calibration against the
+/// lowered program's quantized weight codes; uniform when either pool
+/// is empty.
+fn operand_distribution(activations: Vec<u8>, qmodel: &QModel) -> InputDistribution {
+    let weights = qmodel.weight_code_sample(WEIGHT_POOL_CODES);
+    if activations.is_empty() || weights.is_empty() {
+        InputDistribution::Uniform
+    } else {
+        InputDistribution::Empirical {
+            activations,
+            weights,
+        }
     }
 }
 
@@ -433,7 +547,7 @@ fn sweep_components<M: CapsModel + Clone + Send + Sync>(
     measured: &QuantMeasured,
     eval: &Dataset,
     entries: &[&ComponentEntry],
-    dist: &InputDistribution,
+    nanm: &[NoiseParams],
 ) -> Vec<QdpRow> {
     par::map_with(
         entries.len(),
@@ -447,8 +561,9 @@ fn sweep_components<M: CapsModel + Clone + Send + Sync>(
                 .evaluate(model, eval, &assignment)
                 .expect("uniform assignment covers every site");
             // Predicted: the same assignment on the noise backend, with
-            // this component's characterized (NA, NM).
-            let np = entry.characterize(dist, cfg.characterization_samples, cfg.seed ^ 0xc0de);
+            // this component's characterized (NA, NM) from the shared
+            // (possibly artifact-restored) table.
+            let np = nanm[idx];
             let predictor = NoisePredicted::new(cfg.seed ^ 0x5eed ^ idx as u64 ^ (arch_tag << 32))
                 .with_component(entry.name(), np.nm, np.na);
             let predicted_accuracy = predictor
@@ -704,6 +819,41 @@ mod tests {
         let solo = run_qdp(&tiny(vec![QdpArch::DeepCaps]));
         assert_eq!(solo.archs[0].float_accuracy, both.archs[1].float_accuracy);
         assert_eq!(solo.archs[0].rows, both.archs[1].rows);
+    }
+
+    /// The artifact-store acceptance bar: a cold (train) run and a warm
+    /// (restore) run emit byte-identical JSON lines, and both match a
+    /// storeless run — heterogeneous design row included.
+    #[test]
+    fn cold_and_warm_runs_give_identical_json() {
+        let dir =
+            std::env::temp_dir().join(format!("redcane-bench-qdp-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = QdpConfig {
+            heterogeneous: true,
+            artifacts: Some(dir.clone()),
+            ..tiny(vec![QdpArch::CapsNet])
+        };
+        let dump = |cfg: &QdpConfig| {
+            let outcome = run_qdp(cfg);
+            let lines: Vec<String> = qdp_to_json_lines(&outcome)
+                .iter()
+                .map(|v| v.dump())
+                .collect();
+            (outcome.archs[0].provenance, lines.join("\n"))
+        };
+        let (cold_prov, cold) = dump(&cfg);
+        assert_eq!(cold_prov, Provenance::Trained);
+        let (warm_prov, warm) = dump(&cfg);
+        assert_eq!(warm_prov, Provenance::Restored);
+        let (uncached_prov, uncached) = dump(&QdpConfig {
+            artifacts: None,
+            ..cfg.clone()
+        });
+        assert_eq!(uncached_prov, Provenance::Trained);
+        assert_eq!(cold, warm, "restore changed the output");
+        assert_eq!(cold, uncached, "the store changed the output");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// The parallel component sweep must not change a single byte of

@@ -4,7 +4,7 @@
 
 use redcane::report::json;
 use redcane::Group;
-use redcane_bench::{outcome_to_json, run_pipeline, PipelineConfig};
+use redcane_bench::{outcome_to_json, outcome_to_json_stable, run_pipeline, PipelineConfig};
 use redcane_datasets::Benchmark;
 
 fn tiny_config() -> PipelineConfig {
@@ -21,6 +21,7 @@ fn tiny_config() -> PipelineConfig {
         threads: 4,
         characterization_samples: 2000,
         calib_samples: 16,
+        artifacts: None,
     }
 }
 
@@ -85,23 +86,10 @@ fn pipeline_json_is_bitwise_identical_across_worker_counts() {
         nm_values: vec![0.5, 0.005],
         ..tiny_config()
     };
-    let strip_timings = |line: &str| {
-        let parsed = json::parse(line).expect("valid JSON");
-        let json::Value::Obj(fields) = parsed else {
-            panic!("pipeline JSON must be an object");
-        };
-        json::Value::Obj(
-            fields
-                .into_iter()
-                .filter(|(k, _)| k != "timings_s")
-                .collect(),
-        )
-        .dump()
-    };
     redcane_tensor::par::set_threads(1);
-    let one = strip_timings(&outcome_to_json(&run_pipeline(&cfg)).dump());
+    let one = outcome_to_json_stable(&run_pipeline(&cfg)).dump();
     redcane_tensor::par::set_threads(4);
-    let four = strip_timings(&outcome_to_json(&run_pipeline(&cfg)).dump());
+    let four = outcome_to_json_stable(&run_pipeline(&cfg)).dump();
     redcane_tensor::par::set_threads(0);
     assert_eq!(one, four, "worker count must not perturb a single bit");
 }

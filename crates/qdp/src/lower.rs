@@ -182,6 +182,33 @@ impl QuantRanges {
         out.sort_by(|a, b| (a.0, a.1.label(), a.2).cmp(&(b.0, b.1.label(), b.2)));
         out
     }
+
+    /// Converts to the artifact store's portable rows, in the
+    /// deterministic [`QuantRanges::sites_sorted`] order.
+    pub fn to_entries(&self) -> Vec<redcane_artifacts::RangeEntry> {
+        self.sites_sorted()
+            .into_iter()
+            .map(
+                |(layer, kind, in_routing, params)| redcane_artifacts::RangeEntry {
+                    layer: layer.to_string(),
+                    kind,
+                    in_routing,
+                    params,
+                },
+            )
+            .collect()
+    }
+
+    /// Rebuilds a range map from artifact-store rows. Exact inverse of
+    /// [`QuantRanges::to_entries`]: `QuantParams` round-trips through
+    /// its `(min, max, bits)` triple bit for bit.
+    pub fn from_entries(entries: &[redcane_artifacts::RangeEntry]) -> Self {
+        let mut out = QuantRanges::new();
+        for e in entries {
+            out.insert(&e.layer, e.kind, e.in_routing, e.params);
+        }
+        out
+    }
 }
 
 /// Sweeps `images` through `model` with a [`CalibrationObserver`]
@@ -319,6 +346,17 @@ mod tests {
 
     fn p(min: f32, max: f32) -> QuantParams {
         QuantParams::from_range(min, max, 8).unwrap()
+    }
+
+    #[test]
+    fn ranges_round_trip_through_artifact_entries() {
+        let mut r = QuantRanges::new();
+        r.insert("Conv1", OpKind::MacOutput, false, p(-1.5, 2.5));
+        r.insert("ClassCaps", OpKind::Softmax, true, p(0.0, 1.0));
+        r.insert("ClassCaps", OpKind::LogitsUpdate, true, p(-8.0, 8.0));
+        let entries = r.to_entries();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(QuantRanges::from_entries(&entries), r);
     }
 
     #[test]

@@ -6,10 +6,11 @@
 //! different model.
 
 use redcane::datapath::AccuracyBackend;
+use redcane_artifacts::{fingerprint, ArtifactKey, ArtifactPayload, ArtifactStore};
 use redcane_axmul::MultiplierLibrary;
 use redcane_capsnet::{evaluate_clean, train, CapsModel, CapsNet, CapsNetConfig, TrainConfig};
 use redcane_datasets::{generate, Benchmark, GenerateConfig};
-use redcane_qdp::{DatapathAssignment, QuantMeasured};
+use redcane_qdp::{calibrate_ranges, DatapathAssignment, QuantMeasured, QuantRanges};
 use redcane_tensor::TensorRng;
 
 #[test]
@@ -24,17 +25,43 @@ fn quantized_exact_inference_matches_float_within_tolerance() {
     );
     let mut rng = TensorRng::from_seed(4500);
     let mut model = CapsNet::new(&CapsNetConfig::small(1, 16), &mut rng);
-    train(
-        &mut model,
-        &pair.train,
-        &TrainConfig {
-            epochs: 4,
-            batch_size: 16,
-            lr: 2e-3,
-            seed: 9,
-            verbose: false,
-        },
+
+    // Weights and calibrated ranges come from the trained-artifact
+    // store: the first run on a machine trains and persists them, later
+    // runs restore bit-identical weights without retraining. The
+    // fingerprint pins every knob below, so editing the test retrains.
+    let store = ArtifactStore::for_tests();
+    let key = ArtifactKey::new(
+        "capsnet",
+        "mnist-like",
+        45,
+        4,
+        fingerprint(
+            "e2e_quantized-v1;train=200;test=60;rng=4500;batch=16;lr=2e-3;tseed=9;calib=32",
+        ),
     );
+    let (payload, _prov) = store.load_or_train(&key, &mut model, |m| {
+        let report = train(
+            m,
+            &pair.train,
+            &TrainConfig {
+                epochs: 4,
+                batch_size: 16,
+                lr: 2e-3,
+                seed: 9,
+                verbose: false,
+            },
+        );
+        let ranges = calibrate_ranges(m, pair.train.samples.iter().take(32).map(|s| &s.image))
+            .expect("calibration succeeds on trained activations");
+        ArtifactPayload {
+            epoch_losses: report.epoch_losses,
+            train_accuracy: report.train_accuracy,
+            ranges: ranges.to_entries(),
+            ..ArtifactPayload::default()
+        }
+    });
+
     let eval = pair.test.take(50);
     let float_acc = evaluate_clean(&model, &eval);
     assert!(
@@ -42,17 +69,14 @@ fn quantized_exact_inference_matches_float_within_tolerance() {
         "float baseline must train well above 10% chance, got {float_acc}"
     );
 
-    // Calibrate on (clean) training inputs — the real input
-    // distribution — then lower through the generic pipeline and score
+    // The ranges were calibrated on (clean) training inputs — the real
+    // input distribution; lower through the generic pipeline and score
     // the same test set through the measured backend with the exact
     // multiplier at every site.
     let library = MultiplierLibrary::evo_approx_like();
-    let backend = QuantMeasured::calibrated(
-        &mut model,
-        pair.train.samples.iter().take(32).map(|s| &s.image),
-        &library,
-    )
-    .expect("calibration succeeds on trained activations");
+    let ranges = QuantRanges::from_entries(&payload.ranges);
+    let backend = QuantMeasured::from_ranges(&model, &ranges, &library)
+        .expect("lowering succeeds on stored ranges");
     let exact = DatapathAssignment::uniform("mul8u_1JFF");
     let quant_acc = backend.evaluate(&model, &eval, &exact).unwrap();
 
@@ -71,8 +95,8 @@ fn quantized_exact_inference_matches_float_within_tolerance() {
     }
     assert_eq!(quant_acc, float_acc);
 
-    // Seeded determinism: rebuilding and re-running reproduces the
-    // accuracy exactly.
+    // Seeded determinism: recalibrating live must reproduce the stored
+    // ranges' backend exactly — whether this run trained or restored.
     let backend2 = QuantMeasured::calibrated(
         &mut model,
         pair.train.samples.iter().take(32).map(|s| &s.image),

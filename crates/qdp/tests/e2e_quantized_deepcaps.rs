@@ -7,10 +7,11 @@
 //! execution of the same network rather than a different model.
 
 use redcane::datapath::AccuracyBackend;
+use redcane_artifacts::{fingerprint, ArtifactKey, ArtifactPayload, ArtifactStore};
 use redcane_axmul::MultiplierLibrary;
 use redcane_capsnet::{evaluate_clean, train, CapsModel, DeepCaps, DeepCapsConfig, TrainConfig};
 use redcane_datasets::{generate, Benchmark, GenerateConfig};
-use redcane_qdp::{DatapathAssignment, QuantMeasured};
+use redcane_qdp::{calibrate_ranges, DatapathAssignment, QuantMeasured, QuantRanges};
 use redcane_tensor::TensorRng;
 
 #[test]
@@ -25,17 +26,42 @@ fn quantized_deepcaps_matches_float_within_tolerance() {
     );
     let mut rng = TensorRng::from_seed(4300);
     let mut model = DeepCaps::new(&DeepCapsConfig::small(1, 16), &mut rng);
-    train(
-        &mut model,
-        &pair.train,
-        &TrainConfig {
-            epochs: 6,
-            batch_size: 16,
-            lr: 2e-3,
-            seed: 9,
-            verbose: false,
-        },
+
+    // Trained weights and calibrated ranges come from the
+    // trained-artifact store: first run trains and persists, later runs
+    // restore bit-identical weights with zero training epochs.
+    let store = ArtifactStore::for_tests();
+    let key = ArtifactKey::new(
+        "deepcaps",
+        "mnist-like",
+        43,
+        6,
+        fingerprint(
+            "e2e_quantized_deepcaps-v1;train=300;test=50;rng=4300;batch=16;lr=2e-3;tseed=9;calib=24",
+        ),
     );
+    let (payload, _prov) = store.load_or_train(&key, &mut model, |m| {
+        let report = train(
+            m,
+            &pair.train,
+            &TrainConfig {
+                epochs: 6,
+                batch_size: 16,
+                lr: 2e-3,
+                seed: 9,
+                verbose: false,
+            },
+        );
+        let ranges = calibrate_ranges(m, pair.train.samples.iter().take(24).map(|s| &s.image))
+            .expect("calibration succeeds on trained activations");
+        ArtifactPayload {
+            epoch_losses: report.epoch_losses,
+            train_accuracy: report.train_accuracy,
+            ranges: ranges.to_entries(),
+            ..ArtifactPayload::default()
+        }
+    });
+
     let eval = pair.test.take(40);
     let float_acc = evaluate_clean(&model, &eval);
     assert!(
@@ -43,16 +69,13 @@ fn quantized_deepcaps_matches_float_within_tolerance() {
         "float DeepCaps must train above 10% chance, got {float_acc}"
     );
 
-    // Calibrate on clean training inputs, lower every layer through
-    // the generic pipeline, score the test subset through the measured
-    // backend with the exact multiplier at every site.
+    // The ranges were calibrated on clean training inputs; lower every
+    // layer through the generic pipeline, score the test subset through
+    // the measured backend with the exact multiplier at every site.
     let library = MultiplierLibrary::evo_approx_like();
-    let backend = QuantMeasured::calibrated(
-        &mut model,
-        pair.train.samples.iter().take(24).map(|s| &s.image),
-        &library,
-    )
-    .expect("calibration succeeds on trained activations");
+    let ranges = QuantRanges::from_entries(&payload.ranges);
+    let backend = QuantMeasured::from_ranges(&model, &ranges, &library)
+        .expect("lowering succeeds on stored ranges");
     let exact = DatapathAssignment::uniform("mul8u_1JFF");
     let quant_acc = backend.evaluate(&model, &eval, &exact).unwrap();
 
@@ -71,8 +94,8 @@ fn quantized_deepcaps_matches_float_within_tolerance() {
     }
     assert_eq!(quant_acc, float_acc);
 
-    // Seeded determinism: rebuilding and re-running reproduces the
-    // accuracy exactly.
+    // Seeded determinism: recalibrating live must reproduce the stored
+    // ranges' backend exactly — whether this run trained or restored.
     let backend2 = QuantMeasured::calibrated(
         &mut model,
         pair.train.samples.iter().take(24).map(|s| &s.image),

@@ -102,6 +102,27 @@ pub trait Buf {
         self.copy_to_slice(&mut b);
         f32::from_le_bytes(b)
     }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        f64::from_le_bytes(b)
+    }
 }
 
 impl Buf for &[u8] {
@@ -136,6 +157,21 @@ pub trait BufMut {
     fn put_f32_le(&mut self, v: f32) {
         self.put_slice(&v.to_le_bytes());
     }
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
 }
 
 impl BufMut for BytesMut {
@@ -154,14 +190,20 @@ mod tests {
         w.put_slice(b"hdr!");
         w.put_u32_le(0xdead_beef);
         w.put_f32_le(1.5);
+        w.put_u8(7);
+        w.put_u64_le(u64::MAX - 1);
+        w.put_f64_le(-0.25);
         let frozen = w.freeze();
         let mut r: &[u8] = &frozen;
-        assert_eq!(r.remaining(), 12);
+        assert_eq!(r.remaining(), 29);
         let mut hdr = [0u8; 4];
         r.copy_to_slice(&mut hdr);
         assert_eq!(&hdr, b"hdr!");
         assert_eq!(r.get_u32_le(), 0xdead_beef);
         assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert_eq!(r.get_f64_le(), -0.25);
         assert_eq!(r.remaining(), 0);
     }
 
