@@ -41,7 +41,7 @@ mod format;
 mod store;
 
 pub use format::{
-    fingerprint, ArtifactError, ArtifactKey, ArtifactPayload, ComponentNoise, RangeEntry,
-    STORE_SCHEMA_VERSION,
+    fingerprint, ArtifactError, ArtifactKey, ArtifactPayload, ComponentNoise, FaultChar,
+    RangeEntry, STORE_SCHEMA_VERSION,
 };
 pub use store::{load_or_train, ArtifactStore, Provenance, DEFAULT_STORE_DIR, STORE_ENV_VAR};

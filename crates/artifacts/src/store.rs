@@ -1,8 +1,10 @@
 //! The store itself: a directory of artifact files plus the
 //! `load_or_train` entry point every consumer goes through.
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
 
 use redcane_capsnet::io::{weights_from_bytes, weights_to_bytes};
 use redcane_capsnet::CapsModel;
@@ -147,9 +149,12 @@ impl ArtifactStore {
 ///
 /// A rejected entry (corrupt, truncated, stale schema, wrong key,
 /// shape-mismatched weights) is reported on stderr with its named
-/// error, then retrained and overwritten. With `store == None`
-/// (`--no-cache`), `produce` always runs and nothing is written —
-/// bit-for-bit the same model and payload as a cache miss.
+/// error — **once per healed entry per process**, so a multi-model
+/// sweep tripping repeatedly over the same bad file names it exactly
+/// once in CI logs — then retrained and overwritten. With
+/// `store == None` (`--no-cache`), `produce` always runs and nothing
+/// is written — bit-for-bit the same model and payload as a cache
+/// miss.
 pub fn load_or_train<M, F>(
     store: Option<&ArtifactStore>,
     key: &ArtifactKey,
@@ -167,10 +172,14 @@ where
         Ok(payload) => (payload, Provenance::Restored),
         Err(err) => {
             if !is_not_found(&err) {
-                eprintln!(
-                    "artifact store: rejecting {} ({err}); retraining",
-                    store.path_for(key).display()
-                );
+                let path = store.path_for(key);
+                if first_heal_report(&path) {
+                    eprintln!(
+                        "artifact store: healing {}: rejected with `{err}`; \
+                         retraining and overwriting",
+                        path.display()
+                    );
+                }
             }
             let payload = produce(model);
             if let Err(err) = store.save(key, model, &payload) {
@@ -181,5 +190,33 @@ where
             }
             (payload, Provenance::Trained)
         }
+    }
+}
+
+/// Records that `path`'s rejection is about to be reported; `true` on
+/// the first call per path in this process, `false` after. Keeps heal
+/// reports to one line per entry however many consumers trip over the
+/// same bad file.
+fn first_heal_report(path: &Path) -> bool {
+    static REPORTED: OnceLock<Mutex<BTreeSet<PathBuf>>> = OnceLock::new();
+    REPORTED
+        .get_or_init(|| Mutex::new(BTreeSet::new()))
+        .lock()
+        .expect("heal-report set poisoned")
+        .insert(path.to_path_buf())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heal_reports_fire_once_per_path() {
+        let a = Path::new("/tmp/rcas-test/one.v2.rca");
+        let b = Path::new("/tmp/rcas-test/two.v2.rca");
+        assert!(first_heal_report(a), "first rejection of a path reports");
+        assert!(!first_heal_report(a), "repeat rejections stay silent");
+        assert!(first_heal_report(b), "a different path reports again");
+        assert!(!first_heal_report(b));
     }
 }

@@ -73,6 +73,52 @@ impl MulLut {
     pub fn description(&self) -> &str {
         &self.description
     }
+
+    /// Derives a **faulted view** of this table: a new table modeling
+    /// the same multiplier with broken operand latches and/or a broken
+    /// product array. `map_a` / `map_b` remap the left / right operand
+    /// code as the faulty latch presents it to the array; `map_out`
+    /// then remaps each tabulated product, keyed by the table-entry
+    /// index `(a << 8) | b` so output faults can be realized
+    /// per-entry. Identity closures reproduce the base table
+    /// byte-for-byte.
+    ///
+    /// The fault semantics themselves (bit flips, stuck lanes, …) live
+    /// upstream — this crate only composes the remaps into a table the
+    /// kernels can run at full speed.
+    pub fn faulted_view(
+        &self,
+        description_suffix: &str,
+        map_a: impl Fn(u8) -> u8,
+        map_b: impl Fn(u8) -> u8,
+        map_out: impl Fn(u32, u16) -> u16,
+    ) -> MulLut {
+        let mut table = vec![0u16; 65536].into_boxed_slice();
+        for a in 0..=255u16 {
+            let fa = map_a(a as u8);
+            for b in 0..=255u16 {
+                let idx = ((a as usize) << 8) | b as usize;
+                let base = self.mul(fa, map_b(b as u8));
+                table[idx] = map_out(idx as u32, base);
+            }
+        }
+        MulLut {
+            table: table.try_into().expect("sized 65536"),
+            description: format!("{} [{}]", self.description, description_suffix),
+        }
+    }
+
+    /// `true` when every tabulated product is zero — a dead multiplier
+    /// array. Used by fail-soft datapaths to detect sites that cannot
+    /// produce signal and fall back to a working component.
+    pub fn is_dead(&self) -> bool {
+        self.table.iter().all(|&v| v == 0)
+    }
+
+    /// `true` when this table is entry-for-entry identical to `other`.
+    pub fn same_table(&self, other: &MulLut) -> bool {
+        self.table[..] == other.table[..]
+    }
 }
 
 impl std::fmt::Debug for MulLut {
@@ -236,6 +282,41 @@ mod tests {
         let err = LutCache::for_components(&lib, ["mul8u_nope"]).unwrap_err();
         assert_eq!(err.component, "mul8u_nope");
         assert!(err.to_string().contains("mul8u_nope"));
+    }
+
+    #[test]
+    fn faulted_view_with_identity_maps_reproduces_the_base_table() {
+        let lib = MultiplierLibrary::evo_approx_like();
+        let base = MulLut::tabulate(lib.find("mul8u_NGR").unwrap().model());
+        let view = base.faulted_view("identity", |a| a, |b| b, |_, v| v);
+        assert!(view.same_table(&base));
+        assert!(view.description().contains("identity"));
+        assert!(!base.is_dead());
+    }
+
+    #[test]
+    fn faulted_view_composes_operand_and_output_maps() {
+        let base = MulLut::exact();
+        // Left operand stuck at 0: every product collapses to mul(0, b).
+        let dead_a = base.faulted_view("a=0", |_| 0, |b| b, |_, v| v);
+        assert!(dead_a.is_dead());
+        // Output low bit stuck at 1.
+        let sticky = base.faulted_view("out|1", |a| a, |b| b, |_, v| v | 1);
+        assert_eq!(sticky.mul(3, 4), 13);
+        assert_eq!(sticky.mul(3, 5), 15);
+        // Right-operand remap hits the column, not the row.
+        let b_high = base.faulted_view("b|0x80", |a| a, |b| b | 0x80, |_, v| v);
+        assert_eq!(b_high.mul(2, 1), 2 * 129);
+        assert_eq!(b_high.mul(2, 0x81), 2 * 129);
+        // The entry index handed to map_out addresses (a << 8) | b.
+        let keyed = base.faulted_view(
+            "entry",
+            |a| a,
+            |b| b,
+            |idx, v| if idx == ((7 << 8) | 9) { 999 } else { v },
+        );
+        assert_eq!(keyed.mul(7, 9), 999);
+        assert_eq!(keyed.mul(9, 7), 63);
     }
 
     #[test]

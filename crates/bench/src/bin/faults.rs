@@ -1,0 +1,150 @@
+//! Seeded fault-injection resilience sweep across the quantized
+//! datapath, for both of the paper's architectures.
+//!
+//! Trains (or restores) the small CapsNet and DeepCaps, lowers each
+//! onto the exact 8-bit datapath, then injects one discrete fault at a
+//! time — weight-code stuck bits, multiplier bit flips, accumulator
+//! stuck lanes, activation flips, dead multiplier arrays — at every
+//! swept `(layer, op, in-routing)` site and measures the faulted
+//! accuracy. One JSON line per trial plus one `site_criticality`
+//! summary line per site, to stdout (progress goes to stderr). Usage:
+//!
+//! ```text
+//! faults [--quick] [--benchmark mnist|fashion|svhn|cifar] [--seed N]
+//!        [--arch capsnet|deepcaps|both] [--fail-soft] [--max-sites N]
+//!        [--out PATH] [--threads N] [--artifacts DIR] [--no-cache]
+//! ```
+//!
+//! `--fail-soft` downgrades sites a plan leaves dead to the exact
+//! multiplier (the row reports the downgrade); without it, dead-site
+//! trials record the backend's refusal. The trained-artifact store is
+//! shared with the `qdp` bench: a warm run restores the same weights,
+//! ranges and characterization tables instead of training.
+
+use std::process::ExitCode;
+
+use redcane_artifacts::ArtifactStore;
+use redcane_bench::cli::{next_parsed, next_value};
+use redcane_bench::faults::{faults_to_json_lines, run_faults, FaultsConfig};
+use redcane_bench::qdp::QdpArch;
+use redcane_datasets::Benchmark;
+
+fn main() -> ExitCode {
+    let mut cfg = FaultsConfig::smoke();
+    let mut out_path: Option<String> = None;
+    let mut artifacts_flag: Option<String> = None;
+    let mut no_cache = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let parsed: Result<(), String> = match flag.as_str() {
+            "--quick" => {
+                // Keep any --seed/--benchmark/--arch/--fail-soft/
+                // --max-sites given before the flag; --quick only
+                // rescales the run.
+                cfg = FaultsConfig {
+                    benchmark: cfg.benchmark,
+                    seed: cfg.seed,
+                    archs: cfg.archs,
+                    fail_soft: cfg.fail_soft,
+                    max_sites: cfg.max_sites.or(FaultsConfig::quick().max_sites),
+                    ..FaultsConfig::quick()
+                };
+                Ok(())
+            }
+            "--fail-soft" => {
+                cfg.fail_soft = true;
+                Ok(())
+            }
+            "--benchmark" => next_value(&mut args, "--benchmark").and_then(|v| match v.as_str() {
+                "mnist" => {
+                    cfg.benchmark = Benchmark::MnistLike;
+                    Ok(())
+                }
+                "fashion" => {
+                    cfg.benchmark = Benchmark::FashionLike;
+                    Ok(())
+                }
+                "svhn" => {
+                    cfg.benchmark = Benchmark::SvhnLike;
+                    Ok(())
+                }
+                "cifar" => {
+                    cfg.benchmark = Benchmark::Cifar10Like;
+                    Ok(())
+                }
+                other => Err(format!("unknown benchmark '{other}'")),
+            }),
+            "--arch" => next_value(&mut args, "--arch").and_then(|v| match v.as_str() {
+                "capsnet" => {
+                    cfg.archs = vec![QdpArch::CapsNet];
+                    Ok(())
+                }
+                "deepcaps" => {
+                    cfg.archs = vec![QdpArch::DeepCaps];
+                    Ok(())
+                }
+                "both" => {
+                    cfg.archs = vec![QdpArch::CapsNet, QdpArch::DeepCaps];
+                    Ok(())
+                }
+                other => Err(format!("unknown arch '{other}'")),
+            }),
+            "--seed" => next_parsed(&mut args, "--seed").map(|v| cfg.seed = v),
+            "--max-sites" => {
+                next_parsed(&mut args, "--max-sites").map(|v: usize| cfg.max_sites = Some(v))
+            }
+            "--out" => next_value(&mut args, "--out").map(|v| out_path = Some(v)),
+            "--artifacts" => next_value(&mut args, "--artifacts").map(|v| artifacts_flag = Some(v)),
+            "--no-cache" => {
+                no_cache = true;
+                Ok(())
+            }
+            "--threads" => next_parsed(&mut args, "--threads")
+                .map(|v: usize| redcane_tensor::par::set_threads(v)),
+            "--help" | "-h" => {
+                eprintln!(
+                    "faults: per-site bit-flip / stuck-at / dead-output resilience \
+                     analysis across the quantized datapath\n\
+                     flags: --quick, --benchmark mnist|fashion|svhn|cifar, --seed N, \
+                     --arch capsnet|deepcaps|both, --fail-soft, --max-sites N, \
+                     --out PATH, --threads N, --artifacts DIR, --no-cache"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag '{other}'")),
+        };
+        if let Err(msg) = parsed {
+            eprintln!("faults: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    cfg.artifacts = ArtifactStore::resolve_dir(artifacts_flag.as_deref(), no_cache);
+    let outcome = run_faults(&cfg);
+    let lines: Vec<String> = faults_to_json_lines(&outcome)
+        .iter()
+        .map(|v| v.dump())
+        .collect();
+    for line in &lines {
+        println!("{line}");
+    }
+    for arch in &outcome.archs {
+        eprintln!(
+            "[faults] {}: {} ({} trial(s) over {} site(s), baseline {:.3})",
+            arch.arch.label(),
+            arch.provenance.label(),
+            arch.trials.len(),
+            arch.sites.len(),
+            arch.baseline_accuracy
+        );
+    }
+    eprintln!("[faults] total {:.2}s", outcome.total_s);
+    if let Some(path) = out_path {
+        let body = lines.join("\n") + "\n";
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("faults: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,1021 @@
+//! The `faults` bench mode: per-site criticality of discrete hardware
+//! faults across the quantized datapath, for both of the paper's
+//! architectures.
+//!
+//! Where the `qdp` bench validates the paper's *Gaussian* error model
+//! against measured accuracy, this bench exercises the second error
+//! model family (`redcane::faults`): transient bit flips, permanently
+//! stuck bit lanes and dead multiplier arrays, injected one site at a
+//! time into an otherwise **exact** quantized datapath. Every trial
+//! builds a single-site [`FaultPlan`], layers a [`FaultMeasured`]
+//! backend over the shared lowered program and measures what the
+//! faulted hardware actually scores:
+//!
+//! - **weight-code stuck-at-1 per bit index** — the classic
+//!   critical-bit analysis: which stored-weight bit, when stuck,
+//!   costs the most accuracy (the MSB-adjacent bits should dominate);
+//! - **multiplier bit flips** at a grid of bit error rates;
+//! - **accumulator stuck lanes** at high bit indices (32-bit datapath);
+//! - **activation-register bit flips**;
+//! - **a dead multiplier array** — with `fail_soft`, the site
+//!   downgrades to the exact multiplier and the row reports the
+//!   downgrade; without it, the row records the refusal
+//!   ([`BackendError::DeadSite`]) instead of an accuracy.
+//!
+//! Each fault model is additionally *characterized* — mean and RMS
+//! product error over the run's empirical operand pools, normalized by
+//! the full-scale product — mirroring the `(NA, NM)` characterization
+//! of approximate components; the table is cached in the same
+//! trained-artifact entry the `qdp` bench uses ([`TrainKnobs`]).
+//!
+//! One JSON line per trial plus one `site_criticality` summary line
+//! per site (max/mean drop, critical weight bit). Trials fan out over
+//! [`par::map_with`] workers; every quantity derives only from the
+//! seed, the architecture tag, the site index and the trial index, so
+//! the output is byte-identical at every `REDCANE_THREADS` setting.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use redcane::datapath::{AccuracyBackend, DatapathAssignment, SiteKey};
+use redcane::faults::{mix64, FaultModel, FaultPlan, FaultTarget, SiteFault};
+use redcane::report::json::Value;
+use redcane_artifacts::{load_or_train, ArtifactStore, FaultChar, Provenance};
+use redcane_axmul::{LutCache, MultiplierLibrary};
+use redcane_capsnet::{CapsModel, CapsNet, CapsNetConfig, DeepCaps, DeepCapsConfig, OpKind};
+use redcane_datasets::{generate, Benchmark, DatasetPair, GenerateConfig};
+use redcane_qdp::{FaultMeasured, QModel, QuantMeasured, QuantRanges};
+use redcane_tensor::{par, TensorRng};
+
+use crate::qdp::{QdpArch, TrainKnobs, WEIGHT_POOL_CODES};
+
+/// The exact multiplier every non-faulted site runs: fault trials
+/// measure the fault's own effect, not an approximate component's.
+const EXACT_COMPONENT: &str = "mul8u_1JFF";
+
+/// Full-scale 8×8-bit product, the characterization normalizer.
+const FULL_SCALE: f64 = 65025.0;
+
+/// Configuration of a `faults` resilience sweep; fully determined by
+/// its fields, so equal configs give equal outcomes.
+#[derive(Debug, Clone)]
+pub struct FaultsConfig {
+    /// Which benchmark family to synthesize.
+    pub benchmark: Benchmark,
+    /// Master seed (dataset, init, training, fault realizations).
+    pub seed: u64,
+    /// Architectures to sweep, in output order.
+    pub archs: Vec<QdpArch>,
+    /// Training samples to generate.
+    pub train: usize,
+    /// Test samples to generate.
+    pub test: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Clean training inputs swept through the float network to
+    /// calibrate the quantization ranges.
+    pub calib_samples: usize,
+    /// Test-subset size every trial evaluates on.
+    pub eval_samples: usize,
+    /// Samples per fault-model characterization.
+    pub characterization_samples: usize,
+    /// Weight-code stuck-at-1 bit indices (the critical-bit grid);
+    /// only sites backed by weight memory get these trials.
+    pub stuck_bits: Vec<u32>,
+    /// Multiplier bit-flip error rates.
+    pub bers: Vec<f64>,
+    /// Accumulator stuck-at-1 bit indices (32-bit datapath).
+    pub acc_bits: Vec<u32>,
+    /// Activation-register bit-flip error rates.
+    pub act_bers: Vec<f64>,
+    /// Include one dead-multiplier trial per site.
+    pub dead: bool,
+    /// Cap on sites swept per architecture (`None` = every site); the
+    /// skipped count is logged and reported per architecture.
+    pub max_sites: Option<usize>,
+    /// Downgrade dead sites to the exact multiplier (and report the
+    /// downgrade) instead of refusing to evaluate.
+    pub fail_soft: bool,
+    /// Trained-artifact store directory (shared with the `qdp` bench);
+    /// `None` disables the store.
+    pub artifacts: Option<PathBuf>,
+}
+
+impl FaultsConfig {
+    /// The full seeded sweep: every datapath site of both
+    /// architectures under the whole fault grid.
+    pub fn smoke() -> Self {
+        FaultsConfig {
+            benchmark: Benchmark::MnistLike,
+            seed: 1,
+            archs: vec![QdpArch::CapsNet, QdpArch::DeepCaps],
+            train: 600,
+            test: 150,
+            epochs: 6,
+            batch_size: 16,
+            lr: 2e-3,
+            calib_samples: 64,
+            eval_samples: 40,
+            characterization_samples: 4000,
+            stuck_bits: (0..8).collect(),
+            bers: vec![1e-3, 1e-2, 5e-2],
+            acc_bits: vec![8, 16, 24, 30],
+            act_bers: vec![1e-2],
+            dead: true,
+            max_sites: None,
+            fail_soft: false,
+            artifacts: None,
+        }
+    }
+
+    /// CI-sized: scaled-down training matching `QdpConfig::quick()` —
+    /// so CI's qdp-trained artifacts warm this bench — a thinned fault
+    /// grid, and the first few sites per architecture.
+    pub fn quick() -> Self {
+        FaultsConfig {
+            train: 200,
+            test: 60,
+            epochs: 3,
+            calib_samples: 32,
+            eval_samples: 30,
+            characterization_samples: 2000,
+            stuck_bits: vec![0, 3, 7],
+            bers: vec![1e-2],
+            acc_bits: vec![24],
+            act_bers: vec![1e-2],
+            max_sites: Some(3),
+            ..FaultsConfig::smoke()
+        }
+    }
+}
+
+impl Default for FaultsConfig {
+    fn default() -> Self {
+        FaultsConfig::smoke()
+    }
+}
+
+/// The canonical fault-model set the trained-artifact store caches a
+/// characterization for: the smoke grid. Runs whose grids subset it
+/// (like `quick()`) restore every row; anything else is characterized
+/// live — same numbers, just not cached.
+pub(crate) fn canonical_faults() -> Vec<SiteFault> {
+    trial_faults(&FaultsConfig::smoke(), true)
+}
+
+/// The per-site trial list: one [`SiteFault`] per grid point.
+/// `weight_memory` gates the weight-code trials — routing MACs stream
+/// both operands, so there is no stored code for a stuck cell to
+/// corrupt.
+fn trial_faults(cfg: &FaultsConfig, weight_memory: bool) -> Vec<SiteFault> {
+    let mut out = Vec::new();
+    if weight_memory {
+        for &bit in &cfg.stuck_bits {
+            out.push(SiteFault::new(
+                FaultTarget::WeightCodes,
+                FaultModel::StuckAt {
+                    lanes: 1 << bit,
+                    value: true,
+                },
+            ));
+        }
+    }
+    for &ber in &cfg.bers {
+        out.push(SiteFault::new(
+            FaultTarget::Multiplier,
+            FaultModel::BitFlip { ber },
+        ));
+    }
+    for &bit in &cfg.acc_bits {
+        out.push(SiteFault::new(
+            FaultTarget::Accumulator,
+            FaultModel::StuckAt {
+                lanes: 1 << bit,
+                value: true,
+            },
+        ));
+    }
+    for &ber in &cfg.act_bers {
+        out.push(SiteFault::new(
+            FaultTarget::ActivationCodes,
+            FaultModel::BitFlip { ber },
+        ));
+    }
+    if cfg.dead {
+        out.push(SiteFault::new(
+            FaultTarget::Multiplier,
+            FaultModel::DeadOutput,
+        ));
+    }
+    out
+}
+
+/// Draws one operand code from a pool (uniform byte when empty).
+fn draw(pool: &[u8], word: u64) -> u32 {
+    if pool.is_empty() {
+        (word & 0xff) as u32
+    } else {
+        u32::from(pool[(word % pool.len() as u64) as usize])
+    }
+}
+
+/// Characterizes one fault model over the empirical operand pools:
+/// mean and RMS error of the faulted single-MAC product against the
+/// exact product, normalized by the full-scale product — the discrete
+/// family's analogue of an approximate component's `(NA, NM)`.
+///
+/// The realization seed derives from the fault's spec string, never
+/// from a site: the characterization is a property of the fault model,
+/// cacheable under its spec alone.
+pub fn characterize_fault(
+    fault: &SiteFault,
+    activations: &[u8],
+    weights: &[u8],
+    samples: usize,
+    seed: u64,
+) -> FaultChar {
+    let spec = fault.spec();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in spec.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    let rseed = mix64(seed, h, 0);
+    let (mut sum, mut sum_sq) = (0.0f64, 0.0f64);
+    for i in 0..samples {
+        let i = i as u64;
+        let a = draw(activations, mix64(seed, i, 1));
+        let b = draw(weights, mix64(seed, i, 2));
+        let exact = a * b;
+        let faulted = match fault.target {
+            FaultTarget::WeightCodes => a * fault.model.apply(b, 8, rseed, i),
+            FaultTarget::ActivationCodes => fault.model.apply(a, 8, rseed, i) * b,
+            FaultTarget::Multiplier => fault.model.apply(exact, 16, rseed, i),
+            FaultTarget::Accumulator => fault.model.apply(exact, 32, rseed, i),
+        };
+        let err = (i64::from(faulted) - i64::from(exact)) as f64 / FULL_SCALE;
+        sum += err;
+        sum_sq += err * err;
+    }
+    let n = samples.max(1) as f64;
+    FaultChar {
+        spec,
+        samples: samples as u64,
+        mean_err: sum / n,
+        rms_err: (sum_sq / n).sqrt(),
+    }
+}
+
+/// Characterizes the whole canonical fault set — the table
+/// [`TrainKnobs::produce`] stores next to the `(NA, NM)` noise table.
+pub(crate) fn characterize_canonical(
+    activations: &[u8],
+    weights: &[u8],
+    samples: usize,
+    seed: u64,
+) -> Vec<FaultChar> {
+    canonical_faults()
+        .iter()
+        .map(|f| characterize_fault(f, activations, weights, samples, seed))
+        .collect()
+}
+
+/// One fault trial: a single-site plan, its characterization, and what
+/// the faulted datapath scored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultTrial {
+    /// The injected site.
+    pub site: SiteKey,
+    /// The injected fault.
+    pub fault: SiteFault,
+    /// The trial's plan seed (fault realizations derive from it).
+    pub plan_seed: u64,
+    /// The fault model's operand-pool characterization.
+    pub characterization: FaultChar,
+    /// Accuracy of the faulted datapath on the eval subset; `None`
+    /// when the backend refused (strict mode, dead site).
+    pub accuracy: Option<f64>,
+    /// Sites downgraded to the exact multiplier (fail-soft only).
+    pub downgraded: Vec<SiteKey>,
+    /// The refusal, verbatim, when `accuracy` is `None`.
+    pub error: Option<String>,
+}
+
+/// One site's criticality summary over its trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteCriticality {
+    /// The summarized site.
+    pub site: SiteKey,
+    /// Trials run at this site.
+    pub trials: usize,
+    /// The weight bit whose stuck-at-1 fault cost the most accuracy
+    /// (`None` for sites without weight memory).
+    pub critical_bit: Option<u32>,
+    /// That bit's accuracy drop in percentage points.
+    pub critical_bit_drop_pp: Option<f64>,
+    /// Worst accuracy drop over all scored trials, in pp.
+    pub max_drop_pp: f64,
+    /// Mean accuracy drop over all scored trials, in pp.
+    pub mean_drop_pp: f64,
+}
+
+/// One architecture's full resilience sweep.
+#[derive(Debug, Clone)]
+pub struct FaultsArchOutcome {
+    /// The architecture swept.
+    pub arch: QdpArch,
+    /// Model display name.
+    pub model_name: String,
+    /// Fault-free accuracy of the exact quantized datapath on the eval
+    /// subset — the baseline every drop is measured against.
+    pub baseline_accuracy: f64,
+    /// All trials: sites in program order, grid order within a site.
+    pub trials: Vec<FaultTrial>,
+    /// Per-site summaries, in program order.
+    pub sites: Vec<SiteCriticality>,
+    /// Sites beyond `max_sites` that were NOT swept.
+    pub skipped_sites: usize,
+    /// Trained this run or restored from the artifact store. Not part
+    /// of the JSON schema: cold and warm runs must emit byte-identical
+    /// artifacts.
+    pub provenance: Provenance,
+}
+
+/// The result of one full `faults` run.
+#[derive(Debug, Clone)]
+pub struct FaultsOutcome {
+    /// The configuration that produced it.
+    pub config: FaultsConfig,
+    /// One sweep per configured architecture, in `config.archs` order.
+    pub archs: Vec<FaultsArchOutcome>,
+    /// Total wall-clock seconds.
+    pub total_s: f64,
+}
+
+/// Runs dataset generation → training (or restore) → the per-site
+/// fault-injection sweep for every configured architecture,
+/// deterministically from `cfg.seed` (and independent of the
+/// worker-thread count).
+///
+/// # Panics
+///
+/// Panics on empty train/test/eval/arch settings or an empty fault
+/// grid.
+pub fn run_faults(cfg: &FaultsConfig) -> FaultsOutcome {
+    assert!(cfg.train > 0, "faults needs training samples");
+    assert!(
+        cfg.test > 0 && cfg.eval_samples > 0,
+        "faults needs test samples"
+    );
+    assert!(
+        !trial_faults(cfg, true).is_empty(),
+        "faults needs a non-empty fault grid"
+    );
+    assert!(
+        !cfg.archs.is_empty(),
+        "faults needs at least one architecture"
+    );
+    let t0 = Instant::now();
+
+    let pair = generate(
+        cfg.benchmark,
+        &GenerateConfig {
+            train: cfg.train,
+            test: cfg.test,
+            seed: cfg.seed,
+        },
+    );
+    let library = MultiplierLibrary::evo_approx_like();
+    let luts = LutCache::tabulate_all(&library);
+    let (channels, height, _) = cfg.benchmark.geometry();
+    let store = cfg.artifacts.as_ref().map(ArtifactStore::new);
+
+    let archs = cfg
+        .archs
+        .iter()
+        .map(|&arch| {
+            // Same per-arch init seed as the qdp bench: the shared
+            // artifact key must describe the same trained model.
+            let mut rng = TensorRng::from_seed(
+                cfg.seed
+                    .wrapping_mul(0x9e37_79b9)
+                    .wrapping_add(7 + arch.seed_tag()),
+            );
+            match arch {
+                QdpArch::CapsNet => {
+                    let model = CapsNet::new(&CapsNetConfig::small(channels, height), &mut rng);
+                    sweep_arch(cfg, arch, model, &pair, &library, &luts, store.as_ref())
+                }
+                QdpArch::DeepCaps => {
+                    let model = DeepCaps::new(&DeepCapsConfig::small(channels, height), &mut rng);
+                    sweep_arch(cfg, arch, model, &pair, &library, &luts, store.as_ref())
+                }
+            }
+        })
+        .collect();
+
+    FaultsOutcome {
+        config: cfg.clone(),
+        archs,
+        total_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Trains (or restores), lowers once, and runs one architecture's
+/// fault sweep.
+fn sweep_arch<M: CapsModel + Clone + Send + Sync + 'static>(
+    cfg: &FaultsConfig,
+    arch: QdpArch,
+    mut model: M,
+    pair: &DatasetPair,
+    library: &MultiplierLibrary,
+    luts: &LutCache,
+    store: Option<&ArtifactStore>,
+) -> FaultsArchOutcome {
+    let knobs = TrainKnobs {
+        benchmark: cfg.benchmark,
+        seed: cfg.seed,
+        train: cfg.train,
+        test: cfg.test,
+        epochs: cfg.epochs,
+        batch_size: cfg.batch_size,
+        lr: cfg.lr,
+        calib_samples: cfg.calib_samples,
+        characterization_samples: cfg.characterization_samples,
+        library,
+    };
+    let key = knobs.key(arch);
+    let (payload, provenance) = load_or_train(store, &key, &mut model, |m| knobs.produce(m, pair));
+
+    let eval = pair.test.take(cfg.eval_samples);
+    let ranges = QuantRanges::from_entries(&payload.ranges);
+    let qmodel = QModel::lower(&model, &ranges).expect("every site calibrated");
+    let all_sites = qmodel.multiply_sites();
+    let (sites, skipped_sites) = match cfg.max_sites {
+        Some(n) if all_sites.len() > n => (all_sites[..n].to_vec(), all_sites.len() - n),
+        _ => (all_sites, 0),
+    };
+    let weights_pool = qmodel.weight_code_sample(WEIGHT_POOL_CODES);
+    let measured = QuantMeasured::new(qmodel, luts.clone());
+    let assignment = DatapathAssignment::uniform(EXACT_COMPONENT);
+    let baseline_accuracy = measured
+        .evaluate(&model, &eval, &assignment)
+        .expect("uniform exact assignment covers every site");
+    eprintln!(
+        "[faults] {} {} — exact-datapath baseline {:.3} on {} samples, {} site(s){}",
+        provenance.label(),
+        model.name(),
+        baseline_accuracy,
+        eval.len(),
+        sites.len(),
+        if skipped_sites > 0 {
+            format!(" ({skipped_sites} skipped by --max-sites)")
+        } else {
+            String::new()
+        }
+    );
+
+    // Weight-code faults only make sense where a stored code backs the
+    // MAC: the non-routing MacOutput sites.
+    let trial_lists: Vec<Vec<SiteFault>> = sites
+        .iter()
+        .map(|(_, kind, in_routing)| trial_faults(cfg, *kind == OpKind::MacOutput && !in_routing))
+        .collect();
+
+    // Characterize each distinct fault spec once, preferring the
+    // cached table (stored at the same characterization sample count).
+    let mut chars: BTreeMap<String, FaultChar> = BTreeMap::new();
+    for fault in trial_lists.iter().flatten() {
+        let spec = fault.spec();
+        if let std::collections::btree_map::Entry::Vacant(slot) = chars.entry(spec) {
+            let cached = payload
+                .fault_table
+                .iter()
+                .find(|c| c.spec == *slot.key() && c.samples == cfg.characterization_samples as u64)
+                .cloned();
+            slot.insert(cached.unwrap_or_else(|| {
+                characterize_fault(
+                    fault,
+                    &payload.activation_codes,
+                    &weights_pool,
+                    cfg.characterization_samples,
+                    cfg.seed ^ 0xfa17,
+                )
+            }));
+        }
+    }
+
+    // Flatten (site, trial) and fan out. Every per-trial quantity
+    // derives only from (seed, arch identity, site index, trial
+    // index) — never from the worker that computed it.
+    let flat: Vec<(usize, usize)> = trial_lists
+        .iter()
+        .enumerate()
+        .flat_map(|(si, list)| (0..list.len()).map(move |ti| (si, ti)))
+        .collect();
+    let trials: Vec<FaultTrial> = par::map_with(
+        flat.len(),
+        || (),
+        |(), k| {
+            let (si, ti) = flat[k];
+            let (layer, kind, in_routing) = &sites[si];
+            let fault = &trial_lists[si][ti];
+            let plan_seed = mix64(
+                cfg.seed ^ 0xfa17_5eed,
+                (arch.seed_tag() << 32) | si as u64,
+                ti as u64,
+            );
+            let plan = FaultPlan::identity(plan_seed).with(
+                layer.clone(),
+                *kind,
+                *in_routing,
+                fault.clone(),
+            );
+            let backend = FaultMeasured::over(&measured, plan, cfg.fail_soft);
+            let (accuracy, downgraded, error) = match backend.evaluate(&model, &eval, &assignment) {
+                Ok(acc) => {
+                    let downgraded = backend
+                        .downgraded_sites(&assignment)
+                        .expect("evaluation already resolved this assignment");
+                    (Some(acc), downgraded, None)
+                }
+                Err(e) => (None, Vec::new(), Some(e.to_string())),
+            };
+            FaultTrial {
+                site: sites[si].clone(),
+                fault: fault.clone(),
+                plan_seed,
+                characterization: chars[&fault.spec()].clone(),
+                accuracy,
+                downgraded,
+                error,
+            }
+        },
+    );
+
+    let sites = summarize_sites(&sites, &trial_lists, &trials, baseline_accuracy);
+    for s in &sites {
+        eprintln!(
+            "[faults] {} {:<12} {:>12}{}  max drop {:+.1} pp  mean {:+.1} pp{}",
+            arch.label(),
+            s.site.0,
+            op_slug(s.site.1),
+            if s.site.2 { "@routing" } else { "" },
+            s.max_drop_pp,
+            s.mean_drop_pp,
+            match s.critical_bit {
+                Some(bit) => format!("  critical weight bit {bit}"),
+                None => String::new(),
+            }
+        );
+    }
+
+    FaultsArchOutcome {
+        arch,
+        model_name: model.name(),
+        baseline_accuracy,
+        trials,
+        sites,
+        skipped_sites,
+        provenance,
+    }
+}
+
+/// Folds an architecture's trials into per-site criticality summaries.
+fn summarize_sites(
+    sites: &[SiteKey],
+    trial_lists: &[Vec<SiteFault>],
+    trials: &[FaultTrial],
+    baseline: f64,
+) -> Vec<SiteCriticality> {
+    let mut out = Vec::with_capacity(sites.len());
+    let mut cursor = 0;
+    for (si, site) in sites.iter().enumerate() {
+        let n = trial_lists[si].len();
+        let slice = &trials[cursor..cursor + n];
+        cursor += n;
+        let drops: Vec<f64> = slice
+            .iter()
+            .filter_map(|t| t.accuracy.map(|a| (baseline - a) * 100.0))
+            .collect();
+        let (mut critical_bit, mut critical_drop) = (None, f64::NEG_INFINITY);
+        for t in slice {
+            if let (FaultTarget::WeightCodes, FaultModel::StuckAt { lanes, .. }, Some(acc)) =
+                (t.fault.target, t.fault.model, t.accuracy)
+            {
+                let drop = (baseline - acc) * 100.0;
+                if drop > critical_drop {
+                    critical_drop = drop;
+                    critical_bit = Some(lanes.trailing_zeros());
+                }
+            }
+        }
+        out.push(SiteCriticality {
+            site: site.clone(),
+            trials: n,
+            critical_bit,
+            critical_bit_drop_pp: critical_bit.map(|_| critical_drop),
+            max_drop_pp: drops.iter().copied().fold(0.0, f64::max),
+            mean_drop_pp: if drops.is_empty() {
+                0.0
+            } else {
+                drops.iter().sum::<f64>() / drops.len() as f64
+            },
+        });
+    }
+    out
+}
+
+/// Stable slug per [`OpKind`], matching the core fault-plan schema.
+fn op_slug(kind: OpKind) -> &'static str {
+    match kind {
+        OpKind::MacOutput => "mac_output",
+        OpKind::Activation => "activation",
+        OpKind::Softmax => "softmax",
+        OpKind::LogitsUpdate => "logits_update",
+        OpKind::MacInput => "mac_input",
+    }
+}
+
+/// A site key as a self-contained JSON object.
+fn site_to_json(site: &SiteKey) -> Value {
+    Value::Obj(vec![
+        ("layer".into(), Value::from(site.0.clone())),
+        ("op".into(), Value::from(op_slug(site.1))),
+        ("in_routing".into(), Value::Bool(site.2)),
+    ])
+}
+
+/// The fields every `faults` JSON line leads with.
+fn row_head(cfg: &FaultsConfig, arch: &FaultsArchOutcome, row: &str) -> Vec<(String, Value)> {
+    vec![
+        ("bench".into(), Value::from("faults")),
+        ("schema_version".into(), Value::from(1usize)),
+        ("row".into(), Value::from(row)),
+        ("benchmark".into(), Value::from(cfg.benchmark.name())),
+        // String: u64 seeds above 2^53 would round through a JSON number.
+        ("seed".into(), Value::from(cfg.seed.to_string())),
+        ("arch".into(), Value::from(arch.arch.label())),
+        ("model".into(), Value::from(arch.model_name.clone())),
+        ("fail_soft".into(), Value::Bool(cfg.fail_soft)),
+        ("eval_samples".into(), Value::from(cfg.eval_samples)),
+        (
+            "baseline_accuracy".into(),
+            Value::from(arch.baseline_accuracy),
+        ),
+    ]
+}
+
+/// Serializes one trial as a self-contained JSON line.
+pub fn fault_trial_to_json(cfg: &FaultsConfig, arch: &FaultsArchOutcome, t: &FaultTrial) -> Value {
+    let mut fields = row_head(cfg, arch, "trial");
+    fields.extend([
+        ("layer".into(), Value::from(t.site.0.clone())),
+        ("op".into(), Value::from(op_slug(t.site.1))),
+        ("in_routing".into(), Value::Bool(t.site.2)),
+        ("target".into(), Value::from(t.fault.target.label())),
+        ("fault".into(), Value::from(t.fault.model.label())),
+        ("spec".into(), Value::from(t.fault.spec())),
+        ("plan_seed".into(), Value::from(t.plan_seed.to_string())),
+        (
+            "char_samples".into(),
+            Value::from(t.characterization.samples as usize),
+        ),
+        (
+            "char_mean_err".into(),
+            Value::from(t.characterization.mean_err),
+        ),
+        (
+            "char_rms_err".into(),
+            Value::from(t.characterization.rms_err),
+        ),
+        (
+            "accuracy".into(),
+            match t.accuracy {
+                Some(a) => Value::from(a),
+                None => Value::Null,
+            },
+        ),
+        (
+            "drop_pp".into(),
+            match t.accuracy {
+                Some(a) => Value::from((arch.baseline_accuracy - a) * 100.0),
+                None => Value::Null,
+            },
+        ),
+        (
+            "downgraded".into(),
+            Value::Arr(t.downgraded.iter().map(site_to_json).collect()),
+        ),
+        (
+            "error".into(),
+            match &t.error {
+                Some(e) => Value::from(e.clone()),
+                None => Value::Null,
+            },
+        ),
+    ]);
+    Value::Obj(fields)
+}
+
+/// Serializes one site's criticality summary as a JSON line.
+pub fn site_criticality_to_json(
+    cfg: &FaultsConfig,
+    arch: &FaultsArchOutcome,
+    s: &SiteCriticality,
+) -> Value {
+    let mut fields = row_head(cfg, arch, "site_criticality");
+    fields.extend([
+        ("layer".into(), Value::from(s.site.0.clone())),
+        ("op".into(), Value::from(op_slug(s.site.1))),
+        ("in_routing".into(), Value::Bool(s.site.2)),
+        ("trials".into(), Value::from(s.trials)),
+        (
+            "critical_bit".into(),
+            match s.critical_bit {
+                Some(b) => Value::from(b as usize),
+                None => Value::Null,
+            },
+        ),
+        (
+            "critical_bit_drop_pp".into(),
+            match s.critical_bit_drop_pp {
+                Some(d) => Value::from(d),
+                None => Value::Null,
+            },
+        ),
+        ("max_drop_pp".into(), Value::from(s.max_drop_pp)),
+        ("mean_drop_pp".into(), Value::from(s.mean_drop_pp)),
+        ("skipped_sites".into(), Value::from(arch.skipped_sites)),
+    ]);
+    Value::Obj(fields)
+}
+
+/// All rows of an outcome as JSON lines: architectures in config
+/// order; within each, every site's trial rows (grid order) followed
+/// by its `site_criticality` summary row.
+pub fn faults_to_json_lines(outcome: &FaultsOutcome) -> Vec<Value> {
+    let mut lines = Vec::new();
+    for arch in &outcome.archs {
+        let mut cursor = 0;
+        for s in &arch.sites {
+            for t in &arch.trials[cursor..cursor + s.trials] {
+                lines.push(fault_trial_to_json(&outcome.config, arch, t));
+            }
+            cursor += s.trials;
+            lines.push(site_criticality_to_json(&outcome.config, arch, s));
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcane::report::json;
+
+    /// Serializes tests that mutate the process-wide thread override.
+    static THREADS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn tiny(archs: Vec<QdpArch>) -> FaultsConfig {
+        FaultsConfig {
+            archs,
+            train: 60,
+            test: 24,
+            epochs: 1,
+            calib_samples: 8,
+            eval_samples: 12,
+            characterization_samples: 500,
+            stuck_bits: vec![3, 7],
+            bers: vec![5e-2],
+            acc_bits: vec![30],
+            act_bers: vec![],
+            dead: true,
+            max_sites: Some(2),
+            fail_soft: true,
+            ..FaultsConfig::smoke()
+        }
+    }
+
+    #[test]
+    fn characterization_orders_fault_severity_sensibly() {
+        let acts: Vec<u8> = (0..=255).collect();
+        let weights: Vec<u8> = (0..=255).rev().collect();
+        let char_of = |fault: &SiteFault| characterize_fault(fault, &acts, &weights, 2000, 9);
+        let identity = char_of(&SiteFault::new(
+            FaultTarget::Multiplier,
+            FaultModel::BitFlip { ber: 0.0 },
+        ));
+        assert_eq!((identity.mean_err, identity.rms_err), (0.0, 0.0));
+        let dead = char_of(&SiteFault::new(
+            FaultTarget::Multiplier,
+            FaultModel::DeadOutput,
+        ));
+        assert!(dead.mean_err < 0.0, "dead outputs only lose magnitude");
+        let low_bit = char_of(&SiteFault::new(
+            FaultTarget::WeightCodes,
+            FaultModel::StuckAt {
+                lanes: 1 << 0,
+                value: true,
+            },
+        ));
+        let high_bit = char_of(&SiteFault::new(
+            FaultTarget::WeightCodes,
+            FaultModel::StuckAt {
+                lanes: 1 << 7,
+                value: true,
+            },
+        ));
+        assert!(
+            high_bit.rms_err > low_bit.rms_err,
+            "MSB stuck-at must out-err LSB: {} vs {}",
+            high_bit.rms_err,
+            low_bit.rms_err
+        );
+        // Determinism: same inputs, same numbers.
+        assert_eq!(
+            char_of(&SiteFault::new(
+                FaultTarget::Multiplier,
+                FaultModel::BitFlip { ber: 0.01 }
+            )),
+            char_of(&SiteFault::new(
+                FaultTarget::Multiplier,
+                FaultModel::BitFlip { ber: 0.01 }
+            )),
+        );
+    }
+
+    #[test]
+    fn canonical_set_covers_the_quick_grid() {
+        let canonical: Vec<String> = canonical_faults().iter().map(SiteFault::spec).collect();
+        let quick = FaultsConfig::quick();
+        for fault in trial_faults(&quick, true) {
+            assert!(
+                canonical.contains(&fault.spec()),
+                "quick trial {} not cached by the canonical table",
+                fault.spec()
+            );
+        }
+    }
+
+    #[test]
+    fn faults_emits_trial_and_site_rows_with_failsoft_downgrades() {
+        let outcome = run_faults(&tiny(vec![QdpArch::CapsNet]));
+        let arch = &outcome.archs[0];
+        assert_eq!(arch.sites.len(), 2, "max_sites caps the sweep");
+        assert!(arch.skipped_sites > 0, "CapsNet has more than two sites");
+        // Both swept sites are weight-memory MAC sites: full grid.
+        assert_eq!(arch.trials.len(), 2 * 5, "2 sites x (2+1+1+1) trials");
+
+        let lines = faults_to_json_lines(&outcome);
+        assert_eq!(lines.len(), 10 + 2, "trial rows + site summary rows");
+        for line in &lines {
+            let dumped = line.dump();
+            assert!(!dumped.contains('\n'), "one line per row");
+            let parsed = json::parse(&dumped).unwrap();
+            for key in [
+                "bench",
+                "schema_version",
+                "row",
+                "arch",
+                "layer",
+                "op",
+                "in_routing",
+                "fail_soft",
+                "baseline_accuracy",
+            ] {
+                assert!(parsed.get(key).is_some(), "missing key {key}");
+            }
+            assert_eq!(parsed.get("bench").unwrap().as_str().unwrap(), "faults");
+        }
+
+        // The dead-multiplier trial downgraded (fail-soft) to the exact
+        // component — which IS the assignment, so the accuracy must be
+        // bit-identical to the baseline.
+        let dead: Vec<&FaultTrial> = arch
+            .trials
+            .iter()
+            .filter(|t| t.fault.model == FaultModel::DeadOutput)
+            .collect();
+        assert_eq!(dead.len(), 2, "one dead trial per site");
+        for t in dead {
+            assert_eq!(t.accuracy, Some(arch.baseline_accuracy));
+            assert_eq!(t.downgraded, vec![t.site.clone()]);
+            assert!(t.error.is_none());
+        }
+
+        // Site summaries carry the critical-bit analysis, and the
+        // high bit dominates the low bit.
+        for s in &arch.sites {
+            assert!(s.critical_bit.is_some(), "weight-memory site");
+            assert!(s.trials == 5);
+        }
+    }
+
+    #[test]
+    fn strict_mode_reports_dead_sites_as_errors() {
+        let cfg = FaultsConfig {
+            fail_soft: false,
+            ..tiny(vec![QdpArch::CapsNet])
+        };
+        let outcome = run_faults(&cfg);
+        let arch = &outcome.archs[0];
+        for t in &arch.trials {
+            if t.fault.model == FaultModel::DeadOutput {
+                assert_eq!(t.accuracy, None);
+                let err = t.error.as_deref().expect("strict refusal recorded");
+                assert!(err.contains("dead"), "{err}");
+            } else {
+                assert!(t.accuracy.is_some(), "{:?}", t.fault);
+                assert!(t.error.is_none());
+            }
+        }
+        // The refusal lands in the JSON row, not a crash.
+        let lines = faults_to_json_lines(&outcome);
+        let dead_line = lines
+            .iter()
+            .map(|l| json::parse(&l.dump()).unwrap())
+            .find(|p| {
+                p.get("fault")
+                    .and_then(Value::as_str)
+                    .is_some_and(|f| f == "dead")
+            })
+            .expect("dead trial serialized");
+        assert!(dead_line.get("accuracy").unwrap().as_f64().is_none());
+        assert!(dead_line.get("error").unwrap().as_str().is_some());
+    }
+
+    /// Per-arch seeds key on the architecture's identity, so a
+    /// deepcaps-only run reproduces exactly the deepcaps rows of a
+    /// both-arch run at the same seed.
+    #[test]
+    fn single_arch_run_reproduces_the_both_arch_rows() {
+        let both = run_faults(&tiny(vec![QdpArch::CapsNet, QdpArch::DeepCaps]));
+        let solo = run_faults(&tiny(vec![QdpArch::DeepCaps]));
+        assert_eq!(
+            solo.archs[0].baseline_accuracy,
+            both.archs[1].baseline_accuracy
+        );
+        assert_eq!(solo.archs[0].trials, both.archs[1].trials);
+        assert_eq!(solo.archs[0].sites, both.archs[1].sites);
+    }
+
+    /// The artifact-store acceptance bar: a cold (train) run and a warm
+    /// (restore) run emit byte-identical JSON lines, and both match a
+    /// storeless run — fault-characterization caching included.
+    #[test]
+    fn cold_and_warm_runs_give_identical_json() {
+        let dir =
+            std::env::temp_dir().join(format!("redcane-bench-faults-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = FaultsConfig {
+            artifacts: Some(dir.clone()),
+            ..tiny(vec![QdpArch::CapsNet])
+        };
+        let dump = |cfg: &FaultsConfig| {
+            let outcome = run_faults(cfg);
+            let lines: Vec<String> = faults_to_json_lines(&outcome)
+                .iter()
+                .map(|v| v.dump())
+                .collect();
+            (outcome.archs[0].provenance, lines.join("\n"))
+        };
+        let (cold_prov, cold) = dump(&cfg);
+        assert_eq!(cold_prov, Provenance::Trained);
+        let (warm_prov, warm) = dump(&cfg);
+        assert_eq!(warm_prov, Provenance::Restored);
+        let (uncached_prov, uncached) = dump(&FaultsConfig {
+            artifacts: None,
+            ..cfg.clone()
+        });
+        assert_eq!(uncached_prov, Provenance::Trained);
+        assert_eq!(cold, warm, "restore changed the output");
+        assert_eq!(cold, uncached, "the store changed the output");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The parallel trial sweep must not change a single byte of the
+    /// output: equal seeds give equal JSON at every thread count.
+    #[test]
+    fn json_is_byte_identical_across_thread_counts() {
+        let _guard = THREADS_LOCK.lock().unwrap();
+        let cfg = tiny(vec![QdpArch::CapsNet]);
+        let dump = |threads: usize| {
+            par::set_threads(threads);
+            let lines: Vec<String> = faults_to_json_lines(&run_faults(&cfg))
+                .iter()
+                .map(|v| v.dump())
+                .collect();
+            par::set_threads(0);
+            lines.join("\n")
+        };
+        let serial = dump(1);
+        let parallel = dump(3);
+        assert_eq!(serial, parallel, "thread count leaked into the rows");
+    }
+}

@@ -19,6 +19,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 pub mod cli;
+pub mod faults;
 pub mod perf;
 pub mod qdp;
 

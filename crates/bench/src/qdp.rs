@@ -53,7 +53,7 @@ use redcane_tensor::{par, TensorRng};
 /// Values retained per MAC-input site for the empirical operand pools.
 const CALIB_SAMPLES_PER_SITE: usize = 512;
 /// Cap on the quantized-weight operand pool.
-const WEIGHT_POOL_CODES: usize = 4096;
+pub(crate) const WEIGHT_POOL_CODES: usize = 4096;
 
 /// Which architecture a `qdp` sweep runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,7 +77,7 @@ impl QdpArch {
     /// its position in `QdpConfig::archs`), so `--arch deepcaps`
     /// reproduces exactly the deepcaps rows of an `--arch both` run at
     /// the same seed.
-    fn seed_tag(&self) -> u64 {
+    pub(crate) fn seed_tag(&self) -> u64 {
         match self {
             QdpArch::CapsNet => 0,
             QdpArch::DeepCaps => 1,
@@ -329,6 +329,125 @@ pub fn run_qdp(cfg: &QdpConfig) -> QdpOutcome {
     }
 }
 
+/// The training/calibration knobs the `qdp` and `faults` benches
+/// share. Both derive the same artifact key from them, so one trained
+/// artifact — weights, calibrated ranges, the calibration operand
+/// pool, the `(NA, NM)` noise table and the fault-characterization
+/// table — serves either bench, whichever trains first.
+pub(crate) struct TrainKnobs<'a> {
+    pub benchmark: Benchmark,
+    pub seed: u64,
+    pub train: usize,
+    pub test: usize,
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub lr: f32,
+    pub calib_samples: usize,
+    pub characterization_samples: usize,
+    pub library: &'a MultiplierLibrary,
+}
+
+impl<'a> TrainKnobs<'a> {
+    fn from_qdp(cfg: &QdpConfig, library: &'a MultiplierLibrary) -> Self {
+        TrainKnobs {
+            benchmark: cfg.benchmark,
+            seed: cfg.seed,
+            train: cfg.train,
+            test: cfg.test,
+            epochs: cfg.epochs,
+            batch_size: cfg.batch_size,
+            lr: cfg.lr,
+            calib_samples: cfg.calib_samples,
+            characterization_samples: cfg.characterization_samples,
+            library,
+        }
+    }
+
+    /// The shared artifact key. The fingerprint pins every knob the
+    /// trained content depends on; the component subsets, fault grids
+    /// and evaluation knobs deliberately don't invalidate it.
+    pub(crate) fn key(&self, arch: QdpArch) -> ArtifactKey {
+        ArtifactKey::new(
+            arch.label(),
+            self.benchmark.name(),
+            self.seed,
+            self.epochs,
+            fingerprint(&format!(
+                "qdp-v1;train={};test={};batch={};lr={:08x};calib={}",
+                self.train,
+                self.test,
+                self.batch_size,
+                self.lr.to_bits(),
+                self.calib_samples
+            )),
+        )
+    }
+
+    /// The producer `load_or_train` falls back to on a store miss:
+    /// train, calibrate, then characterize the WHOLE multiplier library
+    /// (so later runs with any `--components` subset restore their
+    /// `(NA, NM)` rows from the same table) and the canonical
+    /// fault-model set over this run's empirical operand pools.
+    pub(crate) fn produce<M: CapsModel + Clone + Send + Sync>(
+        &self,
+        m: &mut M,
+        pair: &DatasetPair,
+    ) -> ArtifactPayload {
+        let report = train(
+            m,
+            &pair.train,
+            &TrainConfig {
+                epochs: self.epochs,
+                batch_size: self.batch_size,
+                lr: self.lr,
+                seed: self.seed ^ 0x71a1,
+                verbose: false,
+            },
+        );
+        // Calibrate through the generic pipeline, retaining MAC-input
+        // samples for the empirical operand pools.
+        let mut obs = CalibrationObserver::with_samples(CALIB_SAMPLES_PER_SITE);
+        for sample in pair.train.samples.iter().take(self.calib_samples) {
+            let _ = m.forward(&sample.image, &mut obs);
+        }
+        let ranges = obs
+            .ranges(8)
+            .expect("calibration succeeds on trained activations");
+        let activations = obs.sampled_input_codes(&ranges);
+        let qmodel = QModel::lower(m, &ranges).expect("every site calibrated");
+        let dist = operand_distribution(activations.clone(), &qmodel);
+        let noise_table = self
+            .library
+            .iter()
+            .map(|entry| {
+                let np =
+                    entry.characterize(&dist, self.characterization_samples, self.seed ^ 0xc0de);
+                ComponentNoise {
+                    component: entry.name().to_string(),
+                    samples: self.characterization_samples as u64,
+                    na: np.na,
+                    nm: np.nm,
+                }
+            })
+            .collect();
+        let weights = qmodel.weight_code_sample(WEIGHT_POOL_CODES);
+        let fault_table = crate::faults::characterize_canonical(
+            &activations,
+            &weights,
+            self.characterization_samples,
+            self.seed ^ 0xfa17,
+        );
+        ArtifactPayload {
+            epoch_losses: report.epoch_losses,
+            train_accuracy: report.train_accuracy,
+            ranges: ranges.to_entries(),
+            noise_table,
+            activation_codes: activations,
+            fault_table,
+        }
+    }
+}
+
 /// Trains (or restores), lowers **once**, and sweeps one architecture.
 /// Generic over the concrete model so training and the noise-injected
 /// evaluation reuse the shared capsnet machinery.
@@ -349,67 +468,9 @@ fn sweep_arch<M: CapsModel + Clone + Send + Sync + 'static>(
     // `(NA, NM)` table. The fingerprint pins the training/calibration
     // knobs; the component subset and evaluation knobs deliberately
     // don't invalidate it.
-    let key = ArtifactKey::new(
-        arch.label(),
-        cfg.benchmark.name(),
-        cfg.seed,
-        cfg.epochs,
-        fingerprint(&format!(
-            "qdp-v1;train={};test={};batch={};lr={:08x};calib={}",
-            cfg.train,
-            cfg.test,
-            cfg.batch_size,
-            cfg.lr.to_bits(),
-            cfg.calib_samples
-        )),
-    );
-    let (payload, provenance) = load_or_train(store, &key, &mut model, |m| {
-        let report = train(
-            m,
-            &pair.train,
-            &TrainConfig {
-                epochs: cfg.epochs,
-                batch_size: cfg.batch_size,
-                lr: cfg.lr,
-                seed: cfg.seed ^ 0x71a1,
-                verbose: false,
-            },
-        );
-        // Calibrate through the generic pipeline, retaining MAC-input
-        // samples for the empirical operand pools.
-        let mut obs = CalibrationObserver::with_samples(CALIB_SAMPLES_PER_SITE);
-        for sample in pair.train.samples.iter().take(cfg.calib_samples) {
-            let _ = m.forward(&sample.image, &mut obs);
-        }
-        let ranges = obs
-            .ranges(8)
-            .expect("calibration succeeds on trained activations");
-        let activations = obs.sampled_input_codes(&ranges);
-        // Characterize the WHOLE library over this run's empirical
-        // distribution, so later runs with any `--components` subset
-        // restore their `(NA, NM)` rows from the same table.
-        let qmodel = QModel::lower(m, &ranges).expect("every site calibrated");
-        let dist = operand_distribution(activations.clone(), &qmodel);
-        let noise_table = library
-            .iter()
-            .map(|entry| {
-                let np = entry.characterize(&dist, cfg.characterization_samples, cfg.seed ^ 0xc0de);
-                ComponentNoise {
-                    component: entry.name().to_string(),
-                    samples: cfg.characterization_samples as u64,
-                    na: np.na,
-                    nm: np.nm,
-                }
-            })
-            .collect();
-        ArtifactPayload {
-            epoch_losses: report.epoch_losses,
-            train_accuracy: report.train_accuracy,
-            ranges: ranges.to_entries(),
-            noise_table,
-            activation_codes: activations,
-        }
-    });
+    let knobs = TrainKnobs::from_qdp(cfg, library);
+    let key = knobs.key(arch);
+    let (payload, provenance) = load_or_train(store, &key, &mut model, |m| knobs.produce(m, pair));
 
     let eval = pair.test.take(cfg.eval_samples);
     let float_accuracy = evaluate_clean(&model, &eval);

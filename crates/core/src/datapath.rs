@@ -198,6 +198,16 @@ pub enum BackendError {
         /// Human-readable cause.
         message: String,
     },
+    /// A site's multiplier is dead under the active fault plan and the
+    /// fail-soft fallback was not enabled (fault-measured backend).
+    DeadSite {
+        /// Layer of the dead site.
+        layer: String,
+        /// Operation kind of the dead site.
+        kind: OpKind,
+        /// Whether the site lies inside dynamic routing.
+        in_routing: bool,
+    },
 }
 
 impl std::fmt::Display for BackendError {
@@ -232,6 +242,16 @@ impl std::fmt::Display for BackendError {
                  noise injection cannot split a (layer, kind) pair by routing"
             ),
             BackendError::Lowering { message } => write!(f, "cannot lower model: {message}"),
+            BackendError::DeadSite {
+                layer,
+                kind,
+                in_routing,
+            } => write!(
+                f,
+                "site ({layer}, {kind}{}) is dead under the active fault plan; \
+                 enable fail-soft to fall back to the exact multiplier",
+                if *in_routing { ", in routing" } else { "" }
+            ),
         }
     }
 }

@@ -47,6 +47,7 @@
 
 pub mod analysis;
 pub mod datapath;
+pub mod faults;
 pub mod groups;
 pub mod input_stats;
 pub mod methodology;
@@ -56,6 +57,7 @@ pub mod selection;
 
 pub use analysis::{GroupSweep, LayerSweep, SweepConfig};
 pub use datapath::{AccuracyBackend, BackendError, DatapathAssignment, NoisePredicted, SiteKey};
+pub use faults::{FaultModel, FaultPlan, FaultTarget, SiteFault};
 pub use groups::{extract_groups, Group, GroupInventory};
 pub use methodology::{MethodologyConfig, RedCaNe, RedCaNeReport};
 pub use noise::{GaussianNoiseInjector, NoiseModel, NoiseTarget, PerSiteNoiseInjector};

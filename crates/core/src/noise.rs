@@ -12,6 +12,13 @@
 //! matched by a [`NoiseTarget`] filter; [`PerSiteNoiseInjector`] applies a
 //! different pair per site (Step-6 validation, where each operation got
 //! its own approximate component).
+//!
+//! This is one of two error-model families sharing the `(layer, op
+//! kind, in-routing)` site keys: Gaussian noise here models smooth
+//! approximation error, while [`crate::faults`] models discrete
+//! hardware failures (bit flips, stuck-at lanes, dead outputs) at the
+//! same sites, scored through the same
+//! [`AccuracyBackend`](crate::datapath::AccuracyBackend) trait.
 
 use redcane_capsnet::inject::{Injector, OpKind, OpSite};
 use redcane_tensor::{Tensor, TensorRng};

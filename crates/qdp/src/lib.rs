@@ -44,20 +44,23 @@
 
 pub mod backend;
 pub mod calib;
+pub mod faults;
 pub mod kernels;
 pub mod lower;
 pub mod qlayers;
 pub mod qmodel;
 pub mod qtensor;
 
-pub use backend::QuantMeasured;
+pub use backend::{FaultMeasured, QuantMeasured};
 pub use calib::CalibrationObserver;
+pub use faults::{faulted_site_lut, AccFault, MacView};
 pub use lower::{calibrate_ranges, LowerError, LowerToQuant, QuantRanges};
 pub use qlayers::{
-    quantized_routing, QClassCaps, QConv2d, QConvCaps2d, QConvCaps3d, QDense, QVotes,
+    quantized_routing, quantized_routing_view, QClassCaps, QConv2d, QConvCaps2d, QConvCaps3d,
+    QDense, QVotes,
 };
 pub use qmodel::{evaluate_quantized, QModel, QStep};
-pub use qtensor::QTensor;
+pub use qtensor::{fault_codes, QTensor};
 // The LUT machinery lives beside the multiplier models in
 // `redcane-axmul`; re-exported here because the quantized kernels are
 // its main consumer.

@@ -24,10 +24,12 @@ use redcane_tensor::Tensor;
 
 use redcane_capsnet::layers::{ClassCaps, ConvCaps2d, ConvCaps3d};
 
+use redcane::faults::FaultModel;
 use redcane_axmul::MulLut;
 
+use crate::faults::MacView;
 use crate::kernels::{affine_dequant, col_sums, qgemm_nn, row_sums};
-use crate::qtensor::quantize_codes;
+use crate::qtensor::{fault_codes, quantize_codes};
 
 // ------------------------------------------------------------- QDense
 
@@ -152,6 +154,19 @@ impl QConv2d {
         &self.qweight
     }
 
+    /// Applies a deterministic fault to the stored weight codes —
+    /// modeling corrupted weight memory — and recomputes the
+    /// zero-point-correction row sums from the faulted codes (the
+    /// correction adders read the same memory). Element indices start
+    /// at `base_index`; returns the next free index so multi-conv
+    /// sites fault their concatenated storage consistently.
+    pub fn fault_weight_codes(&mut self, model: &FaultModel, seed: u64, base_index: u64) -> u64 {
+        let next = fault_codes(&mut self.qweight, model, seed, base_index);
+        let k2 = self.c_in * self.spec.kernel * self.spec.kernel;
+        self.wrowsums = row_sums(&self.qweight, self.c_out, k2);
+        next
+    }
+
     /// Forward over a raw `[C_in, H, W]` slice through the quantized
     /// GEMM, mirroring `Conv2d::forward_chw`: im2col (the existing
     /// float machinery — padding zeros land on the affine zero point),
@@ -162,6 +177,17 @@ impl QConv2d {
     ///
     /// Panics unless `data.len() == c_in * h * w` with valid geometry.
     pub fn forward_chw(&self, data: &[f32], h: usize, w: usize, lut: &MulLut) -> Tensor {
+        self.forward_chw_view(data, h, w, MacView::clean(lut))
+    }
+
+    /// [`QConv2d::forward_chw`] under a full site view: the table plus
+    /// an optional accumulator fault, applied to each output element at
+    /// its `c_out`-major position after the reduction completes.
+    ///
+    /// # Panics
+    ///
+    /// As [`QConv2d::forward_chw`].
+    pub fn forward_chw_view(&self, data: &[f32], h: usize, w: usize, view: MacView<'_>) -> Tensor {
         assert_eq!(data.len(), self.c_in * h * w, "QConv2d input size");
         let h_out = self.spec.output_size(h).expect("valid geometry");
         let w_out = self.spec.output_size(w).expect("valid geometry");
@@ -171,7 +197,14 @@ impl QConv2d {
         im2col_slice(data, self.c_in, h, w, self.spec, &mut cols).expect("valid conv input");
         let qcols = quantize_codes(&cols, self.in_params);
         let mut acc = vec![0u32; self.c_out * n];
-        qgemm_nn(&self.qweight, &qcols, &mut acc, self.c_out, k2, n, lut);
+        qgemm_nn(&self.qweight, &qcols, &mut acc, self.c_out, k2, n, view.lut);
+        if let Some(f) = view.acc {
+            // Per-sample layout is [C_out, N]: the linear index IS the
+            // sample-local element index the batched path uses.
+            for (idx, slot) in acc.iter_mut().enumerate() {
+                *slot = f.apply(*slot, idx as u64);
+            }
+        }
         let cs = col_sums(&qcols, k2, n);
         let mut out = vec![0.0f32; self.c_out * n];
         affine_dequant(
@@ -213,6 +246,26 @@ impl QConv2d {
         w: usize,
         lut: &MulLut,
     ) -> Vec<Tensor> {
+        self.forward_batch_chw_view(inputs, h, w, MacView::clean(lut))
+    }
+
+    /// [`QConv2d::forward_batch_chw`] under a full site view. The
+    /// accumulator fault indexes each output element by its
+    /// **sample-local** position (`c_out`-major), not its position in
+    /// the fused batch buffer, so every sample sees the same faulty
+    /// accumulator lanes and the batched path stays bit-identical to
+    /// the per-sample one.
+    ///
+    /// # Panics
+    ///
+    /// As [`QConv2d::forward_batch_chw`].
+    pub fn forward_batch_chw_view(
+        &self,
+        inputs: &[&[f32]],
+        h: usize,
+        w: usize,
+        view: MacView<'_>,
+    ) -> Vec<Tensor> {
         if inputs.is_empty() {
             return Vec::new();
         }
@@ -234,7 +287,26 @@ impl QConv2d {
         }
         let qcols = quantize_codes(&fused, self.in_params);
         let mut acc = vec![0u32; self.c_out * wide];
-        qgemm_nn(&self.qweight, &qcols, &mut acc, self.c_out, k2, wide, lut);
+        qgemm_nn(
+            &self.qweight,
+            &qcols,
+            &mut acc,
+            self.c_out,
+            k2,
+            wide,
+            view.lut,
+        );
+        if let Some(f) = view.acc {
+            // Fused element (co, bi·n + pi) is sample element (co, pi).
+            for co in 0..self.c_out {
+                let row = &mut acc[co * wide..(co + 1) * wide];
+                for bi in 0..bsz {
+                    for (pi, slot) in row[bi * n..bi * n + n].iter_mut().enumerate() {
+                        *slot = f.apply(*slot, (co * n + pi) as u64);
+                    }
+                }
+            }
+        }
         let cs = col_sums(&qcols, k2, wide);
         let mut out = vec![0.0f32; self.c_out * wide];
         affine_dequant(
@@ -322,6 +394,18 @@ impl QVotes {
         &self.qweight
     }
 
+    /// As [`QConv2d::fault_weight_codes`]: faults the stored
+    /// transformation-matrix codes and recomputes the per-`i` row sums.
+    pub fn fault_weight_codes(&mut self, model: &FaultModel, seed: u64, base_index: u64) -> u64 {
+        let next = fault_codes(&mut self.qweight, model, seed, base_index);
+        self.wrowsums = row_sums(
+            &self.qweight,
+            self.i_caps * self.j_caps * self.d_out,
+            self.d_in,
+        );
+        next
+    }
+
     /// Computes the vote tensor `[I, J, D_out]` for units `u` (`[I,
     /// D_in]`) with the multiplies served by `lut`.
     ///
@@ -370,6 +454,17 @@ impl QVotes {
     ///
     /// Panics on an input shape mismatch.
     pub fn forward_batch(&self, us: &[&Tensor], lut: &MulLut) -> Vec<Tensor> {
+        self.forward_batch_view(us, MacView::clean(lut))
+    }
+
+    /// [`QVotes::forward_batch`] under a full site view; the
+    /// accumulator fault indexes each output element by its
+    /// sample-local `(i, row)` position.
+    ///
+    /// # Panics
+    ///
+    /// As [`QVotes::forward_batch`].
+    pub fn forward_batch_view(&self, us: &[&Tensor], view: MacView<'_>) -> Vec<Tensor> {
         if us.is_empty() {
             return Vec::new();
         }
@@ -401,8 +496,17 @@ impl QVotes {
                 rows,
                 self.d_in,
                 bsz,
-                lut,
+                view.lut,
             );
+            if let Some(f) = view.acc {
+                // Batched layout is [rows, bsz]; every sample shares
+                // the accumulator slot of its (i, row) element.
+                for (r, arow) in acc.chunks_exact_mut(bsz).enumerate() {
+                    for slot in arow.iter_mut() {
+                        *slot = f.apply(*slot, (i * rows + r) as u64);
+                    }
+                }
+            }
             let cs = col_sums(&bmat, self.d_in, bsz);
             affine_dequant(
                 &acc,
@@ -459,6 +563,36 @@ pub fn quantized_routing(
     act_params: QuantParams,
     sum_lut: &MulLut,
     agree_lut: &MulLut,
+) -> Tensor {
+    quantized_routing_view(
+        votes,
+        iterations,
+        vote_params,
+        coupling_params,
+        act_params,
+        MacView::clean(sum_lut),
+        MacView::clean(agree_lut),
+    )
+}
+
+/// [`quantized_routing`] under full site views: each of the two MAC
+/// sites carries its table plus an optional accumulator fault. The
+/// weighted-sum accumulator is indexed by its `(j, d, p)` slot and the
+/// agreement accumulator by its `(i, j, p)` slot — physical
+/// accumulator locations, reused across routing iterations, so a stuck
+/// lane corrupts every iteration the way real hardware would.
+///
+/// # Panics
+///
+/// As [`quantized_routing`].
+pub fn quantized_routing_view(
+    votes: &Tensor,
+    iterations: usize,
+    vote_params: QuantParams,
+    coupling_params: QuantParams,
+    act_params: QuantParams,
+    sum: MacView<'_>,
+    agree: MacView<'_>,
 ) -> Tensor {
     let (i_caps, j_caps, d, p, spatial) = match votes.ndim() {
         3 => (
@@ -535,10 +669,15 @@ pub fn quantized_routing(
                 for pi in 0..p {
                     let mut acc = 0u32;
                     for i in 0..i_caps {
-                        acc += sum_lut.mul(
+                        acc += sum.lut.mul(
                             qk[(i * j_caps + j) * p + pi],
                             qu[((i * j_caps + j) * d + di) * p + pi],
                         ) as u32;
+                    }
+                    if let Some(f) = sum.acc {
+                        // The physical accumulator slot of element
+                        // (j, d, p), reused every routing iteration.
+                        acc = f.apply(acc, ((j * d + di) * p + pi) as u64);
                     }
                     s[(j * d + di) * p + pi] = lk * lu * acc as f32
                         + lk * min_u * qk_jp[j * p + pi] as f32
@@ -567,10 +706,13 @@ pub fn quantized_routing(
                 for pi in 0..p {
                     let mut acc = 0u32;
                     for di in 0..d {
-                        acc += agree_lut.mul(
+                        acc += agree.lut.mul(
                             qu[((i * j_caps + j) * d + di) * p + pi],
                             qv[(j * d + di) * p + pi],
                         ) as u32;
+                    }
+                    if let Some(f) = agree.acc {
+                        acc = f.apply(acc, ((i * j_caps + j) * p + pi) as u64);
                     }
                     b[(i * j_caps + j) * p + pi] += lu * lv * acc as f32
                         + lu * min_v * qu_ijp[(i * j_caps + j) * p + pi] as f32
@@ -628,6 +770,12 @@ impl QConvCaps2d {
         &self.conv
     }
 
+    /// Faults the wrapped convolution's stored weight codes (see
+    /// [`QConv2d::fault_weight_codes`]). Returns the next free index.
+    pub fn fault_weight_codes(&mut self, model: &FaultModel, seed: u64, base_index: u64) -> u64 {
+        self.conv.fault_weight_codes(model, seed, base_index)
+    }
+
     /// Forward over a capsule tensor whose leading axes fold to
     /// `C_in·D_in` channels (`[C, D, H, W]`, or `[C·D, H, W]`);
     /// returns `[C_out, D_out, H', W']` capsules — squashed when the
@@ -657,6 +805,16 @@ impl QConvCaps2d {
     ///
     /// Panics on a geometry mismatch.
     pub fn forward_batch(&self, xs: &[&Tensor], lut: &MulLut) -> Vec<Tensor> {
+        self.forward_batch_view(xs, MacView::clean(lut))
+    }
+
+    /// [`QConvCaps2d::forward_batch`] under a full site view (table plus
+    /// optional accumulator fault).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a geometry mismatch.
+    pub fn forward_batch_view(&self, xs: &[&Tensor], view: MacView<'_>) -> Vec<Tensor> {
         if xs.is_empty() {
             return Vec::new();
         }
@@ -675,7 +833,7 @@ impl QConvCaps2d {
             })
             .collect();
         self.conv
-            .forward_batch_chw(&inputs, h, w, lut)
+            .forward_batch_chw_view(&inputs, h, w, view)
             .into_iter()
             .map(|y| self.finish(y))
             .collect()
@@ -760,6 +918,17 @@ impl QConvCaps3d {
         &self.convs
     }
 
+    /// Faults every vote convolution's stored weight codes under one
+    /// shared index space (the site's weight memory holds all types
+    /// back to back). Returns the next free index.
+    pub fn fault_weight_codes(&mut self, model: &FaultModel, seed: u64, base_index: u64) -> u64 {
+        let mut index = base_index;
+        for conv in &mut self.convs {
+            index = conv.fault_weight_codes(model, seed, index);
+        }
+        index
+    }
+
     /// Forward over `[C_in, D_in, H, W]` capsules; returns the routed
     /// `[C_out, D_out, H', W']` capsules. `conv_lut` serves the vote
     /// convolutions, `sum_lut` the routing weighted sum and `agree_lut`
@@ -796,6 +965,28 @@ impl QConvCaps3d {
         sum_lut: &MulLut,
         agree_lut: &MulLut,
     ) -> Vec<Tensor> {
+        self.forward_batch_view(
+            xs,
+            MacView::clean(conv_lut),
+            MacView::clean(sum_lut),
+            MacView::clean(agree_lut),
+        )
+    }
+
+    /// [`QConvCaps3d::forward_batch`] under full site views for the
+    /// three MAC sites (vote convolutions, routing weighted sum,
+    /// agreement dot).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a geometry mismatch.
+    pub fn forward_batch_view(
+        &self,
+        xs: &[&Tensor],
+        conv: MacView<'_>,
+        sum: MacView<'_>,
+        agree: MacView<'_>,
+    ) -> Vec<Tensor> {
         if xs.is_empty() {
             return Vec::new();
         }
@@ -811,13 +1002,13 @@ impl QConvCaps3d {
         // per-sample votes [I, J, D, P].
         let mut flats: Vec<Vec<f32>> = vec![Vec::new(); bsz];
         let mut out_hw = (0usize, 0usize);
-        for (i, conv) in self.convs.iter().enumerate() {
+        for (i, c) in self.convs.iter().enumerate() {
             let inputs: Vec<&[f32]> = xs
                 .iter()
                 .map(|x| &x.data()[i * type_len..(i + 1) * type_len])
                 .collect();
-            for (bi, vi) in conv
-                .forward_batch_chw(&inputs, h, w, conv_lut)
+            for (bi, vi) in c
+                .forward_batch_chw_view(&inputs, h, w, conv)
                 .into_iter()
                 .enumerate()
             {
@@ -835,14 +1026,14 @@ impl QConvCaps3d {
             .map(|flat| {
                 let votes = Tensor::from_vec(flat, &[self.c_in, self.c_out, self.d_out, p])
                     .expect("vote assembly");
-                let v = quantized_routing(
+                let v = quantized_routing_view(
                     &votes,
                     self.iterations,
                     self.vote_params,
                     self.coupling_params,
                     self.act_params,
-                    sum_lut,
-                    agree_lut,
+                    sum,
+                    agree,
                 );
                 v.into_reshaped(&[self.c_out, self.d_out, h_out, w_out])
                     .expect("spatial unfold")
@@ -893,6 +1084,12 @@ impl QClassCaps {
         &self.votes
     }
 
+    /// Faults the vote transform's stored weight codes (see
+    /// [`QVotes::fault_weight_codes`]). Returns the next free index.
+    pub fn fault_weight_codes(&mut self, model: &FaultModel, seed: u64, base_index: u64) -> u64 {
+        self.votes.fault_weight_codes(model, seed, base_index)
+    }
+
     /// Forward over units `[I, D_in]`; returns the routed class
     /// capsules `[J, D_out]`. `vote_lut` serves the vote transform,
     /// `sum_lut` the routing weighted sum and `agree_lut` the agreement
@@ -909,7 +1106,7 @@ impl QClassCaps {
         agree_lut: &MulLut,
     ) -> Tensor {
         let votes = self.votes.forward(u, vote_lut);
-        self.route(&votes, sum_lut, agree_lut)
+        self.route(&votes, MacView::clean(sum_lut), MacView::clean(agree_lut))
     }
 
     /// Batched twin of [`QClassCaps::forward`]: the vote transform
@@ -926,22 +1123,44 @@ impl QClassCaps {
         sum_lut: &MulLut,
         agree_lut: &MulLut,
     ) -> Vec<Tensor> {
+        self.forward_batch_view(
+            us,
+            MacView::clean(vote_lut),
+            MacView::clean(sum_lut),
+            MacView::clean(agree_lut),
+        )
+    }
+
+    /// [`QClassCaps::forward_batch`] under full site views for the
+    /// three MAC sites (vote transform, routing weighted sum, agreement
+    /// dot).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an input shape mismatch.
+    pub fn forward_batch_view(
+        &self,
+        us: &[&Tensor],
+        vote: MacView<'_>,
+        sum: MacView<'_>,
+        agree: MacView<'_>,
+    ) -> Vec<Tensor> {
         self.votes
-            .forward_batch(us, vote_lut)
+            .forward_batch_view(us, vote)
             .iter()
-            .map(|votes| self.route(votes, sum_lut, agree_lut))
+            .map(|votes| self.route(votes, sum, agree))
             .collect()
     }
 
-    fn route(&self, votes: &Tensor, sum_lut: &MulLut, agree_lut: &MulLut) -> Tensor {
-        quantized_routing(
+    fn route(&self, votes: &Tensor, sum: MacView<'_>, agree: MacView<'_>) -> Tensor {
+        quantized_routing_view(
             votes,
             self.iterations,
             self.vote_params,
             self.coupling_params,
             self.act_params,
-            sum_lut,
-            agree_lut,
+            sum,
+            agree,
         )
     }
 }

@@ -20,7 +20,10 @@
 //! CapsNet is 4 steps, the 17-layer DeepCaps (Caps3D routing included)
 //! is 24 — no per-architecture execution code.
 
-use redcane::datapath::{BackendError, DatapathAssignment};
+use std::sync::Arc;
+
+use redcane::datapath::{BackendError, DatapathAssignment, SiteKey};
+use redcane::faults::{FaultModel, FaultPlan, FaultTarget};
 use redcane_axmul::{LutCache, MulLut};
 use redcane_capsnet::inject::OpKind;
 use redcane_capsnet::model::caps_to_units;
@@ -29,6 +32,7 @@ use redcane_capsnet::{CapsModel, CapsNet, DeepCaps};
 use redcane_datasets::Dataset;
 use redcane_tensor::Tensor;
 
+use crate::faults::{faulted_site_lut, AccFault, MacView};
 use crate::lower::{calibrate_ranges, LowerError, LowerToQuant, QuantRanges};
 use crate::qlayers::{QClassCaps, QConv2d, QConvCaps2d, QConvCaps3d};
 
@@ -102,19 +106,137 @@ pub enum QStep {
     },
 }
 
-/// A step's multiplier tables, resolved from an assignment.
-enum StepLuts<'a> {
+/// One MAC site's resolved execution state: the table serving its
+/// multiplies (base, or a faulted view of it) plus an optional
+/// accumulator fault. Owned (`Arc` for the shared base tables) because
+/// faulted views are derived per resolution, not held by the cache.
+pub(crate) struct MacExec {
+    lut: Arc<MulLut>,
+    acc: Option<AccFault>,
+}
+
+impl MacExec {
+    fn view(&self) -> MacView<'_> {
+        MacView {
+            lut: &self.lut,
+            acc: self.acc.as_ref(),
+        }
+    }
+}
+
+/// A step's multiplier sites, resolved from an assignment (and,
+/// optionally, a fault plan).
+pub(crate) enum StepExec {
     /// No MACs in this step (pure float glue).
     None,
     /// One MAC site: the convolution / vote GEMM.
-    Mac(&'a MulLut),
+    Mac(MacExec),
     /// A routing step's three sites: vote GEMM, weighted sum,
     /// agreement dot.
     Routing {
-        mac: &'a MulLut,
-        sum: &'a MulLut,
-        agree: &'a MulLut,
+        mac: MacExec,
+        sum: MacExec,
+        agree: MacExec,
     },
+}
+
+/// A fully resolved program: per-step execution state plus the sites
+/// the fail-soft policy downgraded to the exact multiplier because the
+/// fault plan left them dead.
+pub(crate) struct Resolution {
+    pub(crate) execs: Vec<StepExec>,
+    pub(crate) downgraded: Vec<SiteKey>,
+}
+
+/// Per-site resolution policy shared by every step: assignment lookup,
+/// fault application, and dead-site handling.
+struct Resolver<'a> {
+    assignment: &'a DatapathAssignment,
+    luts: &'a LutCache,
+    plan: Option<&'a FaultPlan>,
+    fail_soft: bool,
+    downgraded: Vec<SiteKey>,
+}
+
+impl Resolver<'_> {
+    fn exec_for(
+        &mut self,
+        site: &str,
+        kind: OpKind,
+        in_routing: bool,
+    ) -> Result<MacExec, BackendError> {
+        let component = self
+            .assignment
+            .component_for(site, kind, in_routing)
+            .ok_or(BackendError::UnassignedSite {
+                layer: site.to_string(),
+                kind,
+                in_routing,
+            })?;
+        let base = self
+            .luts
+            .get_arc(component)
+            .ok_or_else(|| BackendError::UnknownComponent {
+                component: component.to_string(),
+            })?;
+        let Some(fault) = self
+            .plan
+            .and_then(|p| p.active_fault_for(site, kind, in_routing))
+        else {
+            return Ok(MacExec {
+                lut: base,
+                acc: None,
+            });
+        };
+        let seed = self
+            .plan
+            .expect("fault implies plan")
+            .site_seed(site, kind, in_routing);
+        // Weight-code and (non-dead) accumulator faults don't touch the
+        // table: the former is pre-applied to the stored codes by
+        // [`QModel::with_fault_plan`], the latter rides along as an
+        // [`AccFault`].
+        if !matches!(fault.model, FaultModel::DeadOutput) {
+            match fault.target {
+                FaultTarget::WeightCodes => {
+                    return Ok(MacExec {
+                        lut: base,
+                        acc: None,
+                    });
+                }
+                FaultTarget::Accumulator => {
+                    return Ok(MacExec {
+                        lut: base,
+                        acc: Some(AccFault::new(fault.model, seed)),
+                    });
+                }
+                FaultTarget::Multiplier | FaultTarget::ActivationCodes => {}
+            }
+        }
+        let faulted = faulted_site_lut(&base, fault, seed);
+        if !faulted.is_dead() {
+            return Ok(MacExec {
+                lut: Arc::new(faulted),
+                acc: None,
+            });
+        }
+        // The site cannot produce signal. Fail-soft swaps in the exact
+        // multiplier (the accelerator's fallback array) and reports the
+        // downgrade; strict mode refuses to run.
+        if self.fail_soft {
+            self.downgraded.push((site.to_string(), kind, in_routing));
+            Ok(MacExec {
+                lut: Arc::new(MulLut::exact()),
+                acc: None,
+            })
+        } else {
+            Err(BackendError::DeadSite {
+                layer: site.to_string(),
+                kind,
+                in_routing,
+            })
+        }
+    }
 }
 
 /// A trained capsule model lowered onto the quantized datapath: same
@@ -315,43 +437,110 @@ impl QModel {
         self.resolve(assignment, luts).map(|_| ())
     }
 
-    /// Resolves each step's multiplier tables from the assignment.
-    fn resolve<'a>(
+    /// Resolves each step's multiplier tables from the assignment
+    /// (fault-free path).
+    fn resolve(
         &self,
         assignment: &DatapathAssignment,
-        luts: &'a LutCache,
-    ) -> Result<Vec<StepLuts<'a>>, BackendError> {
-        let lut_for = |site: &str, kind: OpKind, in_routing: bool| {
-            let component = assignment.component_for(site, kind, in_routing).ok_or(
-                BackendError::UnassignedSite {
-                    layer: site.to_string(),
-                    kind,
-                    in_routing,
-                },
-            )?;
-            luts.get(component)
-                .ok_or_else(|| BackendError::UnknownComponent {
-                    component: component.to_string(),
-                })
+        luts: &LutCache,
+    ) -> Result<Resolution, BackendError> {
+        self.resolve_with(assignment, luts, None, false)
+    }
+
+    /// Resolves each step's execution state from the assignment, with
+    /// an optional fault plan layered over it. With `fail_soft`, sites
+    /// the plan leaves dead (see [`MulLut::is_dead`]) fall back to the
+    /// exact multiplier and are reported in
+    /// [`Resolution::downgraded`]; otherwise they fail with
+    /// [`BackendError::DeadSite`].
+    pub(crate) fn resolve_with(
+        &self,
+        assignment: &DatapathAssignment,
+        luts: &LutCache,
+        plan: Option<&FaultPlan>,
+        fail_soft: bool,
+    ) -> Result<Resolution, BackendError> {
+        let mut r = Resolver {
+            assignment,
+            luts,
+            plan,
+            fail_soft,
+            downgraded: Vec::new(),
         };
-        self.steps
+        let execs = self
+            .steps
             .iter()
             .map(|step| match step {
                 QStep::Conv { site, .. } | QStep::CapsConv { site, .. } => {
-                    Ok(StepLuts::Mac(lut_for(site, OpKind::MacOutput, false)?))
+                    Ok(StepExec::Mac(r.exec_for(site, OpKind::MacOutput, false)?))
                 }
                 QStep::Caps3d { site, .. } | QStep::ClassCaps { site, .. } => {
-                    Ok(StepLuts::Routing {
-                        mac: lut_for(site, OpKind::MacOutput, false)?,
-                        sum: lut_for(site, OpKind::MacOutput, true)?,
-                        agree: lut_for(site, OpKind::LogitsUpdate, true)?,
+                    Ok(StepExec::Routing {
+                        mac: r.exec_for(site, OpKind::MacOutput, false)?,
+                        sum: r.exec_for(site, OpKind::MacOutput, true)?,
+                        agree: r.exec_for(site, OpKind::LogitsUpdate, true)?,
                     })
                 }
                 QStep::AddSquash { .. } | QStep::ToUnits { .. } | QStep::ConcatUnits { .. } => {
-                    Ok(StepLuts::None)
+                    Ok(StepExec::None)
                 }
             })
-            .collect()
+            .collect::<Result<Vec<_>, BackendError>>()?;
+        Ok(Resolution {
+            execs,
+            downgraded: r.downgraded,
+        })
+    }
+
+    /// A copy of the model with `plan`'s **weight-code** faults burned
+    /// into the stored 8-bit codes (zero-point-correction row sums
+    /// recomputed — the correction adders read the same weight
+    /// memory). All other fault targets are realized at resolution
+    /// time; weight faults live in storage, so they need their own
+    /// pre-faulted model. With no active weight fault this is a plain
+    /// clone.
+    pub fn with_fault_plan(&self, plan: &FaultPlan) -> QModel {
+        let mut faulted = self.clone();
+        for step in &mut faulted.steps {
+            let site = match &*step {
+                QStep::Conv { site, .. }
+                | QStep::CapsConv { site, .. }
+                | QStep::Caps3d { site, .. }
+                | QStep::ClassCaps { site, .. } => site.clone(),
+                QStep::AddSquash { .. } | QStep::ToUnits { .. } | QStep::ConcatUnits { .. } => {
+                    continue;
+                }
+            };
+            // Weight memory backs the (non-routing) MAC-output site;
+            // routing sites hold no stored codes.
+            let Some(fault) = plan.active_fault_for(&site, OpKind::MacOutput, false) else {
+                continue;
+            };
+            if fault.target != FaultTarget::WeightCodes
+                || matches!(fault.model, FaultModel::DeadOutput)
+            {
+                continue;
+            }
+            let seed = plan.site_seed(&site, OpKind::MacOutput, false);
+            match step {
+                QStep::Conv { conv, .. } => {
+                    conv.fault_weight_codes(&fault.model, seed, 0);
+                }
+                QStep::CapsConv { layer, .. } => {
+                    layer.fault_weight_codes(&fault.model, seed, 0);
+                }
+                QStep::Caps3d { layer, .. } => {
+                    layer.fault_weight_codes(&fault.model, seed, 0);
+                }
+                QStep::ClassCaps { layer, .. } => {
+                    layer.fault_weight_codes(&fault.model, seed, 0);
+                }
+                QStep::AddSquash { .. } | QStep::ToUnits { .. } | QStep::ConcatUnits { .. } => {
+                    unreachable!("glue steps were skipped above")
+                }
+            }
+        }
+        faulted
     }
 
     /// A deterministic sample of at most `max_len` quantized weight
@@ -407,7 +596,7 @@ impl QModel {
     ) -> Result<Tensor, BackendError> {
         let resolved = self.resolve(assignment, luts)?;
         Ok(self
-            .forward_batch_resolved(&[x], &resolved)
+            .forward_batch_resolved(&[x], &resolved.execs)
             .pop()
             .expect("one sample in, one out"))
     }
@@ -445,14 +634,18 @@ impl QModel {
         luts: &LutCache,
     ) -> Result<Vec<Tensor>, BackendError> {
         let resolved = self.resolve(assignment, luts)?;
-        Ok(self.forward_batch_resolved(xs, &resolved))
+        Ok(self.forward_batch_resolved(xs, &resolved.execs))
     }
 
     /// The executor behind [`QModel::forward`] /
     /// [`QModel::forward_batch`]: values are per-sample columns of the
     /// dataflow program; MAC steps run fused across the batch, float
     /// glue runs per sample.
-    fn forward_batch_resolved(&self, xs: &[&Tensor], resolved: &[StepLuts<'_>]) -> Vec<Tensor> {
+    pub(crate) fn forward_batch_resolved(
+        &self,
+        xs: &[&Tensor],
+        resolved: &[StepExec],
+    ) -> Vec<Tensor> {
         if xs.is_empty() {
             return Vec::new();
         }
@@ -462,17 +655,17 @@ impl QModel {
         let bsz = xs.len();
         let mut vals: Vec<Vec<Tensor>> = Vec::with_capacity(self.steps.len() + 1);
         vals.push(xs.iter().map(|x| (*x).clone()).collect());
-        for (step, luts) in self.steps.iter().zip(resolved) {
-            let ys: Vec<Tensor> = match (step, luts) {
+        for (step, exec) in self.steps.iter().zip(resolved) {
+            let ys: Vec<Tensor> = match (step, exec) {
                 (
                     QStep::Conv {
                         conv, relu, src, ..
                     },
-                    StepLuts::Mac(lut),
+                    StepExec::Mac(m),
                 ) => {
                     let inputs: Vec<&[f32]> = vals[*src].iter().map(|v| v.data()).collect();
                     let (h, w) = (vals[*src][0].shape()[1], vals[*src][0].shape()[2]);
-                    conv.forward_batch_chw(&inputs, h, w, lut)
+                    conv.forward_batch_chw_view(&inputs, h, w, m.view())
                         .into_iter()
                         .map(|mut y| {
                             if *relu {
@@ -484,17 +677,17 @@ impl QModel {
                         })
                         .collect()
                 }
-                (QStep::CapsConv { layer, src, .. }, StepLuts::Mac(lut)) => {
+                (QStep::CapsConv { layer, src, .. }, StepExec::Mac(m)) => {
                     let inputs: Vec<&Tensor> = vals[*src].iter().collect();
-                    layer.forward_batch(&inputs, lut)
+                    layer.forward_batch_view(&inputs, m.view())
                 }
-                (QStep::Caps3d { layer, src, .. }, StepLuts::Routing { mac, sum, agree }) => {
+                (QStep::Caps3d { layer, src, .. }, StepExec::Routing { mac, sum, agree }) => {
                     let inputs: Vec<&Tensor> = vals[*src].iter().collect();
-                    layer.forward_batch(&inputs, mac, sum, agree)
+                    layer.forward_batch_view(&inputs, mac.view(), sum.view(), agree.view())
                 }
-                (QStep::ClassCaps { layer, src, .. }, StepLuts::Routing { mac, sum, agree }) => {
+                (QStep::ClassCaps { layer, src, .. }, StepExec::Routing { mac, sum, agree }) => {
                     let inputs: Vec<&Tensor> = vals[*src].iter().collect();
-                    layer.forward_batch(&inputs, mac, sum, agree)
+                    layer.forward_batch_view(&inputs, mac.view(), sum.view(), agree.view())
                 }
                 (QStep::AddSquash { a, b }, _) => (0..bsz)
                     .map(|bi| {
@@ -553,20 +746,27 @@ pub fn evaluate_quantized(
     luts: &LutCache,
 ) -> Result<f64, BackendError> {
     let resolved = model.resolve(assignment, luts)?;
+    Ok(evaluate_resolved(model, data, &resolved.execs))
+}
+
+/// Accuracy over `data` for an already-resolved program — the shared
+/// evaluation loop behind [`evaluate_quantized`] and the fault-measured
+/// backend.
+pub(crate) fn evaluate_resolved(model: &QModel, data: &Dataset, resolved: &[StepExec]) -> f64 {
     if data.is_empty() {
-        return Ok(0.0);
+        return 0.0;
     }
     let mut correct = 0usize;
     for chunk in data.samples.chunks(EVAL_BATCH) {
         let images: Vec<&Tensor> = chunk.iter().map(|s| &s.image).collect();
-        let lengths = model.forward_batch_resolved(&images, &resolved);
+        let lengths = model.forward_batch_resolved(&images, resolved);
         for (sample, l) in chunk.iter().zip(&lengths) {
             if l.argmax().expect("non-empty lengths") == sample.label {
                 correct += 1;
             }
         }
     }
-    Ok(correct as f64 / data.len() as f64)
+    correct as f64 / data.len() as f64
 }
 
 #[cfg(test)]
