@@ -8,6 +8,7 @@ use std::sync::{Mutex, OnceLock};
 
 use redcane_capsnet::io::{weights_from_bytes, weights_to_bytes};
 use redcane_capsnet::CapsModel;
+use redcane_trace as trace;
 
 use crate::format::{decode_artifact, encode_artifact, is_not_found};
 use crate::{ArtifactError, ArtifactKey, ArtifactPayload};
@@ -148,13 +149,19 @@ impl ArtifactStore {
 /// `produce` (train/calibrate/characterize) and persist its result.
 ///
 /// A rejected entry (corrupt, truncated, stale schema, wrong key,
-/// shape-mismatched weights) is reported on stderr with its named
-/// error — **once per healed entry per process**, so a multi-model
-/// sweep tripping repeatedly over the same bad file names it exactly
-/// once in CI logs — then retrained and overwritten. With
-/// `store == None` (`--no-cache`), `produce` always runs and nothing
-/// is written — bit-for-bit the same model and payload as a cache
-/// miss.
+/// shape-mismatched weights) is reported with its named error — as a
+/// structured `artifact_heal` trace event when the profiler is on,
+/// falling back to stderr otherwise, and **once per healed entry per
+/// process** either way, so a multi-model sweep tripping repeatedly
+/// over the same bad file names it exactly once — then retrained and
+/// overwritten. With `store == None` (`--no-cache`), `produce` always
+/// runs and nothing is written — bit-for-bit the same model and
+/// payload as a cache miss.
+///
+/// Store traffic lands in the `Artifact*` work counters, and `produce`
+/// runs under the profiler's `Train` region in every arm, so the
+/// run-region counter totals of a profiled benchmark are identical
+/// whether the store was cold, warm or disabled.
 pub fn load_or_train<M, F>(
     store: Option<&ArtifactStore>,
     key: &ArtifactKey,
@@ -166,27 +173,52 @@ where
     F: FnOnce(&mut M) -> ArtifactPayload,
 {
     let Some(store) = store else {
+        let _train = trace::region(trace::Region::Train);
         return (produce(model), Provenance::Trained);
     };
     match store.load(key, model) {
-        Ok(payload) => (payload, Provenance::Restored),
+        Ok(payload) => {
+            if trace::enabled() {
+                trace::add(trace::Counter::ArtifactHits, 1);
+                trace::emit(
+                    "artifact_restore",
+                    store.path_for(key).display().to_string(),
+                );
+            }
+            (payload, Provenance::Restored)
+        }
         Err(err) => {
-            if !is_not_found(&err) {
+            if is_not_found(&err) {
+                if trace::enabled() {
+                    trace::add(trace::Counter::ArtifactMisses, 1);
+                }
+            } else {
                 let path = store.path_for(key);
+                if trace::enabled() {
+                    trace::add(trace::Counter::ArtifactHeals, 1);
+                }
                 if first_heal_report(&path) {
-                    eprintln!(
-                        "artifact store: healing {}: rejected with `{err}`; \
-                         retraining and overwriting",
+                    let detail = format!(
+                        "healing {}: rejected with `{err}`; retraining and overwriting",
                         path.display()
                     );
+                    if !trace::emit("artifact_heal", detail.clone()) {
+                        eprintln!("artifact store: {detail}");
+                    }
                 }
             }
-            let payload = produce(model);
+            let payload = {
+                let _train = trace::region(trace::Region::Train);
+                produce(model)
+            };
             if let Err(err) = store.save(key, model, &payload) {
-                eprintln!(
-                    "artifact store: failed to save {} ({err}); continuing untrained-cache",
+                let detail = format!(
+                    "failed to save {} ({err}); continuing untrained-cache",
                     store.path_for(key).display()
                 );
+                if !trace::emit("artifact_save_error", detail.clone()) {
+                    eprintln!("artifact store: {detail}");
+                }
             }
             (payload, Provenance::Trained)
         }

@@ -19,6 +19,8 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use redcane_trace as trace;
+
 use crate::library::MultiplierLibrary;
 use crate::mult::{ExactMultiplier, Multiplier8};
 
@@ -145,6 +147,23 @@ impl std::fmt::Display for UnknownComponent {
 
 impl std::error::Error for UnknownComponent {}
 
+/// Work-counter hook for [`LutCache`] lookups: lookups depend only on
+/// the program being resolved (never on worker count or cache state of
+/// the artifact store), so hit/miss totals are deterministic.
+#[inline]
+fn trace_lookup(hit: bool) {
+    if trace::enabled() {
+        trace::add(
+            if hit {
+                trace::Counter::LutCacheHits
+            } else {
+                trace::Counter::LutCacheMisses
+            },
+            1,
+        );
+    }
+}
+
 /// One 64 KiB [`MulLut`] per **distinct** multiplier of a heterogeneous
 /// datapath, keyed by component name.
 ///
@@ -203,12 +222,16 @@ impl LutCache {
 
     /// The table for one component, if cached.
     pub fn get(&self, name: &str) -> Option<&MulLut> {
-        self.luts.get(name).map(Arc::as_ref)
+        let found = self.luts.get(name).map(Arc::as_ref);
+        trace_lookup(found.is_some());
+        found
     }
 
     /// A shareable handle to one component's table, if cached.
     pub fn get_arc(&self, name: &str) -> Option<Arc<MulLut>> {
-        self.luts.get(name).cloned()
+        let found = self.luts.get(name).cloned();
+        trace_lookup(found.is_some());
+        found
     }
 
     /// Number of distinct cached components.

@@ -13,6 +13,8 @@
 //! faults [--quick] [--benchmark mnist|fashion|svhn|cifar] [--seed N]
 //!        [--arch capsnet|deepcaps|both] [--fail-soft] [--max-sites N]
 //!        [--out PATH] [--threads N] [--artifacts DIR] [--no-cache]
+//!        [--profile PATH] [--profile-counters PATH]
+//!        [--profile-folded PATH]
 //! ```
 //!
 //! `--fail-soft` downgrades sites a plan leaves dead to the exact
@@ -23,9 +25,11 @@
 
 use std::process::ExitCode;
 
+use redcane::report::json::Value;
 use redcane_artifacts::ArtifactStore;
 use redcane_bench::cli::{next_parsed, next_value};
 use redcane_bench::faults::{faults_to_json_lines, run_faults, FaultsConfig};
+use redcane_bench::profile::ProfileArgs;
 use redcane_bench::qdp::QdpArch;
 use redcane_datasets::Benchmark;
 
@@ -34,6 +38,7 @@ fn main() -> ExitCode {
     let mut out_path: Option<String> = None;
     let mut artifacts_flag: Option<String> = None;
     let mut no_cache = false;
+    let mut profile = ProfileArgs::default();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let parsed: Result<(), String> = match flag.as_str() {
@@ -107,11 +112,15 @@ fn main() -> ExitCode {
                      analysis across the quantized datapath\n\
                      flags: --quick, --benchmark mnist|fashion|svhn|cifar, --seed N, \
                      --arch capsnet|deepcaps|both, --fail-soft, --max-sites N, \
-                     --out PATH, --threads N, --artifacts DIR, --no-cache"
+                     --out PATH, --threads N, --artifacts DIR, --no-cache, \
+                     --profile PATH, --profile-counters PATH, \
+                     --profile-folded PATH"
                 );
                 return ExitCode::SUCCESS;
             }
-            other => Err(format!("unknown flag '{other}'")),
+            other => profile
+                .match_flag(other, &mut args)
+                .unwrap_or_else(|| Err(format!("unknown flag '{other}'"))),
         };
         if let Err(msg) = parsed {
             eprintln!("faults: {msg}");
@@ -120,6 +129,7 @@ fn main() -> ExitCode {
     }
 
     cfg.artifacts = ArtifactStore::resolve_dir(artifacts_flag.as_deref(), no_cache);
+    profile.enable_if_requested();
     let outcome = run_faults(&cfg);
     let lines: Vec<String> = faults_to_json_lines(&outcome)
         .iter()
@@ -145,6 +155,25 @@ fn main() -> ExitCode {
             eprintln!("faults: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
+    }
+    let meta = vec![(
+        "provenance".to_string(),
+        Value::Obj(
+            outcome
+                .archs
+                .iter()
+                .map(|a| {
+                    (
+                        a.arch.label().to_string(),
+                        Value::from(a.provenance.label()),
+                    )
+                })
+                .collect(),
+        ),
+    )];
+    if let Err(msg) = profile.write("faults", meta, true) {
+        eprintln!("faults: {msg}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

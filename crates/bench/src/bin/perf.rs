@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! perf [--quick] [--out PATH] [--budget-s SECONDS] [--threads N]
-//!      [--artifacts DIR] [--no-cache]
+//!      [--artifacts DIR] [--no-cache] [--profile PATH]
+//!      [--profile-counters PATH] [--profile-folded PATH]
 //! ```
 //!
 //! With `--budget-s`, the binary exits non-zero if the seeded pipeline
@@ -21,6 +22,7 @@ use std::process::ExitCode;
 use redcane_artifacts::ArtifactStore;
 use redcane_bench::cli::{next_parsed, next_value};
 use redcane_bench::perf::{perf_to_json, run_perf};
+use redcane_bench::profile::ProfileArgs;
 
 fn main() -> ExitCode {
     let mut quick = false;
@@ -28,6 +30,7 @@ fn main() -> ExitCode {
     let mut budget_s: Option<f64> = None;
     let mut artifacts_flag: Option<String> = None;
     let mut no_cache = false;
+    let mut profile = ProfileArgs::default();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let parsed: Result<(), String> = match flag.as_str() {
@@ -48,17 +51,21 @@ fn main() -> ExitCode {
                 eprintln!(
                     "perf: hot-path kernel benchmark\n\
                      flags: --quick, --out PATH, --budget-s SECONDS, --threads N, \
-                     --artifacts DIR, --no-cache"
+                     --artifacts DIR, --no-cache, --profile PATH, \
+                     --profile-counters PATH, --profile-folded PATH"
                 );
                 return ExitCode::SUCCESS;
             }
-            other => Err(format!("unknown flag '{other}'")),
+            other => profile
+                .match_flag(other, &mut args)
+                .unwrap_or_else(|| Err(format!("unknown flag '{other}'"))),
         };
         if let Err(msg) = parsed {
             eprintln!("perf: {msg}");
             return ExitCode::FAILURE;
         }
     }
+    profile.enable_if_requested();
     let report = run_perf(
         quick,
         ArtifactStore::resolve_dir(artifacts_flag.as_deref(), no_cache),
@@ -82,6 +89,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("{line}");
+    if let Err(msg) = profile.write("perf", Vec::new(), true) {
+        eprintln!("perf: {msg}");
+        return ExitCode::FAILURE;
+    }
     if let Some(budget) = budget_s {
         if report.pipeline_total_s > budget {
             eprintln!(

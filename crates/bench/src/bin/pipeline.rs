@@ -8,25 +8,33 @@
 //! pipeline [--benchmark mnist|fashion|svhn|cifar] [--seed N]
 //!          [--train N] [--test N] [--epochs N] [--threads N]
 //!          [--artifacts DIR] [--no-cache] [--no-timings]
+//!          [--profile PATH] [--profile-counters PATH]
+//!          [--profile-folded PATH]
 //! ```
 //!
 //! Trained weights and calibrated ranges go through the
 //! trained-artifact store (default `.redcane-artifacts`, or
 //! `REDCANE_ARTIFACTS`): warm runs restore instead of training.
 //! `--no-cache` forces a cold run; `--no-timings` drops the wall-clock
-//! `timings_s` field so cold and warm outputs can be byte-compared.
+//! `timings_s` field so cold and warm outputs can be byte-compared —
+//! and, with `--profile`, the profile's `timings` section with it.
+//! The `--profile*` flags record the run through `redcane-trace`:
+//! deterministic work counters plus the hierarchical span tree.
 
 use std::process::ExitCode;
 
+use redcane::report::json::Value;
 use redcane_artifacts::ArtifactStore;
 use redcane_bench::cli::{next_parsed, next_value, require_nonzero};
+use redcane_bench::profile::ProfileArgs;
 use redcane_bench::{outcome_to_json, outcome_to_json_stable, run_pipeline, PipelineConfig};
 use redcane_datasets::Benchmark;
 
-fn parse_args(mut cfg: PipelineConfig) -> Result<(PipelineConfig, bool), String> {
+fn parse_args(mut cfg: PipelineConfig) -> Result<(PipelineConfig, bool, ProfileArgs), String> {
     let mut artifacts_flag: Option<String> = None;
     let mut no_cache = false;
     let mut no_timings = false;
+    let mut profile = ProfileArgs::default();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -57,11 +65,16 @@ fn parse_args(mut cfg: PipelineConfig) -> Result<(PipelineConfig, bool), String>
                     "pipeline: seeded end-to-end ReD-CaNe smoke benchmark\n\
                      flags: --benchmark mnist|fashion|svhn|cifar, --seed N, \
                      --train N, --test N, --epochs N, --threads N, \
-                     --artifacts DIR, --no-cache, --no-timings"
+                     --artifacts DIR, --no-cache, --no-timings, \
+                     --profile PATH, --profile-counters PATH, \
+                     --profile-folded PATH"
                 );
                 std::process::exit(0);
             }
-            other => return Err(format!("unknown flag '{other}'")),
+            other => match profile.match_flag(other, &mut args) {
+                Some(res) => res?,
+                None => return Err(format!("unknown flag '{other}'")),
+            },
         }
     }
     // Fail with a clean CLI error rather than tripping run_pipeline's
@@ -69,11 +82,11 @@ fn parse_args(mut cfg: PipelineConfig) -> Result<(PipelineConfig, bool), String>
     require_nonzero(cfg.train, "--train")?;
     require_nonzero(cfg.test, "--test")?;
     cfg.artifacts = ArtifactStore::resolve_dir(artifacts_flag.as_deref(), no_cache);
-    Ok((cfg, no_timings))
+    Ok((cfg, no_timings, profile))
 }
 
 fn main() -> ExitCode {
-    let (cfg, no_timings) = match parse_args(PipelineConfig::smoke()) {
+    let (cfg, no_timings, profile) = match parse_args(PipelineConfig::smoke()) {
         Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("pipeline: {msg}");
@@ -84,6 +97,7 @@ fn main() -> ExitCode {
         "[pipeline] benchmark={} seed={} train={} test={} epochs={}",
         cfg.benchmark, cfg.seed, cfg.train, cfg.test, cfg.epochs
     );
+    profile.enable_if_requested();
     let outcome = run_pipeline(&cfg);
     eprintln!(
         "[pipeline] baseline {:.3}, design predicted {:.3} (drop {:.2} pp), \
@@ -103,5 +117,13 @@ fn main() -> ExitCode {
         outcome_to_json(&outcome)
     };
     println!("{}", json.dump());
+    let meta = vec![(
+        "provenance".to_string(),
+        Value::from(outcome.provenance.label()),
+    )];
+    if let Err(msg) = profile.write("pipeline", meta, !no_timings) {
+        eprintln!("pipeline: {msg}");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

@@ -15,7 +15,8 @@
 //! qdp [--quick] [--benchmark mnist|fashion|svhn|cifar] [--seed N]
 //!     [--arch capsnet|deepcaps|both] [--components name,name,...]
 //!     [--heterogeneous | --no-heterogeneous] [--out PATH] [--threads N]
-//!     [--artifacts DIR] [--no-cache]
+//!     [--artifacts DIR] [--no-cache] [--profile PATH]
+//!     [--profile-counters PATH] [--profile-folded PATH]
 //! ```
 //!
 //! Trained weights, calibrated ranges and the characterized `(NA, NM)`
@@ -25,8 +26,10 @@
 
 use std::process::ExitCode;
 
+use redcane::report::json::Value;
 use redcane_artifacts::ArtifactStore;
 use redcane_bench::cli::{next_parsed, next_value};
+use redcane_bench::profile::ProfileArgs;
 use redcane_bench::qdp::{qdp_to_json_lines, run_qdp, QdpArch, QdpConfig};
 use redcane_datasets::Benchmark;
 
@@ -35,6 +38,7 @@ fn main() -> ExitCode {
     let mut out_path: Option<String> = None;
     let mut artifacts_flag: Option<String> = None;
     let mut no_cache = false;
+    let mut profile = ProfileArgs::default();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let parsed: Result<(), String> = match flag.as_str() {
@@ -113,11 +117,14 @@ fn main() -> ExitCode {
                      flags: --quick, --benchmark mnist|fashion|svhn|cifar, --seed N, \
                      --arch capsnet|deepcaps|both, --components a,b,..., \
                      --heterogeneous, --no-heterogeneous, --out PATH, --threads N, \
-                     --artifacts DIR, --no-cache"
+                     --artifacts DIR, --no-cache, --profile PATH, \
+                     --profile-counters PATH, --profile-folded PATH"
                 );
                 return ExitCode::SUCCESS;
             }
-            other => Err(format!("unknown flag '{other}'")),
+            other => profile
+                .match_flag(other, &mut args)
+                .unwrap_or_else(|| Err(format!("unknown flag '{other}'"))),
         };
         if let Err(msg) = parsed {
             eprintln!("qdp: {msg}");
@@ -126,6 +133,7 @@ fn main() -> ExitCode {
     }
 
     cfg.artifacts = ArtifactStore::resolve_dir(artifacts_flag.as_deref(), no_cache);
+    profile.enable_if_requested();
     let outcome = run_qdp(&cfg);
     let lines: Vec<String> = qdp_to_json_lines(&outcome)
         .iter()
@@ -150,6 +158,25 @@ fn main() -> ExitCode {
             eprintln!("qdp: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
+    }
+    let meta = vec![(
+        "provenance".to_string(),
+        Value::Obj(
+            outcome
+                .archs
+                .iter()
+                .map(|a| {
+                    (
+                        a.arch.label().to_string(),
+                        Value::from(a.provenance.label()),
+                    )
+                })
+                .collect(),
+        ),
+    )];
+    if let Err(msg) = profile.write("qdp", meta, true) {
+        eprintln!("qdp: {msg}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

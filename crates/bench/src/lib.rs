@@ -21,6 +21,7 @@ use std::time::Instant;
 pub mod cli;
 pub mod faults;
 pub mod perf;
+pub mod profile;
 pub mod qdp;
 
 use redcane::prelude::*;
@@ -35,6 +36,7 @@ use redcane_capsnet::{evaluate_clean, train, CapsNet, CapsNetConfig, TrainConfig
 use redcane_datasets::{generate, Benchmark, GenerateConfig};
 use redcane_qdp::{calibrate_ranges, QuantMeasured, QuantRanges};
 use redcane_tensor::TensorRng;
+use redcane_trace as trace;
 
 /// Everything a pipeline run needs; fully determined by its fields
 /// (no hidden global state), so equal configs give equal outcomes.
@@ -158,15 +160,19 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> PipelineOutcome {
     assert!(cfg.test > 0, "pipeline needs test samples");
     assert!(!cfg.nm_values.is_empty(), "pipeline needs a sweep grid");
 
+    let _pipeline = trace::span("pipeline");
     let t = Instant::now();
-    let pair = generate(
-        cfg.benchmark,
-        &GenerateConfig {
-            train: cfg.train,
-            test: cfg.test,
-            seed: cfg.seed,
-        },
-    );
+    let pair = {
+        let _s = trace::span("generate");
+        generate(
+            cfg.benchmark,
+            &GenerateConfig {
+                train: cfg.train,
+                test: cfg.test,
+                seed: cfg.seed,
+            },
+        )
+    };
     let generate_s = t.elapsed().as_secs_f64();
 
     let (channels, height, _) = cfg.benchmark.geometry();
@@ -193,6 +199,7 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> PipelineOutcome {
             cfg.calib_samples.max(1)
         )),
     );
+    let train_span = trace::span("train");
     let (payload, provenance) = load_or_train(store.as_ref(), &key, &mut model, |m| {
         let report = train(
             m,
@@ -221,11 +228,15 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> PipelineOutcome {
             ..ArtifactPayload::default()
         }
     });
+    drop(train_span);
     let train_s = t.elapsed().as_secs_f64();
     eprintln!("[pipeline] capsnet model: {}", provenance.label());
 
     let t = Instant::now();
-    let test_accuracy = evaluate_clean(&model, &pair.test);
+    let test_accuracy = {
+        let _s = trace::span("evaluate");
+        evaluate_clean(&model, &pair.test)
+    };
     let evaluate_s = t.elapsed().as_secs_f64();
 
     // The measured backend: lower the trained network onto the
@@ -234,13 +245,16 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> PipelineOutcome {
     // design is then re-scored on it — ground truth next to the noise
     // forecast.
     let t = Instant::now();
+    let calibrate_span = trace::span("calibrate");
     let library = MultiplierLibrary::evo_approx_like();
     let ranges = QuantRanges::from_entries(&payload.ranges);
     let measured = QuantMeasured::from_ranges(&model, &ranges, &library)
         .expect("lowering succeeds on the calibrated ranges");
+    drop(calibrate_span);
     let calibrate_s = t.elapsed().as_secs_f64();
 
     let t = Instant::now();
+    let methodology_span = trace::span("methodology");
     let methodology = RedCaNe::with_library(
         MethodologyConfig {
             sweep: SweepConfig {
@@ -260,6 +274,7 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> PipelineOutcome {
         library,
     );
     let report = methodology.run_with_measured(&model, &pair.test, &measured);
+    drop(methodology_span);
     let methodology_s = t.elapsed().as_secs_f64();
 
     PipelineOutcome {
@@ -407,15 +422,7 @@ pub fn outcome_to_json(outcome: &PipelineOutcome) -> Value {
 /// (artifact-restore) run, at any thread count. CI's determinism checks
 /// `cmp` this form.
 pub fn outcome_to_json_stable(outcome: &PipelineOutcome) -> Value {
-    match outcome_to_json(outcome) {
-        Value::Obj(fields) => Value::Obj(
-            fields
-                .into_iter()
-                .filter(|(k, _)| k != "timings_s")
-                .collect(),
-        ),
-        other => other,
-    }
+    outcome_to_json(outcome).without_keys(&["timings_s"])
 }
 
 #[cfg(test)]

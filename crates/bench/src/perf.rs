@@ -132,6 +132,38 @@ fn qgemm_probe(name: &str, m: usize, k: usize, n: usize, reps: usize) -> PerfPro
     }
 }
 
+/// Instrumentation-overhead probe: the public (hooked) `qgemm_nn`
+/// entry against its uninstrumented body `qgemm_nn_raw`, with tracing
+/// in its default disabled state — so the "naive" twin here is the
+/// pre-hook kernel and `speedup_vs_naive` is `raw / hooked` (~1.0).
+/// The tripwire bar: disabled hooks must cost < 5% on a real shape.
+fn qgemm_overhead_probe(name: &str, m: usize, k: usize, n: usize, reps: usize) -> PerfProbe {
+    let mut rng = TensorRng::from_seed(85);
+    let a: Vec<u8> = (0..m * k)
+        .map(|_| rng.next_uniform(0.0, 256.0) as u8)
+        .collect();
+    let b: Vec<u8> = (0..k * n)
+        .map(|_| rng.next_uniform(0.0, 256.0) as u8)
+        .collect();
+    let lut = MulLut::exact();
+    let mut c = vec![0u32; m * n];
+    let hooked = time_ns(reps, || {
+        c.fill(0);
+        qkernels::qgemm_nn(&a, &b, &mut c, m, k, n, &lut);
+        std::hint::black_box(&c);
+    });
+    let raw = time_ns(reps, || {
+        c.fill(0);
+        qkernels::qgemm_nn_raw(&a, &b, &mut c, m, k, n, &lut);
+        std::hint::black_box(&c);
+    });
+    PerfProbe {
+        name: name.to_string(),
+        ns_per_op: hooked,
+        naive_ns_per_op: Some(raw),
+    }
+}
+
 fn conv_probe(reps: usize) -> PerfProbe {
     // The small-config stem geometry: 1×16×16 input, 24 7×7 filters.
     let mut rng = TensorRng::from_seed(78);
@@ -366,6 +398,9 @@ pub fn run_perf(quick: bool, artifacts: Option<PathBuf>) -> PerfReport {
         // approximate-datapath sweep step costs per layer.
         qgemm_probe("qgemm_24x49x100_stem", 24, 49, 100, reps),
         qgemm_probe("qgemm_256x2304x16_deepcaps_cell4", 256, 2304, 16, reps),
+        // Trace-hook overhead on the disabled fast path; extra reps
+        // keep the min-of-N estimate tight enough for the 5% tripwire.
+        qgemm_overhead_probe("qgemm_hooks_off_24x49x100", 24, 49, 100, reps.max(50)),
         conv_probe(reps),
     ];
     probes.extend(routing_probes(reps));
@@ -460,6 +495,7 @@ mod tests {
         for name in [
             "qgemm_24x49x100_stem",
             "qgemm_256x2304x16_deepcaps_cell4",
+            "qgemm_hooks_off_24x49x100",
             "matmul_256x2304x16_deepcaps_cell4",
             "qdp_lower_deepcaps_small",
             "qdp_fwd_deepcaps_small",
@@ -488,5 +524,19 @@ mod tests {
                 );
             }
         }
+        // The observability acceptance bar: with tracing disabled, the
+        // hooked qgemm entry must stay within 5% of its raw body
+        // (speedup_vs_naive here is raw/hooked, so ≥ 0.95).
+        let overhead = report
+            .probes
+            .iter()
+            .find(|p| p.name == "qgemm_hooks_off_24x49x100")
+            .expect("overhead probe present");
+        let ratio = overhead.speedup_vs_naive().expect("raw twin timed");
+        assert!(
+            ratio >= 0.95,
+            "disabled trace hooks cost {:.1}% on qgemm",
+            (1.0 / ratio - 1.0) * 100.0
+        );
     }
 }

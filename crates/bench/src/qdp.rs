@@ -49,6 +49,7 @@ use redcane_capsnet::{
 use redcane_datasets::{generate, Benchmark, Dataset, DatasetPair, GenerateConfig};
 use redcane_qdp::{CalibrationObserver, QModel, QuantMeasured, QuantRanges};
 use redcane_tensor::{par, TensorRng};
+use redcane_trace as trace;
 
 /// Values retained per MAC-input site for the empirical operand pools.
 const CALIB_SAMPLES_PER_SITE: usize = 512;
@@ -462,6 +463,7 @@ fn sweep_arch<M: CapsModel + Clone + Send + Sync + 'static>(
     entries: &[&ComponentEntry],
     store: Option<&ArtifactStore>,
 ) -> QdpArchOutcome {
+    let _arch_span = trace::span(arch.label());
     // Everything seed-determined and expensive goes through the
     // artifact store: trained weights, calibrated ranges, the
     // calibration operand pool and the full library's characterized
@@ -470,7 +472,10 @@ fn sweep_arch<M: CapsModel + Clone + Send + Sync + 'static>(
     // don't invalidate it.
     let knobs = TrainKnobs::from_qdp(cfg, library);
     let key = knobs.key(arch);
-    let (payload, provenance) = load_or_train(store, &key, &mut model, |m| knobs.produce(m, pair));
+    let (payload, provenance) = {
+        let _s = trace::span("train");
+        load_or_train(store, &key, &mut model, |m| knobs.produce(m, pair))
+    };
 
     let eval = pair.test.take(cfg.eval_samples);
     let float_accuracy = evaluate_clean(&model, &eval);
@@ -485,8 +490,10 @@ fn sweep_arch<M: CapsModel + Clone + Send + Sync + 'static>(
     // Lower the (trained or restored) network once; rebuild the
     // paper's "Real ΔX" operand distribution from the stored activation
     // pool plus the (deterministic) quantized weight codes.
+    let lower_span = trace::span("lower");
     let ranges = QuantRanges::from_entries(&payload.ranges);
     let qmodel = QModel::lower(&model, &ranges).expect("every site calibrated");
+    drop(lower_span);
     let dist = operand_distribution(payload.activation_codes.clone(), &qmodel);
 
     // Per-component noise parameters come from the stored table; a row
@@ -514,15 +521,18 @@ fn sweep_arch<M: CapsModel + Clone + Send + Sync + 'static>(
     // cache.
     let measured = QuantMeasured::new(qmodel, luts.clone());
 
-    let rows = sweep_components(
-        cfg,
-        arch.seed_tag(),
-        &model,
-        &measured,
-        &eval,
-        entries,
-        &nanm,
-    );
+    let rows = {
+        let _s = trace::span("score");
+        sweep_components(
+            cfg,
+            arch.seed_tag(),
+            &model,
+            &measured,
+            &eval,
+            entries,
+            &nanm,
+        )
+    };
     for row in &rows {
         eprintln!(
             "[qdp] {} {:<14} nm {:.5}  measured {:.3}  predicted {:.3}",
@@ -538,6 +548,7 @@ fn sweep_arch<M: CapsModel + Clone + Send + Sync + 'static>(
     // subset and score its winning per-layer design on BOTH backends
     // through the same trait.
     let design = cfg.heterogeneous.then(|| {
+        let _s = trace::span("methodology");
         let methodology = RedCaNe::with_library(
             MethodologyConfig {
                 sweep: SweepConfig {

@@ -19,6 +19,7 @@
 use redcane_datasets::Dataset;
 use redcane_nn::{margin_loss, Adam, MarginLossConfig, Optimizer};
 use redcane_tensor::{par, Tensor, TensorRng};
+use redcane_trace as trace;
 
 use crate::inject::{Injector, NoInjection};
 use crate::model::CapsModel;
@@ -149,6 +150,10 @@ pub fn train<M: CapsModel + Clone + Send + Sync>(
     let loss_cfg = MarginLossConfig::default();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
+        let _epoch = trace::span("epoch");
+        if trace::enabled() {
+            trace::add(trace::Counter::TrainEpochs, 1);
+        }
         let order = rng.permutation(data.len());
         let mut total_loss = 0.0f32;
         for chunk in order.chunks(batch_size) {

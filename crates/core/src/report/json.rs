@@ -67,6 +67,24 @@ impl Value {
         }
     }
 
+    /// A copy of this object without the named top-level keys; other
+    /// variants are returned unchanged. This is the single redaction
+    /// primitive behind `--no-timings`-style stable outputs: strip the
+    /// volatile sections, keep field order for everything else, so two
+    /// redacted documents from identical work are byte-identical.
+    pub fn without_keys(&self, keys: &[&str]) -> Value {
+        match self {
+            Value::Obj(fields) => Value::Obj(
+                fields
+                    .iter()
+                    .filter(|(k, _)| !keys.contains(&k.as_str()))
+                    .cloned()
+                    .collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+
     /// Serializes to compact single-line JSON. Non-finite numbers become
     /// `null` (JSON has no NaN/infinity).
     pub fn dump(&self) -> String {
@@ -444,6 +462,16 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "{\"a\" 1}"] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn without_keys_strips_only_named_top_level_fields() {
+        let v = parse("{\"a\":1,\"timings\":{\"x\":2},\"b\":{\"timings\":3}}").unwrap();
+        let stripped = v.without_keys(&["timings", "absent"]);
+        assert_eq!(stripped.dump(), "{\"a\":1,\"b\":{\"timings\":3}}");
+        // Field order of the survivors is preserved, and non-objects
+        // pass through untouched.
+        assert_eq!(Value::Num(1.0).without_keys(&["a"]), Value::Num(1.0));
     }
 
     #[test]

@@ -34,6 +34,7 @@
 use redcane_fxp::QuantParams;
 
 use redcane_axmul::MulLut;
+use redcane_trace as trace;
 
 /// Rows per register tile, matching the float GEMM.
 pub const MR: usize = 4;
@@ -55,6 +56,35 @@ pub const MAX_ACC_K: usize = (u32::MAX / (255 * 255)) as usize;
 ///
 /// Debug-asserts slice lengths and the `k ≤ MAX_ACC_K` overflow bound.
 pub fn qgemm_nn(a: &[u8], b: &[u8], c: &mut [u32], m: usize, k: usize, n: usize, lut: &MulLut) {
+    if trace::enabled() {
+        trace::add(trace::Counter::QgemmCalls, 1);
+        trace::add(trace::Counter::QgemmMacs, (m * k * n) as u64);
+        // Analytic twin of each path's `lut.row()` call count: the
+        // tall-k tile path hoists one row per (tile, k-step, tile-row),
+        // the streaming path one per (output-row, k-step). Kept in
+        // lock-step with the dispatch below by the trace count tests.
+        let fetches = if m > 0 && n > 0 && k > 0 {
+            if k >= TALL_K {
+                (n.div_ceil(NR) * m * k) as u64
+            } else {
+                (m * k) as u64
+            }
+        } else {
+            0
+        };
+        trace::add(trace::Counter::LutRowFetches, fetches);
+    }
+    qgemm_nn_raw(a, b, c, m, k, n, lut);
+}
+
+/// [`qgemm_nn`] without the instrumentation prologue: the body the
+/// wrapper dispatches to, exposed so the perf suite can measure the
+/// hook overhead against a truly bare kernel.
+///
+/// # Panics
+///
+/// Debug-asserts slice lengths and the `k ≤ MAX_ACC_K` overflow bound.
+pub fn qgemm_nn_raw(a: &[u8], b: &[u8], c: &mut [u32], m: usize, k: usize, n: usize, lut: &MulLut) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);

@@ -31,6 +31,7 @@ use redcane_capsnet::squash::{caps_lengths, squash_caps};
 use redcane_capsnet::{CapsModel, CapsNet, DeepCaps};
 use redcane_datasets::Dataset;
 use redcane_tensor::Tensor;
+use redcane_trace as trace;
 
 use crate::faults::{faulted_site_lut, AccFault, MacView};
 use crate::lower::{calibrate_ranges, LowerError, LowerToQuant, QuantRanges};
@@ -104,6 +105,22 @@ pub enum QStep {
         /// Input value index.
         src: usize,
     },
+}
+
+impl QStep {
+    /// Span label for the profiler: the MAC site name where the step
+    /// has one, the glue-step kind otherwise.
+    fn span_name(&self) -> &str {
+        match self {
+            QStep::Conv { site, .. }
+            | QStep::CapsConv { site, .. }
+            | QStep::Caps3d { site, .. }
+            | QStep::ClassCaps { site, .. } => site,
+            QStep::AddSquash { .. } => "add_squash",
+            QStep::ToUnits { .. } => "to_units",
+            QStep::ConcatUnits { .. } => "concat_units",
+        }
+    }
 }
 
 /// One MAC site's resolved execution state: the table serving its
@@ -188,6 +205,9 @@ impl Resolver<'_> {
                 acc: None,
             });
         };
+        if trace::enabled() {
+            trace::add(trace::Counter::FaultSitesApplied, 1);
+        }
         let seed = self
             .plan
             .expect("fault implies plan")
@@ -655,7 +675,9 @@ impl QModel {
         let bsz = xs.len();
         let mut vals: Vec<Vec<Tensor>> = Vec::with_capacity(self.steps.len() + 1);
         vals.push(xs.iter().map(|x| (*x).clone()).collect());
+        let _fwd = trace::span("qforward");
         for (step, exec) in self.steps.iter().zip(resolved) {
+            let _step = trace::span(step.span_name());
             let ys: Vec<Tensor> = match (step, exec) {
                 (
                     QStep::Conv {

@@ -3,6 +3,7 @@
 //! Convolutions are the MAC-dominated workhorse of CapsNets — the operations
 //! whose outputs form **group #1 (MAC outputs)** of the ReD-CaNe taxonomy.
 
+use redcane_trace as trace;
 use serde::{Deserialize, Serialize};
 
 use crate::error::TensorError;
@@ -145,6 +146,15 @@ fn im2col_fill(
 ) {
     let k = spec.kernel;
     let cols = h_out * w_out;
+    // Every im2col entry point (the `Tensor` methods and the
+    // buffer-reusing `im2col_slice`) funnels through this fill, so one
+    // hook counts all column-matrix traffic: `rows · cols` f32 slots.
+    if trace::enabled() {
+        trace::add(
+            trace::Counter::Im2colBytes,
+            (c * k * k * cols * std::mem::size_of::<f32>()) as u64,
+        );
+    }
     let pad = spec.padding as isize;
     let stride = spec.stride;
     let fill_row = |row: usize, out_row: &mut [f32]| {

@@ -28,6 +28,8 @@
 //! ULP. Keep it that way: do not introduce partial sums, horizontal
 //! reductions, or k-reordering here.
 
+use redcane_trace as trace;
+
 /// Rows per micro-panel (register tile height).
 pub const MR: usize = 4;
 /// k-steps fused per pass over an output block.
@@ -35,12 +37,25 @@ const KU: usize = 4;
 /// k-block size: the packed panel (`KC * MR` floats) stays in L1.
 const KC: usize = 256;
 
+/// Work-counter hook shared by every public GEMM entry point: one call
+/// plus `m·k·n` MACs. Counted at the entry (not per block/chunk) so the
+/// totals are invariant across blocking factors and thread counts; one
+/// relaxed atomic load when tracing is off.
+#[inline]
+fn trace_gemm(m: usize, k: usize, n: usize) {
+    if trace::enabled() {
+        trace::add(trace::Counter::GemmCalls, 1);
+        trace::add(trace::Counter::GemmMacs, (m * k * n) as u64);
+    }
+}
+
 /// `C += A·B` for row-major `A (m×k)`, `B (k×n)`, `C (m×n)`.
 ///
 /// # Panics
 ///
 /// Debug-asserts the slice lengths match the dimensions.
 pub fn gemm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    trace_gemm(m, k, n);
     gemm_nn_impl::<false>(a, b, c, m, k, n);
 }
 
@@ -48,6 +63,7 @@ pub fn gemm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
 /// contents, exactly as if `C` had been zeroed first. Lets callers
 /// recycle scratch buffers without re-zeroing them.
 pub fn gemm_nn_over(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    trace_gemm(m, k, n);
     gemm_nn_impl::<true>(a, b, c, m, k, n);
 }
 
@@ -126,11 +142,13 @@ fn gemm_nn_impl<const OVER: bool>(
 /// the transpose), `B (k×n)`, `C (m×n)`. The transpose never
 /// materializes: packing gathers the strided column directly.
 pub fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    trace_gemm(m, k, n);
     gemm_tn_impl::<false>(a, b, c, m, k, n);
 }
 
 /// `C = Aᵀ·B`: overwrite-mode twin of [`gemm_tn`] (see [`gemm_nn_over`]).
 pub fn gemm_tn_over(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    trace_gemm(m, k, n);
     gemm_tn_impl::<true>(a, b, c, m, k, n);
 }
 
@@ -208,11 +226,13 @@ fn gemm_tn_impl<const OVER: bool>(
 /// order over `k` is still strictly ascending, i.e. bit-identical to the
 /// sequential dot product of the reference kernel.
 pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    trace_gemm(m, k, n);
     gemm_nt_impl::<false>(a, b, c, m, k, n);
 }
 
 /// `C = A·Bᵀ`: overwrite-mode twin of [`gemm_nt`] (see [`gemm_nn_over`]).
 pub fn gemm_nt_over(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    trace_gemm(m, k, n);
     gemm_nt_impl::<true>(a, b, c, m, k, n);
 }
 

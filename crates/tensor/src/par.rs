@@ -28,8 +28,23 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use redcane_trace as trace;
+
 /// Process-wide worker-count override; 0 means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Work-counter hook at every parallel-for entry point. Counts the
+/// *invocation* and its logical items — never spans, chunks or worker
+/// spawns, which vary with `REDCANE_THREADS` — so the totals stay
+/// bit-identical at every thread count (the worker count itself is
+/// profile *metadata*, reported via [`num_threads`]).
+#[inline]
+fn trace_par(items: usize) {
+    if trace::enabled() {
+        trace::add(trace::Counter::ParCalls, 1);
+        trace::add(trace::Counter::ParItems, items as u64);
+    }
+}
 
 /// Jobs with fewer work items than this run serially even when more
 /// workers are configured: a thread spawn costs ~10µs, so tiny batches
@@ -89,6 +104,7 @@ where
 {
     assert!(chunk_len > 0, "chunk_len must be non-zero");
     let chunks = data.len().div_ceil(chunk_len);
+    trace_par(chunks);
     let workers = num_threads();
     if workers <= 1 || chunks < MIN_ITEMS_PER_THREAD * 2 {
         for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
@@ -130,6 +146,7 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
+    trace_par(len);
     let workers = num_threads().min(len);
     if workers <= 1 {
         let mut state = init();

@@ -1,0 +1,115 @@
+//! Pins the exact deterministic work counts the float datapath reports
+//! through `redcane-trace`: GEMM calls/MACs, parallel-helper items and
+//! im2col column-matrix bytes. These are *logical* totals — blocking
+//! factors, worker counts and chunk sizes must never show through.
+
+use redcane_tensor::ops::{gemm, Conv2dSpec};
+use redcane_tensor::{par, Tensor};
+use redcane_trace as trace;
+
+/// The trace planes are process-global; tests in this binary take this
+/// lock so one test's counts never bleed into another's snapshot.
+static TRACE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Runs `work` against a clean, enabled trace state and returns the
+/// resulting snapshot with tracing switched back off.
+fn traced(work: impl FnOnce()) -> trace::Snapshot {
+    trace::reset();
+    trace::set_enabled(true);
+    work();
+    let snap = trace::snapshot();
+    trace::set_enabled(false);
+    snap
+}
+
+#[test]
+fn gemm_counts_one_call_and_mkn_macs() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    let (m, k, n) = (5, 7, 11);
+    let a = vec![1.0f32; m * k];
+    let b = vec![1.0f32; k * n];
+    let mut c = vec![0.0f32; m * n];
+    let snap = traced(|| gemm::gemm_nn(&a, &b, &mut c, m, k, n));
+    assert_eq!(snap.run(trace::Counter::GemmCalls), 1);
+    assert_eq!(snap.run(trace::Counter::GemmMacs), (m * k * n) as u64);
+}
+
+#[test]
+fn gemm_macs_accumulate_across_calls_and_entry_points() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    let (m, k, n) = (4, 3, 8);
+    let a = vec![0.5f32; m * k];
+    let b = vec![0.5f32; k * n];
+    let mut c = vec![0.0f32; m * n];
+    let snap = traced(|| {
+        gemm::gemm_nn(&a, &b, &mut c, m, k, n);
+        gemm::gemm_nn_over(&a, &b, &mut c, m, k, n);
+    });
+    assert_eq!(snap.run(trace::Counter::GemmCalls), 2);
+    assert_eq!(snap.run(trace::Counter::GemmMacs), 2 * (m * k * n) as u64);
+}
+
+#[test]
+fn par_map_with_counts_logical_items_not_worker_chunks() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    let run = |threads: usize| {
+        par::set_threads(threads);
+        let snap = traced(|| {
+            let out = par::map_with(37, || (), |(), i| i * 2);
+            assert_eq!(out.len(), 37);
+        });
+        par::set_threads(0);
+        snap
+    };
+    for threads in [1, 3] {
+        let snap = run(threads);
+        assert_eq!(snap.run(trace::Counter::ParCalls), 1, "{threads} threads");
+        assert_eq!(snap.run(trace::Counter::ParItems), 37, "{threads} threads");
+    }
+}
+
+#[test]
+fn par_for_each_chunk_mut_counts_chunks_including_the_ragged_tail() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    // 25 elements in chunks of 4 → 7 logical chunks (one ragged).
+    let mut data = vec![0.0f32; 25];
+    let snap = traced(|| {
+        par::for_each_chunk_mut(&mut data, 4, |i, chunk| {
+            chunk.fill(i as f32);
+        });
+    });
+    assert_eq!(snap.run(trace::Counter::ParCalls), 1);
+    assert_eq!(
+        snap.run(trace::Counter::ParItems),
+        25usize.div_ceil(4) as u64
+    );
+}
+
+#[test]
+fn im2col_counts_full_column_matrix_bytes() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    // [1, 16, 16] through a 7×7 stride-1 unpadded kernel: 10×10 output
+    // positions, 1·7·7 = 49 rows → 49 · 100 slots · 4 bytes = 19600.
+    let t = Tensor::from_vec(vec![1.0f32; 16 * 16], &[1, 16, 16]).unwrap();
+    let spec = Conv2dSpec::new(7, 1, 0).unwrap();
+    let snap = traced(|| {
+        let cols = t.im2col(spec).unwrap();
+        assert_eq!(cols.shape(), &[49, 100]);
+    });
+    assert_eq!(snap.run(trace::Counter::Im2colBytes), 49 * 100 * 4);
+}
+
+#[test]
+fn disabled_tracing_stays_silent_through_the_same_paths() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    trace::reset();
+    let a = vec![1.0f32; 6];
+    let b = vec![1.0f32; 6];
+    let mut c = vec![0.0f32; 4];
+    gemm::gemm_nn(&a, &b, &mut c, 2, 3, 2);
+    par::map_with(10, || (), |(), i| i);
+    let snap = trace::snapshot();
+    for counter in trace::Counter::ALL {
+        assert_eq!(snap.run(counter), 0, "{} leaked", counter.name());
+    }
+}
