@@ -28,8 +28,15 @@
 //! of approximate components; the table is cached in the same
 //! trained-artifact entry the `qdp` bench uses ([`TrainKnobs`]).
 //!
+//! Beyond the single-site trials, each architecture runs one
+//! **correlated multi-site plan**: a single [`FaultPlan`] carrying a
+//! deterministically-chosen fault at every swept site simultaneously
+//! (`combined_plan` row) — the compound-failure scenario per-site
+//! rows cannot show.
+//!
 //! One JSON line per trial plus one `site_criticality` summary line
-//! per site (max/mean drop, critical weight bit). Trials fan out over
+//! per site (max/mean drop, critical weight bit) plus one
+//! `combined_plan` line per architecture. Trials fan out over
 //! [`par::map_with`] workers; every quantity derives only from the
 //! seed, the architecture tag, the site index and the trial index, so
 //! the output is byte-identical at every `REDCANE_THREADS` setting.
@@ -306,6 +313,25 @@ pub struct FaultTrial {
     pub error: Option<String>,
 }
 
+/// The correlated multi-site trial: one [`FaultPlan`] carrying a
+/// fault at **every** swept site simultaneously — the "many things
+/// break at once" scenario single-site trials cannot show — evaluated
+/// in a single pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CombinedPlanTrial {
+    /// The injected `(site, fault)` pairs, in site (program) order.
+    pub faults: Vec<(SiteKey, SiteFault)>,
+    /// The plan seed shared by every site's fault realization.
+    pub plan_seed: u64,
+    /// Accuracy of the multi-faulted datapath; `None` when the
+    /// backend refused (strict mode, dead site in the plan).
+    pub accuracy: Option<f64>,
+    /// Sites downgraded to the exact multiplier (fail-soft only).
+    pub downgraded: Vec<SiteKey>,
+    /// The refusal, verbatim, when `accuracy` is `None`.
+    pub error: Option<String>,
+}
+
 /// One site's criticality summary over its trials.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SiteCriticality {
@@ -338,6 +364,8 @@ pub struct FaultsArchOutcome {
     pub trials: Vec<FaultTrial>,
     /// Per-site summaries, in program order.
     pub sites: Vec<SiteCriticality>,
+    /// The correlated multi-site plan's trial (one per architecture).
+    pub combined: CombinedPlanTrial,
     /// Sites beyond `max_sites` that were NOT swept.
     pub skipped_sites: usize,
     /// Trained this run or restored from the artifact store. Not part
@@ -558,6 +586,66 @@ fn sweep_arch<M: CapsModel + Clone + Send + Sync + 'static>(
         },
     );
 
+    // The correlated scenario: one fault per swept site, all in ONE
+    // plan, chosen deterministically from each site's own trial list.
+    // Dead-output faults only join the plan under fail-soft — in
+    // strict mode a single dead site would turn the whole combined
+    // row into a refusal.
+    let combined = {
+        let plan_seed = mix64(cfg.seed ^ 0xfa17_5eed, arch.seed_tag(), 0xc0b1);
+        let mut plan = FaultPlan::identity(plan_seed);
+        let mut faults = Vec::with_capacity(sites.len());
+        for (si, list) in trial_lists.iter().enumerate() {
+            let candidates: Vec<&SiteFault> = list
+                .iter()
+                .filter(|f| cfg.fail_soft || f.model != FaultModel::DeadOutput)
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let pick = mix64(
+                cfg.seed ^ 0xc0b1_4ed5,
+                (arch.seed_tag() << 32) | si as u64,
+                0,
+            ) % candidates.len() as u64;
+            let fault = candidates[pick as usize].clone();
+            let (layer, kind, in_routing) = &sites[si];
+            plan = plan.with(layer.clone(), *kind, *in_routing, fault.clone());
+            faults.push((sites[si].clone(), fault));
+        }
+        let backend = FaultMeasured::over(&measured, plan, cfg.fail_soft);
+        let (accuracy, downgraded, error) = match backend.evaluate(&model, &eval, &assignment) {
+            Ok(acc) => {
+                let downgraded = backend
+                    .downgraded_sites(&assignment)
+                    .expect("evaluation already resolved this assignment");
+                (Some(acc), downgraded, None)
+            }
+            Err(e) => (None, Vec::new(), Some(e.to_string())),
+        };
+        CombinedPlanTrial {
+            faults,
+            plan_seed,
+            accuracy,
+            downgraded,
+            error,
+        }
+    };
+    eprintln!(
+        "[faults] {} combined plan over {} site(s): {}",
+        arch.label(),
+        combined.faults.len(),
+        match (combined.accuracy, &combined.error) {
+            (Some(acc), _) => format!(
+                "accuracy {:.3} (drop {:+.1} pp)",
+                acc,
+                (baseline_accuracy - acc) * 100.0
+            ),
+            (None, Some(e)) => format!("refused: {e}"),
+            (None, None) => "no faults injected".to_string(),
+        }
+    );
+
     let sites = summarize_sites(&sites, &trial_lists, &trials, baseline_accuracy);
     for s in &sites {
         eprintln!(
@@ -581,6 +669,7 @@ fn sweep_arch<M: CapsModel + Clone + Send + Sync + 'static>(
         baseline_accuracy,
         trials,
         sites,
+        combined,
         skipped_sites,
         provenance,
     }
@@ -655,7 +744,9 @@ fn site_to_json(site: &SiteKey) -> Value {
 fn row_head(cfg: &FaultsConfig, arch: &FaultsArchOutcome, row: &str) -> Vec<(String, Value)> {
     vec![
         ("bench".into(), Value::from("faults")),
-        ("schema_version".into(), Value::from(1usize)),
+        // v2: one `combined_plan` row per architecture (a correlated
+        // multi-site plan) after the per-site rows.
+        ("schema_version".into(), Value::from(2usize)),
         ("row".into(), Value::from(row)),
         ("benchmark".into(), Value::from(cfg.benchmark.name())),
         // String: u64 seeds above 2^53 would round through a JSON number.
@@ -756,9 +847,64 @@ pub fn site_criticality_to_json(
     Value::Obj(fields)
 }
 
+/// Serializes the correlated multi-site plan's trial as a JSON line.
+pub fn combined_plan_to_json(
+    cfg: &FaultsConfig,
+    arch: &FaultsArchOutcome,
+    t: &CombinedPlanTrial,
+) -> Value {
+    let faults: Vec<Value> = t
+        .faults
+        .iter()
+        .map(|(site, fault)| {
+            Value::Obj(vec![
+                ("layer".into(), Value::from(site.0.clone())),
+                ("op".into(), Value::from(op_slug(site.1))),
+                ("in_routing".into(), Value::Bool(site.2)),
+                ("target".into(), Value::from(fault.target.label())),
+                ("fault".into(), Value::from(fault.model.label())),
+                ("spec".into(), Value::from(fault.spec())),
+            ])
+        })
+        .collect();
+    let mut fields = row_head(cfg, arch, "combined_plan");
+    fields.extend([
+        ("faulted_sites".into(), Value::from(t.faults.len())),
+        ("faults".into(), Value::Arr(faults)),
+        ("plan_seed".into(), Value::from(t.plan_seed.to_string())),
+        (
+            "accuracy".into(),
+            match t.accuracy {
+                Some(a) => Value::from(a),
+                None => Value::Null,
+            },
+        ),
+        (
+            "drop_pp".into(),
+            match t.accuracy {
+                Some(a) => Value::from((arch.baseline_accuracy - a) * 100.0),
+                None => Value::Null,
+            },
+        ),
+        (
+            "downgraded".into(),
+            Value::Arr(t.downgraded.iter().map(site_to_json).collect()),
+        ),
+        (
+            "error".into(),
+            match &t.error {
+                Some(e) => Value::from(e.clone()),
+                None => Value::Null,
+            },
+        ),
+    ]);
+    Value::Obj(fields)
+}
+
 /// All rows of an outcome as JSON lines: architectures in config
 /// order; within each, every site's trial rows (grid order) followed
-/// by its `site_criticality` summary row.
+/// by its `site_criticality` summary row, then the architecture's
+/// `combined_plan` row.
 pub fn faults_to_json_lines(outcome: &FaultsOutcome) -> Vec<Value> {
     let mut lines = Vec::new();
     for arch in &outcome.archs {
@@ -770,6 +916,7 @@ pub fn faults_to_json_lines(outcome: &FaultsOutcome) -> Vec<Value> {
             cursor += s.trials;
             lines.push(site_criticality_to_json(&outcome.config, arch, s));
         }
+        lines.push(combined_plan_to_json(&outcome.config, arch, &arch.combined));
     }
     lines
 }
@@ -873,7 +1020,11 @@ mod tests {
         assert_eq!(arch.trials.len(), 2 * 5, "2 sites x (2+1+1+1) trials");
 
         let lines = faults_to_json_lines(&outcome);
-        assert_eq!(lines.len(), 10 + 2, "trial rows + site summary rows");
+        assert_eq!(
+            lines.len(),
+            10 + 2 + 1,
+            "trial rows + site summary rows + the combined-plan row"
+        );
         for line in &lines {
             let dumped = line.dump();
             assert!(!dumped.contains('\n'), "one line per row");
@@ -883,16 +1034,30 @@ mod tests {
                 "schema_version",
                 "row",
                 "arch",
-                "layer",
-                "op",
-                "in_routing",
                 "fail_soft",
                 "baseline_accuracy",
             ] {
                 assert!(parsed.get(key).is_some(), "missing key {key}");
             }
             assert_eq!(parsed.get("bench").unwrap().as_str().unwrap(), "faults");
+            assert_eq!(parsed.get("schema_version").unwrap().as_f64().unwrap(), 2.0);
+            let row = parsed.get("row").unwrap().as_str().unwrap().to_string();
+            if row == "combined_plan" {
+                for key in ["faulted_sites", "faults", "plan_seed", "accuracy"] {
+                    assert!(parsed.get(key).is_some(), "missing key {key}");
+                }
+            } else {
+                for key in ["layer", "op", "in_routing"] {
+                    assert!(parsed.get(key).is_some(), "missing key {key}");
+                }
+            }
         }
+
+        // The combined plan faulted both swept sites in one pass and
+        // (fail-soft) still produced an accuracy.
+        assert_eq!(arch.combined.faults.len(), 2);
+        assert!(arch.combined.accuracy.is_some());
+        assert!(arch.combined.error.is_none());
 
         // The dead-multiplier trial downgraded (fail-soft) to the exact
         // component — which IS the assignment, so the accuracy must be
@@ -948,6 +1113,15 @@ mod tests {
             .expect("dead trial serialized");
         assert!(dead_line.get("accuracy").unwrap().as_f64().is_none());
         assert!(dead_line.get("error").unwrap().as_str().is_some());
+
+        // Strict mode keeps dead faults out of the combined plan, so
+        // the correlated row still scores instead of refusing.
+        let combined = &arch.combined;
+        assert!(combined.accuracy.is_some());
+        assert!(combined
+            .faults
+            .iter()
+            .all(|(_, f)| f.model != FaultModel::DeadOutput));
     }
 
     /// Per-arch seeds key on the architecture's identity, so a
@@ -963,6 +1137,7 @@ mod tests {
         );
         assert_eq!(solo.archs[0].trials, both.archs[1].trials);
         assert_eq!(solo.archs[0].sites, both.archs[1].sites);
+        assert_eq!(solo.archs[0].combined, both.archs[1].combined);
     }
 
     /// The artifact-store acceptance bar: a cold (train) run and a warm

@@ -23,6 +23,7 @@ pub mod faults;
 pub mod perf;
 pub mod profile;
 pub mod qdp;
+pub mod serve;
 
 use redcane::prelude::*;
 use redcane::report::json::Value;

@@ -595,7 +595,7 @@ fn sweep_arch<M: CapsModel + Clone + Send + Sync + 'static>(
 /// quantized activation codes retained during calibration against the
 /// lowered program's quantized weight codes; uniform when either pool
 /// is empty.
-fn operand_distribution(activations: Vec<u8>, qmodel: &QModel) -> InputDistribution {
+pub(crate) fn operand_distribution(activations: Vec<u8>, qmodel: &QModel) -> InputDistribution {
     let weights = qmodel.weight_code_sample(WEIGHT_POOL_CODES);
     if activations.is_empty() || weights.is_empty() {
         InputDistribution::Uniform

@@ -59,7 +59,7 @@ pub use qlayers::{
     quantized_routing, quantized_routing_view, QClassCaps, QConv2d, QConvCaps2d, QConvCaps3d,
     QDense, QVotes,
 };
-pub use qmodel::{evaluate_quantized, QModel, QStep};
+pub use qmodel::{evaluate_quantized, PreparedModel, QModel, QStep};
 pub use qtensor::{fault_codes, QTensor};
 // The LUT machinery lives beside the multiplier models in
 // `redcane-axmul`; re-exported here because the quantized kernels are

@@ -127,6 +127,7 @@ impl QStep {
 /// multiplies (base, or a faulted view of it) plus an optional
 /// accumulator fault. Owned (`Arc` for the shared base tables) because
 /// faulted views are derived per resolution, not held by the cache.
+#[derive(Clone)]
 pub(crate) struct MacExec {
     lut: Arc<MulLut>,
     acc: Option<AccFault>,
@@ -143,6 +144,7 @@ impl MacExec {
 
 /// A step's multiplier sites, resolved from an assignment (and,
 /// optionally, a fault plan).
+#[derive(Clone)]
 pub(crate) enum StepExec {
     /// No MACs in this step (pure float glue).
     None,
@@ -752,6 +754,79 @@ impl QModel {
     }
 }
 
+/// A [`QModel`] pre-resolved against one [`DatapathAssignment`]: the
+/// per-step multiplier tables are looked up **once** at construction,
+/// so every subsequent forward pays zero assignment-resolution cost —
+/// the handle a serving worker owns per (architecture × assignment)
+/// pair.
+///
+/// `Clone` duplicates the lowered program (worker-owned weights) while
+/// the resolved `MulLut` tables stay `Arc`-shared, so cloning one
+/// prepared template per worker touches neither the [`LutCache`] nor
+/// its hit counters. `Send + Sync`: all state is plain data plus
+/// `Arc`s, asserted by a compile-time test.
+#[derive(Clone)]
+pub struct PreparedModel {
+    model: QModel,
+    execs: Vec<StepExec>,
+}
+
+impl PreparedModel {
+    /// Resolves `assignment` over `model`'s multiplier sites against
+    /// `luts` and captures the result.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::UnassignedSite`] / [`BackendError::UnknownComponent`]
+    /// exactly as [`QModel::forward`] would report them.
+    pub fn new(
+        model: QModel,
+        assignment: &DatapathAssignment,
+        luts: &LutCache,
+    ) -> Result<Self, BackendError> {
+        let resolution = model.resolve(assignment, luts)?;
+        Ok(PreparedModel {
+            model,
+            execs: resolution.execs,
+        })
+    }
+
+    /// The underlying lowered program.
+    pub fn model(&self) -> &QModel {
+        &self.model
+    }
+
+    /// The lowered model's display name.
+    pub fn arch(&self) -> &str {
+        self.model.arch()
+    }
+
+    /// Batched inference with the captured resolution — bit-identical
+    /// to [`QModel::forward_batch`] under the same assignment, which is
+    /// itself bit-identical to per-sample [`QModel::forward`] for any
+    /// partition of the inputs into batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an input shape mismatch.
+    pub fn forward_batch(&self, xs: &[&Tensor]) -> Vec<Tensor> {
+        self.model.forward_batch_resolved(xs, &self.execs)
+    }
+
+    /// Argmax class predictions for a batch, fused like
+    /// [`PreparedModel::forward_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an input shape mismatch.
+    pub fn predict_batch(&self, xs: &[&Tensor]) -> Vec<usize> {
+        self.forward_batch(xs)
+            .iter()
+            .map(|l| l.argmax().expect("non-empty lengths"))
+            .collect()
+    }
+}
+
 /// Classification accuracy of the quantized datapath over a dataset
 /// under a heterogeneous multiplier assignment. Deterministic; samples
 /// run through the batched executor in [`EVAL_BATCH`]-wide fused GEMMs.
@@ -874,6 +949,36 @@ mod tests {
             single[0].clone(),
             "re-running reproduces the output exactly"
         );
+    }
+
+    #[test]
+    fn prepared_model_matches_forward_and_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PreparedModel>();
+
+        let mut rng = TensorRng::from_seed(517);
+        let mut model = CapsNet::new(&CapsNetConfig::small(1, 16), &mut rng);
+        let images: Vec<Tensor> = (0..3)
+            .map(|_| rng.uniform(&[1, 16, 16], 0.0, 1.0))
+            .collect();
+        let q = QModel::calibrated(&mut model, images.iter()).unwrap();
+        let (assignment, luts) = exact_setup();
+        let prepared = PreparedModel::new(q.clone(), &assignment, &luts).unwrap();
+        let refs: Vec<&Tensor> = images.iter().collect();
+        // The captured resolution reproduces forward_batch bit for bit,
+        // and a worker-owned clone reproduces the template bit for bit.
+        assert_eq!(
+            prepared.forward_batch(&refs),
+            q.forward_batch(&refs, &assignment, &luts).unwrap()
+        );
+        let clone = prepared.clone();
+        assert_eq!(clone.forward_batch(&refs), prepared.forward_batch(&refs));
+        let preds = prepared.predict_batch(&refs);
+        for (x, pred) in images.iter().zip(preds) {
+            assert_eq!(pred, q.predict(x, &assignment, &luts).unwrap());
+        }
+        // Construction fails loudly on an uncovered assignment.
+        assert!(PreparedModel::new(q, &DatapathAssignment::uniform("mul8u_ghost"), &luts).is_err());
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! # redcane-serve
+//!
+//! A dynamic-batching inference serving engine over the quantized
+//! approximate datapath.
+//!
+//! The rest of the workspace evaluates assignments *offline*: sweep a
+//! dataset through [`QModel`](redcane_qdp::QModel) under one
+//! [`DatapathAssignment`](redcane_qdp::DatapathAssignment) at a time.
+//! This crate answers the deployment-side question the paper's Step 6
+//! designs ultimately feed into: what latency and throughput does a
+//! heterogeneous approximate datapath deliver when **many models and
+//! assignments are served concurrently** from one process?
+//!
+//! Three pieces, std-only:
+//!
+//! - [`queue::RequestQueue`] — a mutex/condvar request queue with an
+//!   **adaptive dynamic batcher**: a batch is cut when a served model
+//!   accumulates `max_batch` requests or its oldest request exceeds
+//!   `max_wait`, whichever first. With `max_wait = None` the batcher
+//!   runs *fill-only*, making batch composition (and therefore every
+//!   deterministic work counter) independent of wall clock and worker
+//!   count.
+//! - [`engine::Engine`] — resolves every served (model × assignment)
+//!   pair once into a [`PreparedModel`](redcane_qdp::PreparedModel)
+//!   template over one shared [`LutCache`](redcane_qdp::LutCache),
+//!   then runs a `std::thread::scope` worker pool in which each
+//!   worker clones the templates (owned model data, shared `Arc` LUT
+//!   tables) and executes batches.
+//! - [`engine::Submitter`] — the client handle: submit a request,
+//!   get a channel the [`queue::Response`] arrives on.
+//!
+//! **Determinism contract**: every response's prediction is
+//! bit-identical to a single-request `predict` on the same model and
+//! assignment, for *any* batching of the request stream — batch fusion
+//! in the datapath is bit-exact and the batcher only decides where
+//! cuts fall. The property is proptested over random partitions in
+//! `tests/batching_equivalence.rs` and exercised under concurrent
+//! load by the `serve` bench binary.
+
+pub mod engine;
+pub mod queue;
+
+pub use engine::{Engine, ModelStats, ServeConfig, ServeStats, Submitter};
+pub use queue::{Request, RequestQueue, Response};

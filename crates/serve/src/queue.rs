@@ -1,0 +1,305 @@
+//! The request queue and the adaptive dynamic batcher.
+//!
+//! Client threads [`enqueue`](RequestQueue::enqueue) single-image
+//! requests tagged with a served-model index; worker threads pull
+//! [`next_batch`](RequestQueue::next_batch), which coalesces pending
+//! requests **of one model** — a batch runs through one prepared
+//! program — under one of two cut policies:
+//!
+//! - **Adaptive** (`max_wait = Some(d)`): a batch is cut as soon as a
+//!   model has `max_batch` requests pending, or when its oldest
+//!   pending request has waited `d`, whichever comes first. This is
+//!   the latency-measurement mode: small under light load, full under
+//!   heavy load.
+//! - **Fill-only** (`max_wait = None`): batches are cut **only** at
+//!   `max_batch`, with partial tails flushed at
+//!   [`close`](RequestQueue::close). Batch composition then depends
+//!   only on each model's request *subsequence* — request `i` of model
+//!   `m` always lands in batch `i / max_batch` — never on wall clock
+//!   or worker count, which is what makes the serve work counters
+//!   byte-identical across `REDCANE_THREADS`. Profiled runs use this
+//!   mode.
+//!
+//! Within a model, requests batch strictly in arrival order, so
+//! responses are bit-identical to per-request `predict` either way
+//! (batch fusion itself is bit-exact); the policy only decides *where
+//! the cuts fall*.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use redcane_tensor::Tensor;
+use redcane_trace as trace;
+
+/// One enqueued inference request.
+pub struct Request {
+    /// Global arrival sequence number (FIFO tie-break across models).
+    pub seq: u64,
+    /// Index into the engine's served-model table.
+    pub model: usize,
+    /// The input image.
+    pub input: Tensor,
+    /// When the request entered the queue (latency measurement).
+    pub enqueued: Instant,
+    /// Where the worker sends the response.
+    pub reply: Sender<Response>,
+}
+
+/// One fulfilled request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The request's sequence number.
+    pub seq: u64,
+    /// The served-model index that produced the prediction.
+    pub model: usize,
+    /// Argmax class prediction — bit-identical to single-request
+    /// `predict` under the same assignment.
+    pub prediction: usize,
+    /// Queue + batch + inference latency (enqueue → response send).
+    pub latency: Duration,
+}
+
+struct QueueState {
+    /// Pending requests per served model, arrival order.
+    pending: Vec<VecDeque<Request>>,
+    /// Total pending across models.
+    depth: usize,
+    /// Next arrival sequence number.
+    next_seq: u64,
+    /// Cleared by [`RequestQueue::close`]; workers drain and exit.
+    open: bool,
+}
+
+/// The shared queue: one mutex-guarded state plus a condvar workers
+/// park on.
+pub struct RequestQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    max_batch: usize,
+    max_wait: Option<Duration>,
+}
+
+impl RequestQueue {
+    /// An open queue for `models` served models.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_batch` is zero.
+    pub fn new(models: usize, max_batch: usize, max_wait: Option<Duration>) -> Self {
+        assert!(max_batch > 0, "max_batch must be at least 1");
+        RequestQueue {
+            state: Mutex::new(QueueState {
+                pending: (0..models).map(|_| VecDeque::new()).collect(),
+                depth: 0,
+                next_seq: 0,
+                open: true,
+            }),
+            ready: Condvar::new(),
+            max_batch,
+            max_wait,
+        }
+    }
+
+    /// The configured batch-size ceiling.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Enqueues one request and wakes a worker. Returns the assigned
+    /// sequence number and the total queue depth right after the push
+    /// (the bench's queue-depth statistic).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the queue was already closed or `model` is out of
+    /// range.
+    pub fn enqueue(&self, model: usize, input: Tensor, reply: Sender<Response>) -> (u64, usize) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        assert!(state.open, "enqueue after close");
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.pending[model].push_back(Request {
+            seq,
+            model,
+            input,
+            enqueued: Instant::now(),
+            reply,
+        });
+        state.depth += 1;
+        let depth = state.depth;
+        if trace::enabled() {
+            trace::add(trace::Counter::ServeRequests, 1);
+        }
+        drop(state);
+        self.ready.notify_one();
+        (seq, depth)
+    }
+
+    /// Closes the queue: pending tails become cuttable, workers drain
+    /// what is left and then receive `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").open = false;
+        self.ready.notify_all();
+    }
+
+    /// Blocks until a batch is ready (per the cut policy) and returns
+    /// it, or `None` once the queue is closed and drained. Among
+    /// cuttable models, the one whose head request arrived first wins
+    /// (head-of-line fairness); within the model, requests leave in
+    /// arrival order.
+    pub fn next_batch(&self) -> Option<(usize, Vec<Request>)> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(model) = self.cuttable(&state) {
+                let take = state.pending[model].len().min(self.max_batch);
+                let batch: Vec<Request> = state.pending[model].drain(..take).collect();
+                state.depth -= batch.len();
+                if trace::enabled() {
+                    trace::add(trace::Counter::ServeBatches, 1);
+                    trace::add(trace::Counter::ServeItemsCoalesced, batch.len() as u64);
+                    trace::add_max(trace::Counter::ServeBatchMax, batch.len() as u64);
+                }
+                // More work may remain ready (another full batch, or
+                // several flushable tails at close); pass the baton.
+                self.ready.notify_one();
+                return Some((model, batch));
+            }
+            if !state.open && state.depth == 0 {
+                // Drained and closed: release the next parked worker.
+                self.ready.notify_one();
+                return None;
+            }
+            state = match self.park_timeout(&state) {
+                Some(timeout) => {
+                    self.ready
+                        .wait_timeout(state, timeout)
+                        .expect("queue poisoned")
+                        .0
+                }
+                None => self.ready.wait(state).expect("queue poisoned"),
+            };
+        }
+    }
+
+    /// The model to cut a batch from, if any is ready: full batch,
+    /// expired head deadline (adaptive only), or any tail once closed.
+    /// Ties break toward the oldest head request.
+    fn cuttable(&self, state: &QueueState) -> Option<usize> {
+        let mut winner: Option<(u64, usize)> = None;
+        for (model, pending) in state.pending.iter().enumerate() {
+            let Some(head) = pending.front() else {
+                continue;
+            };
+            let ready = pending.len() >= self.max_batch
+                || !state.open
+                || self.max_wait.is_some_and(|w| head.enqueued.elapsed() >= w);
+            if ready && winner.is_none_or(|(seq, _)| head.seq < seq) {
+                winner = Some((head.seq, model));
+            }
+        }
+        winner.map(|(_, model)| model)
+    }
+
+    /// How long a worker may park before a head deadline could expire;
+    /// `None` parks indefinitely (fill-only mode, or nothing pending —
+    /// an enqueue or close always notifies).
+    fn park_timeout(&self, state: &QueueState) -> Option<Duration> {
+        let max_wait = self.max_wait?;
+        state
+            .pending
+            .iter()
+            .filter_map(|q| q.front())
+            .map(|head| max_wait.saturating_sub(head.enqueued.elapsed()))
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn image() -> Tensor {
+        Tensor::zeros(&[1, 2, 2])
+    }
+
+    #[test]
+    fn fill_only_cuts_at_max_batch_and_flushes_tails_at_close() {
+        let queue = RequestQueue::new(2, 3, None);
+        let (tx, _rx) = mpsc::channel();
+        for model in [0, 1, 0, 0, 1, 0] {
+            queue.enqueue(model, image(), tx.clone());
+        }
+        // Model 0 has 4 pending: one full batch is cuttable; model 1's
+        // 2 pending are not (no deadline in fill-only mode).
+        let (model, batch) = queue.next_batch().expect("full batch ready");
+        assert_eq!(model, 0);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(
+            batch.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 2, 3],
+            "arrival order within the model"
+        );
+        queue.close();
+        // Tails flush oldest-head-first: model 1 (seq 1) before the
+        // model-0 remainder (seq 5).
+        let (model, batch) = queue.next_batch().expect("tail");
+        assert_eq!((model, batch.len()), (1, 2));
+        let (model, batch) = queue.next_batch().expect("tail");
+        assert_eq!((model, batch.len()), (0, 1));
+        assert_eq!(batch[0].seq, 5);
+        assert!(queue.next_batch().is_none());
+        assert!(queue.next_batch().is_none(), "stays drained");
+    }
+
+    #[test]
+    fn adaptive_mode_cuts_an_aged_partial_batch() {
+        let queue = RequestQueue::new(1, 64, Some(Duration::from_millis(5)));
+        let (tx, _rx) = mpsc::channel();
+        queue.enqueue(0, image(), tx.clone());
+        queue.enqueue(0, image(), tx);
+        let t0 = Instant::now();
+        let (model, batch) = queue.next_batch().expect("deadline cut");
+        assert_eq!((model, batch.len()), (0, 2));
+        assert!(
+            t0.elapsed() >= Duration::from_millis(4),
+            "the cut waited for the deadline"
+        );
+        queue.close();
+        assert!(queue.next_batch().is_none());
+    }
+
+    #[test]
+    fn workers_drain_concurrently_and_every_request_is_served_once() {
+        let queue = RequestQueue::new(3, 4, None);
+        let (tx, rx) = mpsc::channel();
+        let total = 50;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    while let Some((model, batch)) = queue.next_batch() {
+                        for r in batch {
+                            assert_eq!(r.model, model);
+                            let _ = r.reply.send(Response {
+                                seq: r.seq,
+                                model,
+                                prediction: 0,
+                                latency: r.enqueued.elapsed(),
+                            });
+                        }
+                    }
+                });
+            }
+            for i in 0..total {
+                queue.enqueue(i % 3, image(), tx.clone());
+            }
+            queue.close();
+        });
+        drop(tx);
+        let mut seqs: Vec<u64> = rx.iter().map(|resp| resp.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..total as u64).collect::<Vec<_>>());
+    }
+}

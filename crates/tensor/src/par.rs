@@ -126,6 +126,10 @@ where
                 for (off, chunk) in head.chunks_mut(chunk_len).enumerate() {
                     f(start + off, chunk);
                 }
+                // Explicit flush: the scope unblocks when this closure
+                // returns, before TLS destructors would run, and a
+                // snapshot may follow immediately.
+                trace::flush();
             });
         }
     });
@@ -168,6 +172,8 @@ where
                 for (slot, i) in head.iter_mut().zip(start..end) {
                     *slot = Some(f(&mut state, i));
                 }
+                // Same flush-before-scope-unblock rule as above.
+                trace::flush();
             });
         }
     });

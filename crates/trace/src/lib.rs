@@ -39,13 +39,18 @@
 //!
 //! # Threading contract
 //!
-//! Worker threads (always scoped — `redcane_tensor::par` joins every
-//! worker before returning) flush their local collectors when they
-//! exit, so a [`snapshot`] taken between parallel regions on the
-//! coordinating thread sees every contribution. [`reset`] and
-//! [`snapshot`] must be called when no workers are live (true at every
-//! bench-binary call site, where parallel regions never outlive a
-//! pipeline stage).
+//! Worker threads (always scoped — `redcane_tensor::par` and the
+//! serving engine join every worker before returning) call [`flush`]
+//! at the end of their spawned closure, so a [`snapshot`] taken
+//! between parallel regions on the coordinating thread sees every
+//! contribution. The thread-local destructor also flushes as a
+//! backstop, but scoped workers cannot rely on it alone: the scope
+//! unblocks when the closure returns, while TLS destructors run during
+//! the later thread teardown — a snapshot in that window would miss
+//! (and a subsequent [`reset`] misattribute) the worker's counts.
+//! [`reset`] and [`snapshot`] must be called when no workers are live
+//! (true at every bench-binary call site, where parallel regions never
+//! outlive a pipeline stage).
 
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
@@ -93,10 +98,18 @@ pub enum Counter {
     ArtifactMisses,
     /// Artifact-store entries healed after corruption (**unstable**).
     ArtifactHeals,
+    /// Requests enqueued into a serving queue.
+    ServeRequests,
+    /// Batches the dynamic batcher formed.
+    ServeBatches,
+    /// Requests coalesced into batches (items across all batches).
+    ServeItemsCoalesced,
+    /// Largest batch formed (max-merged via [`add_max`], not summed).
+    ServeBatchMax,
 }
 
 /// Number of [`Counter`] variants.
-pub const NUM_COUNTERS: usize = 15;
+pub const NUM_COUNTERS: usize = 19;
 
 impl Counter {
     /// Every counter, in serialization order.
@@ -116,6 +129,10 @@ impl Counter {
         Counter::ArtifactHits,
         Counter::ArtifactMisses,
         Counter::ArtifactHeals,
+        Counter::ServeRequests,
+        Counter::ServeBatches,
+        Counter::ServeItemsCoalesced,
+        Counter::ServeBatchMax,
     ];
 
     /// Stable snake_case name used in JSON artifacts.
@@ -136,6 +153,10 @@ impl Counter {
             Counter::ArtifactHits => "artifact_hits",
             Counter::ArtifactMisses => "artifact_misses",
             Counter::ArtifactHeals => "artifact_heals",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeBatches => "serve_batches",
+            Counter::ServeItemsCoalesced => "serve_items_coalesced",
+            Counter::ServeBatchMax => "serve_batch_max",
         }
     }
 
@@ -143,7 +164,10 @@ impl Counter {
     /// across thread counts **and** across cold vs warm artifact
     /// stores, so it belongs in the byte-compared counter section of a
     /// profile. Store traffic is inherently cache-state-dependent, so
-    /// the artifact counters are excluded.
+    /// the artifact counters are excluded. The serve-plane counters
+    /// stay stable because `redcane-serve`'s fill-only batching mode
+    /// (the only mode profiled runs use) cuts batches purely by stream
+    /// position, never by wall clock or worker count.
     pub fn stable(self) -> bool {
         !matches!(
             self,
@@ -229,6 +253,22 @@ pub fn add(counter: Counter, n: u64) {
     });
 }
 
+/// Folds `n` into a counter by **max** instead of addition (batch-size
+/// peaks). Writes the global slot directly, bypassing the additive
+/// thread-local buffers — max does not commute with the per-thread
+/// flush addition — so it is safe to call from any thread; the cost is
+/// one `fetch_max` per call, which max-semantics counters pay rarely
+/// (once per batch, not once per item). No-op while tracing is
+/// disabled.
+#[inline]
+pub fn add_max(counter: Counter, n: u64) {
+    if !enabled() {
+        return;
+    }
+    let idx = REGION.load(Ordering::Relaxed) * NUM_COUNTERS + counter as usize;
+    TOTALS[idx].fetch_max(n, Ordering::Relaxed);
+}
+
 /// An RAII guard restoring the previous [`Region`] on drop.
 pub struct RegionGuard {
     prev: usize,
@@ -273,6 +313,16 @@ impl Snapshot {
     pub fn train(&self, counter: Counter) -> u64 {
         self.get(Region::Train, counter)
     }
+}
+
+/// Flushes the current thread's buffered counts into the global
+/// totals. Long-lived worker threads must call this at the end of
+/// their run loop, *before* the coordinator can snapshot: relying on
+/// the thread-local destructor is racy for `std::thread::scope`
+/// workers, whose scope unblocks when the spawned closure returns
+/// while TLS destructors run during the later thread teardown.
+pub fn flush() {
+    LOCAL.with(LocalBuf::flush);
 }
 
 /// Snapshots every counter total. Call from the coordinating thread
@@ -526,6 +576,28 @@ mod tests {
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].kind, "artifact_heal");
         assert_eq!(events[1].detail, "entry b");
+    }
+
+    #[test]
+    fn add_max_keeps_the_peak_across_threads_and_regions() {
+        let _guard = isolated();
+        std::thread::scope(|scope| {
+            for n in [3u64, 9, 5] {
+                scope.spawn(move || add_max(Counter::ServeBatchMax, n));
+            }
+        });
+        add_max(Counter::ServeBatchMax, 7);
+        assert_eq!(snapshot().run(Counter::ServeBatchMax), 9);
+        {
+            let _train = region(Region::Train);
+            add_max(Counter::ServeBatchMax, 100);
+        }
+        let snap = snapshot();
+        assert_eq!(snap.run(Counter::ServeBatchMax), 9);
+        assert_eq!(snap.train(Counter::ServeBatchMax), 100);
+        set_enabled(false);
+        add_max(Counter::ServeBatchMax, 1000);
+        assert_eq!(snap.run(Counter::ServeBatchMax), 9);
     }
 
     #[test]
