@@ -547,6 +547,7 @@ pub(crate) fn decode_artifact(
 
     let mut bodies: Vec<Vec<u8>> = Vec::with_capacity(SECTION_TAGS.len());
     for expected_tag in SECTION_TAGS {
+        // lint: allow(panic) — the section tag constants are 4-byte ASCII literals
         let section: &'static str = std::str::from_utf8(expected_tag).expect("tags are ASCII");
         if buf.remaining() < 12 {
             return Err(ArtifactError::Truncated { section });
@@ -572,11 +573,17 @@ pub(crate) fn decode_artifact(
         }
         bodies.push(body);
     }
+    // lint: allow(panic) — section count was validated against the header immediately above
     let fault_table = decode_faults(&bodies.pop().expect("six sections"))?;
+    // lint: allow(panic) — section count was validated against the header immediately above
     let activation_codes = bodies.pop().expect("six sections");
+    // lint: allow(panic) — section count was validated against the header immediately above
     let noise_table = decode_noise(&bodies.pop().expect("six sections"))?;
+    // lint: allow(panic) — section count was validated against the header immediately above
     let ranges = decode_ranges(&bodies.pop().expect("six sections"))?;
+    // lint: allow(panic) — section count was validated against the header immediately above
     let (epoch_losses, train_accuracy) = decode_meta(&bodies.pop().expect("six sections"))?;
+    // lint: allow(panic) — section count was validated against the header immediately above
     let weights = bodies.pop().expect("six sections");
     Ok((
         weights,

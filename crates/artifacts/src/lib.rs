@@ -36,6 +36,7 @@
 //! unreachable (the fingerprint is part of the file name), and entries
 //! whose tensor shapes no longer match the model are rejected by the
 //! weight codec.
+#![forbid(unsafe_code)]
 
 mod format;
 mod store;

@@ -234,6 +234,7 @@ fn first_heal_report(path: &Path) -> bool {
     REPORTED
         .get_or_init(|| Mutex::new(BTreeSet::new()))
         .lock()
+        // lint: allow(panic) — lock poisoning means another thread already panicked mid-run; propagating the abort is the only recovery
         .expect("heal-report set poisoned")
         .insert(path.to_path_buf())
 }

@@ -48,6 +48,7 @@
 //! // relative to the 16-bit product range.
 //! assert!(profile.noise_params().nm < 0.01);
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod adder;
 pub mod error_stats;

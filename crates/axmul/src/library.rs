@@ -295,6 +295,7 @@ impl MultiplierLibrary {
     /// Panics if the library was constructed without the exact component.
     pub fn exact(&self) -> &ComponentEntry {
         self.find("mul8u_1JFF")
+            // lint: allow(panic) — documented API contract ("# Panics"): every constructor seeds the exact component
             .expect("library always contains the exact component")
     }
 

@@ -41,6 +41,7 @@ impl MulLut {
             }
         }
         MulLut {
+            // lint: allow(panic) — the table length is pinned to 65536 entries by the preceding check
             table: table.try_into().expect("sized 65536"),
             description: model.description(),
         }
@@ -68,6 +69,7 @@ impl MulLut {
         let start = (a as usize) << 8;
         self.table[start..start + 256]
             .try_into()
+            // lint: allow(panic) — the row length is pinned to 256 entries by construction
             .expect("sized 256")
     }
 
@@ -105,6 +107,7 @@ impl MulLut {
             }
         }
         MulLut {
+            // lint: allow(panic) — the table length is pinned to 65536 entries by the preceding check
             table: table.try_into().expect("sized 65536"),
             description: format!("{} [{}]", self.description, description_suffix),
         }

@@ -483,6 +483,7 @@ impl LutMultiplier {
                 table[(a as usize) << 8 | b as usize] = inner.multiply(a as u8, b as u8);
             }
         }
+        // lint: allow(panic) — the table length is pinned to 65536 entries by the preceding check
         let table: Box<[u16; 65536]> = table.try_into().expect("sized 65536");
         LutMultiplier {
             table,

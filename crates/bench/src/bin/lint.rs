@@ -1,0 +1,32 @@
+//! Workspace lint driver: `cargo run -p redcane-bench --bin lint`.
+//!
+//! Runs `redcane-lint` over every `crates/**/src/**.rs` file with the
+//! rules configured in the workspace-root `lint-allow.toml`, prints
+//! findings as `file:line: rule — message`, and exits nonzero on any
+//! finding. CI runs this as the "Workspace lint" step before the
+//! build matrix.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let start = std::env::current_dir().unwrap_or_else(|_| Path::new(".").to_path_buf());
+    let Some(root) = redcane_lint::find_root(&start) else {
+        eprintln!(
+            "lint: no lint-allow.toml found walking up from {} — run from the workspace",
+            start.display()
+        );
+        return ExitCode::FAILURE;
+    };
+    match redcane_lint::run(&root) {
+        Ok(0) => {
+            println!("redcane-lint: workspace clean (rules R1–R5)");
+            ExitCode::SUCCESS
+        }
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

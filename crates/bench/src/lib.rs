@@ -14,6 +14,7 @@
 //! The library exposes the pipeline itself ([`run_pipeline`]) so
 //! integration tests can run the exact same code path as the binary and
 //! parse the exact same JSON ([`outcome_to_json`]).
+#![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::time::Instant;

@@ -63,7 +63,7 @@ impl std::fmt::Display for OpKind {
 }
 
 /// Identifies one tagged operation instance in a model.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct OpSite {
     /// Index of the producing layer in the model's layer order.
     pub layer_index: usize,
@@ -147,7 +147,9 @@ pub struct RecordingInjector {
     /// Up to `max_values_per_site` values kept per distinct site.
     pub max_values_per_site: usize,
     /// Sampled values, parallel to the distinct sites in `visits`.
-    pub values: std::collections::HashMap<OpSite, Vec<f32>>,
+    /// Ordered so `values_where` concatenates in site order, never
+    /// hasher order (lint rule R1: these reach stable outputs).
+    pub values: std::collections::BTreeMap<OpSite, Vec<f32>>,
 }
 
 impl RecordingInjector {
@@ -168,7 +170,7 @@ impl RecordingInjector {
 
     /// Distinct sites in first-visit order.
     pub fn distinct_sites(&self) -> Vec<OpSite> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let mut out = Vec::new();
         for s in &self.visits {
             if seen.insert(s.clone()) {

@@ -86,7 +86,8 @@ pub fn weights_from_bytes(model: &mut dyn CapsModel, data: &[u8]) -> io::Result<
         for _ in 0..n {
             data.push(buf.get_f32_le());
         }
-        p.value = Tensor::from_vec(data, &shape).expect("sized");
+        p.value = Tensor::from_vec(data, &shape)
+            .map_err(|e| fail(&format!("weight tensor rejected by shape check: {e}")))?;
     }
     Ok(())
 }

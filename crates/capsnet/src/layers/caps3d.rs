@@ -161,6 +161,7 @@ impl ConvCaps3d {
         let v = routing
             .v
             .reshape(&[self.c_out, self.d_out, h_out, w_out])
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("spatial unfold");
         self.cache = Some(Caps3dCache {
             routing,
@@ -179,12 +180,14 @@ impl ConvCaps3d {
         let cache = self
             .cache
             .take()
+            // lint: allow(panic) — API contract: backward() consumes the cache that forward() stores
             .expect("ConvCaps3d::backward before forward");
         let (h_out, w_out) = cache.out_hw;
         let (h, w) = cache.in_hw;
         let p = h_out * w_out;
         let dv = d_out
             .reshape(&[self.c_out, self.d_out, p])
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("gradient capsule fold");
         let dvotes = dynamic_routing_backward_scratched(&mut self.scratch, &cache.routing, &dv);
         // Scatter per-type vote gradients through each conv.
@@ -195,6 +198,7 @@ impl ConvCaps3d {
                 dvotes.data()[i * stride_i..(i + 1) * stride_i].to_vec(),
                 &[self.c_out * self.d_out, h_out, w_out],
             )
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("sized");
             let dxi = conv.backward(&gi); // [D_in, h, w]
             let dst_base = i * self.d_in * h * w;

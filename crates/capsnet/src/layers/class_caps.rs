@@ -129,6 +129,7 @@ impl ClassCaps {
             1,
         );
         let mut votes =
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             Tensor::from_vec(votes, &[self.i_caps, self.j_caps, self.d_out, 1]).expect("sized");
         injector.inject(
             &OpSite::new(self.layer_index, self.name.clone(), OpKind::MacOutput),
@@ -145,6 +146,7 @@ impl ClassCaps {
         let v = cache
             .v
             .reshape(&[self.j_caps, self.d_out])
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("drop P=1");
         self.cache = Some((u.clone(), cache));
         v
@@ -160,9 +162,11 @@ impl ClassCaps {
         let (u, cache) = self
             .cache
             .take()
+            // lint: allow(panic) — API contract: backward() consumes the cache that forward() stores
             .expect("ClassCaps::backward before forward");
         let dv3 = dv
             .reshape(&[self.j_caps, self.d_out, 1])
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("restore P=1");
         let dvotes = dynamic_routing_backward_scratched(&mut self.scratch, &cache, &dv3);
         let dvd = dvotes.data();
@@ -197,6 +201,7 @@ impl ClassCaps {
             );
         }
         self.votes_pool = self.scratch.recycle(cache);
+        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
         Tensor::from_vec(du, &[self.i_caps, self.d_in]).expect("sized")
     }
 

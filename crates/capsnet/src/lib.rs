@@ -27,6 +27,7 @@
 //! // Capsule lengths are probabilities (squashed vectors).
 //! assert!(lengths.data().iter().all(|&l| (0.0..1.0).contains(&l)));
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod census;
 pub mod config;

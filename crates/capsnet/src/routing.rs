@@ -57,6 +57,7 @@ pub struct RoutingCache {
 impl RoutingCache {
     /// Final coupling coefficients `[I, J, P]`.
     pub fn k_last(&self) -> &Tensor {
+        // lint: allow(panic) — RoutingConfig guarantees at least one iteration, so history is non-empty
         &self.history.last().expect("iterations >= 1").k
     }
 }
@@ -212,6 +213,7 @@ pub fn dynamic_routing_scratched(
         } else {
             softmax_over_j(b.data(), &mut kbuf, i_caps, j_caps, p);
         }
+        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
         let mut k = Tensor::from_vec(kbuf, &[i_caps, j_caps, p]).expect("sized");
         injector.inject(
             &OpSite::routing(layer_index, layer_name, OpKind::Softmax, iter),
@@ -221,6 +223,7 @@ pub fn dynamic_routing_scratched(
         let mut sbuf = take_buf(&mut scratch.pool_s, j_caps * d * p);
         sbuf.fill(0.0);
         weighted_vote_sum(vd, k.data(), &mut sbuf, i_caps, j_caps, d, p);
+        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
         let mut s = Tensor::from_vec(sbuf, &[j_caps, d, p]).expect("sized");
         injector.inject(
             &OpSite::routing(layer_index, layer_name, OpKind::MacOutput, iter),
@@ -229,6 +232,7 @@ pub fn dynamic_routing_scratched(
         // 3. Squash, into a recycled buffer.
         let mut vbuf = take_buf(&mut scratch.pool_v, j_caps * d * p);
         squash_slices(s.data(), &mut vbuf, j_caps, d, p);
+        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
         let mut v = Tensor::from_vec(vbuf, &[j_caps, d, p]).expect("sized");
         injector.inject(
             &OpSite::routing(layer_index, layer_name, OpKind::Activation, iter),
@@ -244,6 +248,7 @@ pub fn dynamic_routing_scratched(
         }
         history.push(RoutingIterState { k, s, v });
     }
+    // lint: allow(panic) — RoutingConfig guarantees at least one iteration, so history is non-empty
     let v = history.last().expect("iterations >= 1").v.clone();
     RoutingCache { votes, history, v }
 }
@@ -433,6 +438,7 @@ pub fn dynamic_routing_backward_scratched(
         std::mem::swap(&mut scratch.db, &mut scratch.db_next);
         have_db = true;
     }
+    // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
     Tensor::from_vec(dvotes, cache.votes.shape()).expect("sized")
 }
 
@@ -618,6 +624,7 @@ pub mod reference {
         let vd = votes.data();
         for r in 0..iterations {
             let iter = r as u8;
+            // lint: allow(panic) — rank was checked by the caller/construction path
             let mut k = b.softmax_axis(1).expect("rank-3 softmax over J");
             injector.inject(
                 &OpSite::routing(layer_index, layer_name, OpKind::Softmax, iter),
@@ -766,6 +773,7 @@ pub mod reference {
             }
             db_next = Some(db_r);
         }
+        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
         Tensor::from_vec(dvotes, cache.votes.shape()).expect("sized")
     }
 }

@@ -20,6 +20,7 @@ const EPS: f32 = 1e-8;
 /// Panics unless the tensor is rank 3.
 pub fn squash_caps(s: &Tensor) -> Tensor {
     assert_eq!(s.ndim(), 3, "squash_caps expects [C, D, P]");
+    // lint: allow(panic) — rank was checked by the caller/construction path
     s.squash_axis(1).expect("rank checked")
 }
 
@@ -67,6 +68,7 @@ pub fn squash_caps_backward(s: &Tensor, dv: &Tensor) -> Tensor {
     let (c_types, d, p) = (s.shape()[0], s.shape()[1], s.shape()[2]);
     let mut out = vec![0.0f32; s.len()];
     squash_backward_slices(s.data(), dv.data(), &mut out, c_types, d, p);
+    // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
     Tensor::from_vec(out, s.shape()).expect("sized")
 }
 
@@ -113,6 +115,7 @@ pub(crate) fn squash_backward_slices(
 /// Panics unless the tensor is rank 3.
 pub fn caps_lengths(v: &Tensor) -> Tensor {
     assert_eq!(v.ndim(), 3, "caps_lengths expects [C, D, P]");
+    // lint: allow(panic) — rank was checked by the caller/construction path
     v.norm_axis(1).expect("rank checked")
 }
 
@@ -144,6 +147,7 @@ pub fn caps_lengths_backward(v: &Tensor, d_lengths: &Tensor) -> Tensor {
             }
         }
     }
+    // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
     Tensor::from_vec(out, v.shape()).expect("sized")
 }
 

@@ -109,6 +109,7 @@ impl GroupSweep {
         self.curves
             .iter()
             .find(|c| c.target == group)
+            // lint: allow(panic) — the sweep enumerates all four operation groups by construction
             .expect("sweep covers all four groups")
     }
 }
@@ -175,11 +176,13 @@ fn run_cells<M: CapsModel + Clone + Send + Sync>(
                         NoiseModel::new(*nm, cfg.na),
                         task_seed(cfg.seed, tag, *nm),
                     );
+                    // lint: allow(panic) — lock poisoning means another thread already panicked mid-run; propagating the abort is the only recovery
                     results.lock().expect("no poisoned lock")[idx] = acc;
                 }
             });
         }
     });
+    // lint: allow(panic) — lock poisoning means another thread already panicked mid-run; propagating the abort is the only recovery
     results.into_inner().expect("no poisoned lock")
 }
 
@@ -218,6 +221,7 @@ pub fn group_sweep<M: CapsModel + Clone + Send + Sync>(
             .nm_values
             .iter()
             .map(|&nm| {
+                // lint: allow(panic) — the parallel map returns exactly one result per submitted task
                 let accuracy = it.next().expect("one result per task");
                 SweepPoint {
                     nm,
@@ -269,6 +273,7 @@ pub fn layer_sweep<M: CapsModel + Clone + Send + Sync>(
             .nm_values
             .iter()
             .map(|&nm| {
+                // lint: allow(panic) — the parallel map returns exactly one result per submitted task
                 let accuracy = it.next().expect("one result per task");
                 SweepPoint {
                     nm,

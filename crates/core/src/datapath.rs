@@ -82,6 +82,7 @@ impl DatapathAssignment {
                 map.insert((layer.into(), kind, in_routing), component.into());
             }
             DatapathAssignment::Uniform(_) => {
+                // lint: allow(panic) — documented API contract ("# Panics"): a uniform assignment has no site structure to refine
                 panic!("cannot add per-site entries to a uniform assignment")
             }
         }

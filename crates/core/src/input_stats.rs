@@ -47,6 +47,7 @@ impl InputProfile {
         let all_values = rec.values_where(|s| s.kind == OpKind::MacInput);
         let (lo, hi) = min_max(&all_values);
         let params = QuantParams::from_range(lo.min(0.0), hi.max(lo.min(0.0) + 1e-3), 8)
+            // lint: allow(panic) — the range was clamped finite immediately above
             .expect("observed range is finite");
         let activation_codes: Vec<u8> = all_values
             .iter()
@@ -61,6 +62,7 @@ impl InputProfile {
             w
         };
         let (wlo, whi) = min_max(&weights);
+        // lint: allow(panic) — the range was clamped finite immediately above
         let wparams = QuantParams::from_range(wlo, whi.max(wlo + 1e-3), 8).expect("finite weights");
         let weight_codes: Vec<u8> = weights.iter().map(|&v| wparams.quantize(v) as u8).collect();
         // Per-layer histograms over the code domain.

@@ -376,6 +376,7 @@ impl<'a> Parser<'a> {
                     // boundaries are valid).
                     let rest = &self.bytes[self.pos..];
                     let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    // lint: allow(panic) — non-empty by the preceding check
                     let c = s.chars().next().expect("non-empty");
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -407,6 +408,7 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
+        // lint: allow(panic) — the scanner only accumulated ASCII digit/sign bytes
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number chars");
         text.parse::<f64>()
             .map(Value::Num)

@@ -271,6 +271,7 @@ pub fn select_components<M: CapsModel + Clone + Send + Sync, B: AccuracyBackend>
                 characterized
                     .iter()
                     .find(|(name, _, _, _)| name == "mul8u_1JFF")
+                    // lint: allow(panic) — library construction always seeds the exact component
                     .expect("library contains the exact component")
             });
         assignments.push(Assignment {
@@ -310,10 +311,12 @@ pub fn select_components<M: CapsModel + Clone + Send + Sync, B: AccuracyBackend>
     );
     let predicted_accuracy = predictor
         .evaluate(model, validation, &datapath)
+        // lint: allow(panic) — selection only draws from the characterized table
         .expect("every selected component is characterized");
     let measured_accuracy = measured.map(|backend| {
         backend
             .evaluate(model, validation, &datapath)
+            // lint: allow(panic) — fail-fast: a backend scoring failure invalidates the whole selection sweep
             .unwrap_or_else(|e| panic!("measured backend cannot score the design: {e}"))
     });
 

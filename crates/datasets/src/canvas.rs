@@ -149,6 +149,7 @@ impl Canvas {
     /// Converts to a `[1, H, W]` tensor.
     pub fn to_tensor(&self) -> Tensor {
         Tensor::from_vec(self.pixels.clone(), &[1, self.height, self.width])
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("canvas pixels sized to shape")
     }
 
@@ -170,6 +171,7 @@ pub fn stack_rgb(r: &Canvas, g: &Canvas, b: &Canvas) -> Tensor {
     data.extend_from_slice(&r.pixels);
     data.extend_from_slice(&g.pixels);
     data.extend_from_slice(&b.pixels);
+    // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
     Tensor::from_vec(data, &[3, r.height, r.width]).expect("sized")
 }
 

@@ -108,6 +108,7 @@ pub fn render(class: usize, h: usize, w: usize, rng: &mut TensorRng) -> Tensor {
                 }
             }
         }
+        // lint: allow(panic) — unreachable: the class index was validated by the preceding check
         _ => unreachable!("class checked above"),
     }
     // Colorize: out = bg + mask * (fg - bg), per channel, plus noise.

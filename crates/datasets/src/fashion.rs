@@ -87,6 +87,7 @@ pub fn render(class: usize, h: usize, w: usize, rng: &mut TensorRng) -> Tensor {
             c.fill_rect(s(hf * 0.20), s(wf * 0.40), s(hf * 0.80), s(wf * 0.65), ink);
             c.fill_rect(s(hf * 0.62), s(wf * 0.40), s(hf * 0.82), s(wf * 0.88), ink);
         }
+        // lint: allow(panic) — unreachable: the class index was validated by the preceding check
         _ => unreachable!("class checked above"),
     }
 

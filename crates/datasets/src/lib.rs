@@ -35,6 +35,7 @@
 //! assert_eq!(pair.test.len(), 16);
 //! assert_eq!(pair.train.num_classes, 10);
 //! ```
+#![forbid(unsafe_code)]
 
 mod canvas;
 mod cifar;

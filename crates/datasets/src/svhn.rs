@@ -58,6 +58,7 @@ pub fn render(class: usize, h: usize, w: usize, rng: &mut TensorRng) -> Tensor {
     for (ci, canvas) in channels.iter_mut().enumerate() {
         for y in 0..h {
             for x in 0..w {
+                // lint: allow(panic) — indices iterate the tensor's own dims, so they are in bounds
                 let g = glyph.get(&[0, y, x]).expect("in bounds");
                 if g > 0.35 {
                     canvas.stamp(y as isize, x as isize, g * fg[ci]);

@@ -9,6 +9,7 @@
 //! whose MACs fire in every routing iteration counts more than a
 //! single softmax site), mirroring how the paper reports total
 //! multiplier power of the selected design.
+#![forbid(unsafe_code)]
 
 use redcane::report::group_slug;
 use redcane::{GroupInventory, RedCaNeReport};

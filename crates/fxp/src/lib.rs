@@ -33,6 +33,7 @@
 //! # Ok(())
 //! # }
 //! ```
+#![forbid(unsafe_code)]
 
 mod error;
 mod quant;

@@ -147,6 +147,7 @@ impl QuantizedTensor {
             .iter()
             .map(|&c| self.params.dequantize(c))
             .collect();
+        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
         Tensor::from_vec(data, &self.shape).expect("codes sized to shape")
     }
 }

@@ -1,0 +1,332 @@
+//! A minimal Rust lexer: just enough to strip comments, string/char
+//! literals and doc text from a source file while keeping line numbers,
+//! so the rule engine never matches inside prose or literals.
+//!
+//! This is deliberately **not** a parser. The workspace bans proc-macro
+//! dependencies (offline-shims policy), and the invariant rules only
+//! need token streams plus brace structure: identifiers, single-char
+//! punctuation, and the `// lint: allow(...)` escape markers found in
+//! line comments.
+
+/// One lexed token with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based line number.
+    pub line: usize,
+    /// What the token is.
+    pub kind: TokKind,
+}
+
+/// Token payload: identifiers/keywords keep their text, everything else
+/// degrades to single punctuation characters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier, keyword, or numeric literal head.
+    Ident(String),
+    /// One punctuation character (`{`, `.`, `!`, …).
+    Punct(char),
+}
+
+impl TokKind {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokKind::Ident(s) => Some(s.as_str()),
+            TokKind::Punct(_) => None,
+        }
+    }
+}
+
+/// An in-source `// lint: allow(<rule>) — <reason>` escape marker.
+///
+/// A marker suppresses findings of `rule` on its own line and on the
+/// line directly below it, so it can ride at the end of the offending
+/// line or on its own line just above. The reason text after the
+/// closing parenthesis (any of `—`/`–`/`-`/`:` may introduce it) is
+/// mandatory; the rule engine reports reasonless markers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Marker {
+    /// 1-based line the marker comment sits on.
+    pub line: usize,
+    /// Rule name inside `allow(...)` (e.g. `panic`, `determinism`).
+    pub rule: String,
+    /// Justification text after the marker; may be empty (reported).
+    pub reason: String,
+}
+
+/// Lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order (comments/literals stripped).
+    pub tokens: Vec<Token>,
+    /// Every `lint: allow` marker found in line comments.
+    pub markers: Vec<Marker>,
+}
+
+/// Lexes `src`, stripping comments and literals.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                if let Some(m) = parse_marker(&text, line) {
+                    out.markers.push(m);
+                }
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                // Block comments nest in Rust.
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                i = skip_string(&b, i, &mut line);
+            }
+            '\'' => {
+                i = skip_char_or_lifetime(&b, i, &mut line);
+            }
+            'r' | 'b' if is_literal_prefix(&b, i) => {
+                i = skip_prefixed_literal(&b, i, &mut line);
+            }
+            _ if c == '_' || c.is_alphanumeric() => {
+                let start = i;
+                while i < b.len() && (b[i] == '_' || b[i].is_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    line,
+                    kind: TokKind::Ident(b[start..i].iter().collect()),
+                });
+            }
+            _ => {
+                if !c.is_whitespace() {
+                    out.tokens.push(Token {
+                        line,
+                        kind: TokKind::Punct(c),
+                    });
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Does position `i` start a raw/byte string literal prefix
+/// (`r"`, `r#"`, `b"`, `br"`, `br#"`)?
+fn is_literal_prefix(b: &[char], i: usize) -> bool {
+    // Must not be the tail of a longer identifier.
+    if i > 0 && (b[i - 1] == '_' || b[i - 1].is_alphanumeric()) {
+        return false;
+    }
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if b.get(j) == Some(&'r') {
+        j += 1;
+        while b.get(j) == Some(&'#') {
+            j += 1;
+        }
+        return b.get(j) == Some(&'"');
+    }
+    b[i] == 'b' && b.get(j) == Some(&'"')
+}
+
+/// Skips a literal starting with `r`/`b` prefixes at `i`; returns the
+/// index one past its closing quote.
+fn skip_prefixed_literal(b: &[char], mut i: usize, line: &mut usize) -> usize {
+    let mut raw = false;
+    if b[i] == 'b' {
+        i += 1;
+    }
+    if b.get(i) == Some(&'r') {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if !raw {
+        return skip_string(b, i, line);
+    }
+    i += 1; // opening quote
+    while i < b.len() {
+        if b[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == '"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && b.get(j) == Some(&'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skips a `"…"` string with escapes starting at the opening quote.
+fn skip_string(b: &[char], mut i: usize, line: &mut usize) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Distinguishes `'a'` / `'\n'` char literals from `'a` lifetimes and
+/// skips accordingly.
+fn skip_char_or_lifetime(b: &[char], i: usize, _line: &mut usize) -> usize {
+    if b.get(i + 1) == Some(&'\\') {
+        // Escaped char literal: '\x41', '\n', '\'' …
+        let mut j = i + 2;
+        while j < b.len() && b[j] != '\'' {
+            j += 1;
+        }
+        return j + 1;
+    }
+    if b.get(i + 2) == Some(&'\'') {
+        return i + 3; // plain 'x'
+    }
+    i + 1 // lifetime: consume the quote, the ident lexes normally
+}
+
+/// Parses a `lint: allow(<rule>)` marker out of one line comment.
+fn parse_marker(comment: &str, line: usize) -> Option<Marker> {
+    let at = comment.find("lint: allow(")?;
+    let rest = &comment[at + "lint: allow(".len()..];
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    if rule.is_empty() {
+        return None;
+    }
+    let mut reason = rest[close + 1..].trim_start();
+    // Strip the introducing separator (em/en dash, hyphen or colon).
+    for sep in ["—", "–", "-", ":"] {
+        if let Some(r) = reason.strip_prefix(sep) {
+            reason = r;
+            break;
+        }
+    }
+    Some(Marker {
+        line,
+        rule,
+        reason: reason.trim().to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.kind.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = "let x = \"HashMap\"; // HashMap here\n/* HashMap */ let y = 1;";
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_strings() {
+        let src = "/* a /* b */ c */ fn f() { let s = r#\"un\"safe\"#; }";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["fn", "f", "let", "s"]);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { ';' }";
+        let ids = idents(src);
+        assert!(ids.contains(&"a".to_string()));
+        assert!(ids.contains(&"char".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_literals() {
+        let src = "let a = \"x\ny\";\nunsafe {}";
+        let lexed = lex(src);
+        let tok = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind.ident() == Some("unsafe"))
+            .unwrap();
+        assert_eq!(tok.line, 3);
+    }
+
+    #[test]
+    fn markers_parse_rule_and_reason() {
+        let src = "foo(); // lint: allow(panic) — the table is never empty\nbar();";
+        let lexed = lex(src);
+        assert_eq!(lexed.markers.len(), 1);
+        let m = &lexed.markers[0];
+        assert_eq!(m.line, 1);
+        assert_eq!(m.rule, "panic");
+        assert_eq!(m.reason, "the table is never empty");
+    }
+
+    #[test]
+    fn marker_without_reason_has_empty_reason() {
+        let src = "// lint: allow(clock)\nfoo();";
+        let lexed = lex(src);
+        assert_eq!(lexed.markers[0].reason, "");
+    }
+
+    #[test]
+    fn byte_strings_are_literals() {
+        let ids = idents("let m = b\"RCW1\"; let n = br#\"x\"#;");
+        assert_eq!(ids, vec!["let", "m", "let", "n"]);
+    }
+}

@@ -1,0 +1,474 @@
+//! The five workspace invariant rules, run over one lexed file at a
+//! time.
+//!
+//! | rule | contract |
+//! |------|----------|
+//! | `R1(determinism)` | no `HashMap`/`HashSet` in stable-output modules |
+//! | `R2(clock)` | no `Instant`/`SystemTime` outside timing modules |
+//! | `R3(panic)` | no `.unwrap()`/`.expect(`/panic macros in library code |
+//! | `R4(trace)` | registered entry points carry a `trace::` hook |
+//! | `R5(unsafe)` | `unsafe` only in files registered in `lint-allow.toml` |
+//!
+//! Every rule has an escape hatch: a `// lint: allow(<rule>) — reason`
+//! marker on the offending line or the line above (R1–R3), or an entry
+//! in the checked-in config (R4 exemptions, R5 files). Markers without
+//! a written reason are themselves findings.
+
+use crate::config::Config;
+use crate::lexer::{Lexed, Marker, TokKind};
+
+/// One rule violation, printed as `file:line: rule — message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// Short rule tag (`R1(determinism)` …).
+    pub rule: &'static str,
+    /// Human-readable explanation with the repair options.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} — {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+const R1: &str = "R1(determinism)";
+const R2: &str = "R2(clock)";
+const R3: &str = "R3(panic)";
+const R4: &str = "R4(trace)";
+const R5: &str = "R5(unsafe)";
+
+/// Lints one lexed file whose crate-level module path is `module`
+/// (e.g. `qdp::calib` for `crates/qdp/src/calib.rs`).
+pub fn lint_lexed(file: &str, module: &str, lexed: &Lexed, cfg: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let ctx = walk(lexed);
+    check_markers(file, lexed, &mut findings);
+    check_r1_r2_r3_r5(file, module, lexed, &ctx, cfg, &mut findings);
+    check_r4(file, module, lexed, &ctx, cfg, &mut findings);
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Per-token context derived from one structural walk: the nested
+/// module path, whether the token sits inside a `#[cfg(test)]` module,
+/// plus every `fn` item found.
+struct WalkCtx {
+    /// Parallel to the token stream: nested-module suffix ("", "reference", …).
+    mod_suffix: Vec<String>,
+    /// Parallel to the token stream: inside a `#[cfg(test)]` module?
+    in_test: Vec<bool>,
+    /// All function items (token indices refer to the lexed stream).
+    fns: Vec<FnItem>,
+}
+
+/// One `fn` item located by the structural walk.
+struct FnItem {
+    /// Function name.
+    name: String,
+    /// 1-based line of the `fn` keyword.
+    line: usize,
+    /// `pub` without a `pub(...)` restriction?
+    is_pub: bool,
+    /// Nested-module suffix at the declaration site.
+    mod_suffix: String,
+    /// Inside a `#[cfg(test)]` module?
+    in_test: bool,
+    /// Token index range of the body, if the fn has one.
+    body: Option<(usize, usize)>,
+}
+
+/// Walks the token stream once, tracking brace depth, named-module
+/// nesting, `#[cfg(test)]` regions and function items.
+fn walk(lexed: &Lexed) -> WalkCtx {
+    let toks = &lexed.tokens;
+    let mut ctx = WalkCtx {
+        mod_suffix: Vec::with_capacity(toks.len()),
+        in_test: Vec::with_capacity(toks.len()),
+        fns: Vec::new(),
+    };
+    // (name, open depth, is_test) per nested named module.
+    let mut mods: Vec<(String, usize, bool)> = Vec::new();
+    let mut depth = 0usize;
+    let mut pending_cfg_test = false;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let suffix = mods
+            .iter()
+            .map(|(n, _, _)| n.as_str())
+            .collect::<Vec<_>>()
+            .join("::");
+        let in_test = mods.iter().any(|(_, _, t)| *t);
+        // Record context for this token before consuming it.
+        let record = |ctx: &mut WalkCtx| {
+            ctx.mod_suffix.push(suffix.clone());
+            ctx.in_test.push(in_test);
+        };
+        match &toks[i].kind {
+            TokKind::Punct('{') => {
+                record(&mut ctx);
+                depth += 1;
+                i += 1;
+            }
+            TokKind::Punct('}') => {
+                record(&mut ctx);
+                depth = depth.saturating_sub(1);
+                while mods.last().is_some_and(|(_, d, _)| *d > depth) {
+                    mods.pop();
+                }
+                i += 1;
+            }
+            TokKind::Punct('#') if is_cfg_test_attr(toks, i) => {
+                pending_cfg_test = true;
+                record(&mut ctx);
+                i += 1;
+            }
+            TokKind::Punct(';') => {
+                pending_cfg_test = false;
+                record(&mut ctx);
+                i += 1;
+            }
+            TokKind::Ident(id) if id == "mod" => {
+                record(&mut ctx);
+                if let Some(TokKind::Ident(name)) = toks.get(i + 1).map(|t| &t.kind) {
+                    if toks.get(i + 2).map(|t| &t.kind) == Some(&TokKind::Punct('{')) {
+                        mods.push((name.clone(), depth + 1, pending_cfg_test || in_test));
+                    }
+                }
+                pending_cfg_test = false;
+                i += 1;
+            }
+            TokKind::Ident(id) if id == "fn" => {
+                record(&mut ctx);
+                let item = scan_fn(toks, i, &suffix, in_test);
+                ctx.fns.push(item);
+                pending_cfg_test = false;
+                i += 1;
+            }
+            _ => {
+                record(&mut ctx);
+                i += 1;
+            }
+        }
+    }
+    ctx
+}
+
+/// Is the `#` at `i` the start of a `#[cfg(test)]` attribute?
+fn is_cfg_test_attr(toks: &[crate::lexer::Token], i: usize) -> bool {
+    let want = ["[", "cfg", "(", "test", ")", "]"];
+    for (off, w) in want.iter().enumerate() {
+        let ok = match toks.get(i + 1 + off).map(|t| &t.kind) {
+            Some(TokKind::Ident(s)) => s == w,
+            Some(TokKind::Punct(c)) => w.len() == 1 && *c == w.chars().next().unwrap_or(' '),
+            None => false,
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Scans one `fn` item starting at token `i` (the `fn` keyword):
+/// resolves the name, visibility and body token range.
+fn scan_fn(toks: &[crate::lexer::Token], i: usize, suffix: &str, in_test: bool) -> FnItem {
+    let name = match toks.get(i + 1).map(|t| &t.kind) {
+        Some(TokKind::Ident(n)) => n.clone(),
+        _ => String::new(),
+    };
+    // Look back for `pub`, skipping qualifier keywords. A `pub(...)`
+    // restriction does not count as public.
+    let mut is_pub = false;
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match &toks[j].kind {
+            TokKind::Ident(s)
+                if ["const", "unsafe", "async", "extern", "C"].contains(&s.as_str()) =>
+            {
+                continue;
+            }
+            TokKind::Ident(s) if s == "pub" => {
+                is_pub = toks.get(j + 1).map(|t| &t.kind) != Some(&TokKind::Punct('('));
+                break;
+            }
+            TokKind::Punct(')') => {
+                // Possibly the tail of `pub(crate)`: keep scanning past
+                // one parenthesized group.
+                let mut depth = 1usize;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    match &toks[j].kind {
+                        TokKind::Punct(')') => depth += 1,
+                        TokKind::Punct('(') => depth -= 1,
+                        _ => {}
+                    }
+                }
+                continue;
+            }
+            _ => break,
+        }
+    }
+    // Find the body: the first `{` outside parens/brackets before any
+    // item-terminating `;`.
+    let mut body = None;
+    let mut k = i + 2;
+    let mut paren = 0isize;
+    let mut bracket = 0isize;
+    while let Some(t) = toks.get(k) {
+        match &t.kind {
+            TokKind::Punct('(') => paren += 1,
+            TokKind::Punct(')') => paren -= 1,
+            TokKind::Punct('[') => bracket += 1,
+            TokKind::Punct(']') => bracket -= 1,
+            TokKind::Punct(';') if paren == 0 && bracket == 0 => break,
+            TokKind::Punct('{') if paren == 0 && bracket == 0 => {
+                let mut depth = 1usize;
+                let start = k + 1;
+                let mut e = start;
+                while let Some(t2) = toks.get(e) {
+                    match &t2.kind {
+                        TokKind::Punct('{') => depth += 1,
+                        TokKind::Punct('}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    e += 1;
+                }
+                body = Some((start, e));
+                break;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    FnItem {
+        name,
+        line: toks[i].line,
+        is_pub,
+        mod_suffix: suffix.to_string(),
+        in_test,
+        body,
+    }
+}
+
+/// Reports markers that carry no written reason.
+fn check_markers(file: &str, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    for m in &lexed.markers {
+        if m.reason.is_empty() {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: m.line,
+                rule: R3,
+                message: format!(
+                    "lint: allow({}) marker has no reason — write `// lint: allow({}) — <why>`",
+                    m.rule, m.rule
+                ),
+            });
+        }
+    }
+}
+
+/// Is a marker for `rule` active on `line` (same line or the line above)?
+fn allowed(markers: &[Marker], rule: &str, line: usize) -> bool {
+    markers
+        .iter()
+        .any(|m| m.rule == rule && !m.reason.is_empty() && (m.line == line || m.line + 1 == line))
+}
+
+/// Does `module` fall under any of `roots` (equal or a submodule)?
+fn module_under(module: &str, roots: &[String]) -> bool {
+    roots
+        .iter()
+        .any(|r| module == r || module.starts_with(&format!("{r}::")))
+}
+
+/// The token-pattern rules (R1, R2, R3, R5) in one stream pass.
+fn check_r1_r2_r3_r5(
+    file: &str,
+    base_module: &str,
+    lexed: &Lexed,
+    ctx: &WalkCtx,
+    cfg: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    let toks = &lexed.tokens;
+    let crate_name = base_module.split("::").next().unwrap_or(base_module);
+    let panic_exempt = cfg.panic_exempt_crates.iter().any(|c| c == crate_name);
+    let unsafe_allowed = cfg.unsafe_files.iter().any(|f| f == file);
+    for (i, t) in toks.iter().enumerate() {
+        let TokKind::Ident(id) = &t.kind else {
+            continue;
+        };
+        let module = if ctx.mod_suffix[i].is_empty() {
+            base_module.to_string()
+        } else {
+            format!("{}::{}", base_module, ctx.mod_suffix[i])
+        };
+        let line = t.line;
+        // R1 — nondeterministic containers in stable-output modules.
+        if (id == "HashMap" || id == "HashSet")
+            && module_under(&module, &cfg.stable_modules)
+            && !allowed(&lexed.markers, "determinism", line)
+        {
+            findings.push(Finding {
+                file: file.to_string(),
+                line,
+                rule: R1,
+                message: format!(
+                    "{id} in stable-output module {module}: iteration order can reach \
+                     byte-compared output — use BTreeMap/BTreeSet, or sort explicitly and \
+                     mark the site with `// lint: allow(determinism) — <why sorted>`"
+                ),
+            });
+        }
+        // R2 — wall-clock reads outside the timing allowlist.
+        if (id == "Instant" || id == "SystemTime")
+            && !module_under(&module, &cfg.clock_modules)
+            && !allowed(&lexed.markers, "clock", line)
+        {
+            findings.push(Finding {
+                file: file.to_string(),
+                line,
+                rule: R2,
+                message: format!(
+                    "{id} in module {module}: wall-clock reads may only live in the \
+                     allowlisted timing modules ({}) so no timing can leak into stable \
+                     outputs — move the timing or extend [clocks] in lint-allow.toml",
+                    cfg.clock_modules.join(", ")
+                ),
+            });
+        }
+        // R3 — panicking library paths.
+        if !panic_exempt && !ctx.in_test[i] {
+            // `self.expect(…)` is a domain method (e.g. the JSON
+            // parser's token matcher), never Option/Result::expect —
+            // a receiver of type Option cannot be `self` in these
+            // crates' impls.
+            let dot_call = i > 0
+                && toks[i - 1].kind == TokKind::Punct('.')
+                && toks.get(i + 1).map(|t| &t.kind) == Some(&TokKind::Punct('('))
+                && !(i >= 2 && toks[i - 2].kind.ident() == Some("self"));
+            let bang = toks.get(i + 1).map(|t| &t.kind) == Some(&TokKind::Punct('!'));
+            let panicky = ((id == "unwrap" || id == "expect") && dot_call)
+                || (bang
+                    && ["panic", "unreachable", "todo", "unimplemented"].contains(&id.as_str()));
+            if panicky && !allowed(&lexed.markers, "panic", line) {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line,
+                    rule: R3,
+                    message: format!(
+                        "{id} in library module {module}: return the crate's error enum \
+                         instead, or justify with `// lint: allow(panic) — <reason>`"
+                    ),
+                });
+            }
+        }
+        // R5 — unregistered unsafe.
+        if id == "unsafe"
+            && toks.get(i + 1).map(|t| &t.kind) == Some(&TokKind::Punct('{'))
+            && !unsafe_allowed
+        {
+            findings.push(Finding {
+                file: file.to_string(),
+                line,
+                rule: R5,
+                message: format!(
+                    "unsafe block in {file} is not registered — add the file to \
+                     [unsafe] files in lint-allow.toml (with review) or remove the block"
+                ),
+            });
+        }
+    }
+}
+
+/// R4 — registered entry points must carry a trace hook.
+fn check_r4(
+    file: &str,
+    base_module: &str,
+    lexed: &Lexed,
+    ctx: &WalkCtx,
+    cfg: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    for f in &ctx.fns {
+        if f.in_test || !f.is_pub || f.name.is_empty() {
+            continue;
+        }
+        let module = if f.mod_suffix.is_empty() {
+            base_module.to_string()
+        } else {
+            format!("{}::{}", base_module, f.mod_suffix)
+        };
+        let required = cfg.traced.iter().any(|rule| {
+            rule.module == module
+                && rule.functions.iter().any(|pat| {
+                    pat == "*"
+                        || pat
+                            .strip_suffix('*')
+                            .map_or(pat == &f.name, |prefix| f.name.starts_with(prefix))
+                })
+        });
+        if !required {
+            continue;
+        }
+        if cfg
+            .trace_exempt
+            .iter()
+            .any(|e| *e == format!("{module}::{}", f.name))
+        {
+            continue;
+        }
+        let Some((start, end)) = f.body else {
+            continue;
+        };
+        if !body_has_hook(&lexed.tokens, start, end, cfg) {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: f.line,
+                rule: R4,
+                message: format!(
+                    "pub fn {} in {module} is a registered logical-work entry point but \
+                     contains no trace hook — add a `trace::` counter/span (or delegate \
+                     to a hooked entry point listed under [traced] delegates)",
+                    f.name
+                ),
+            });
+        }
+    }
+}
+
+/// Does the body token range contain a trace hook (`trace::…` or a
+/// `trace_`-prefixed helper) or a call to a registered delegate?
+fn body_has_hook(toks: &[crate::lexer::Token], start: usize, end: usize, cfg: &Config) -> bool {
+    let end = end.min(toks.len());
+    for i in start..end {
+        let Some(id) = toks[i].kind.ident() else {
+            continue;
+        };
+        if id == "trace" || id.starts_with("trace_") {
+            return true;
+        }
+        if cfg.trace_delegates.iter().any(|d| d == id) {
+            let next = toks.get(i + 1).map(|t| &t.kind);
+            if next == Some(&TokKind::Punct('(')) || next == Some(&TokKind::Punct(':')) {
+                return true;
+            }
+        }
+    }
+    false
+}

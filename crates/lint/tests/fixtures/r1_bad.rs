@@ -1,0 +1,12 @@
+// Fixture: HashMap/HashSet in a stable-output module (linted as
+// `qdp::calib`) must trip R1.
+use std::collections::{HashMap, HashSet};
+
+pub struct Observer {
+    trackers: HashMap<String, f32>,
+}
+
+pub fn distinct(names: &[String]) -> usize {
+    let set: HashSet<&String> = names.iter().collect();
+    set.len()
+}

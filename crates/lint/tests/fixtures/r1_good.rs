@@ -1,0 +1,18 @@
+// Fixture: ordered containers (and a justified marked site) pass R1
+// in a stable-output module.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Observer {
+    trackers: BTreeMap<String, f32>,
+}
+
+pub fn distinct(names: &[String]) -> usize {
+    let set: BTreeSet<&String> = names.iter().collect();
+    set.len()
+}
+
+pub fn marked() -> usize {
+    // lint: allow(determinism) — keys are sorted before any iteration below
+    let map: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    map.len()
+}

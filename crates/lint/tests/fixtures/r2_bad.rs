@@ -1,0 +1,9 @@
+// Fixture: wall-clock reads outside the allowlisted timing modules
+// (linted as `qdp::lower`) must trip R2.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u64 {
+    let t0 = Instant::now();
+    let _wall = SystemTime::now();
+    t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,8 @@
+// Fixture: the same clock reads pass R2 when the module is on the
+// [clocks] allowlist (linted as `serve::queue`).
+use std::time::Instant;
+
+pub fn deadline_ns(budget_ns: u64) -> u64 {
+    let t0 = Instant::now();
+    budget_ns.saturating_sub(t0.elapsed().as_nanos() as u64)
+}

@@ -1,0 +1,18 @@
+// Fixture: panicking library code without justification must trip R3 —
+// plus a marker with no written reason, which is itself a finding.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("numeric")
+}
+
+pub fn boom() {
+    panic!("unconditional");
+}
+
+pub fn reasonless(v: Option<u32>) -> u32 {
+    // lint: allow(panic)
+    v.unwrap()
+}

@@ -1,0 +1,22 @@
+// Fixture: error returns, justified markers, and test modules all
+// pass R3.
+pub fn first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+pub fn contract(v: Option<u32>) -> u32 {
+    // lint: allow(panic) — documented API contract: callers pass Some
+    v.expect("documented: callers pass Some")
+}
+
+pub fn same_line(v: Option<u32>) -> u32 {
+    v.unwrap() // lint: allow(panic) — guarded by the caller's is_some check
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        assert_eq!(Some(3).unwrap(), 3);
+    }
+}

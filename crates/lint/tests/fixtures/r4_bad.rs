@@ -1,0 +1,7 @@
+// Fixture: a pub fn in a registered traced module (linted as
+// `tensor::ops::gemm`) with no trace hook must trip R4.
+pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32]) {
+    for (i, slot) in c.iter_mut().enumerate() {
+        *slot = a[i % a.len()] * b[i % b.len()];
+    }
+}

@@ -1,0 +1,32 @@
+// Fixture: hooked, delegating, private, and config-exempt functions
+// all pass R4 (linted as `tensor::ops::gemm`).
+
+pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32]) {
+    trace_gemm(a.len(), b.len());
+    for (i, slot) in c.iter_mut().enumerate() {
+        *slot = a[i % a.len()] * b[i % b.len()];
+    }
+}
+
+pub fn gemm_nt_over(a: &[f32], b: &[f32], c: &mut [f32]) {
+    // Delegation counts: gemm_nt is on the [traced] delegates list.
+    gemm_nt(a, b, c);
+}
+
+pub fn gemm_raw(a: &[f32], c: &mut [f32]) {
+    // Deliberately unhooked; the fixture config lists this function
+    // under [traced] exempt (the perf-baseline pattern).
+    c.copy_from_slice(a);
+}
+
+fn trace_gemm(_m: usize, _n: usize) {}
+
+fn private_helper(x: f32) -> f32 {
+    x * 2.0
+}
+
+pub fn consume(a: &[f32], b: &[f32], c: &mut [f32]) {
+    // Not matched by the fixture config's `gemm_*` pattern.
+    gemm_nt(a, b, c);
+    let _ = private_helper(1.0);
+}

@@ -1,0 +1,4 @@
+// Fixture: an unsafe block in an unregistered file must trip R5.
+pub fn reinterpret(bytes: &[u8]) -> &str {
+    unsafe { std::str::from_utf8_unchecked(bytes) }
+}

@@ -1,0 +1,5 @@
+// Fixture: safe code passes R5 anywhere; the word "unsafe" in strings
+// and comments ("unsafe") must not trip the lexer-backed rule.
+pub fn describe() -> &'static str {
+    "this crate is unsafe-free"
+}

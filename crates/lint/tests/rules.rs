@@ -1,0 +1,207 @@
+//! Fixture-driven self-tests: every rule has at least one failing and
+//! one passing snippet, plus a meta-test running the linter over the
+//! live workspace.
+
+use std::path::{Path, PathBuf};
+
+use redcane_lint::{lint_source, Config, Finding};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+/// The fixture config mirrors the real lint-allow.toml's shape with
+/// fixture-sized contents.
+fn cfg() -> Config {
+    Config::parse(
+        r#"
+[determinism]
+modules = ["qdp::calib", "qdp::lower", "capsnet::inject", "core::report"]
+
+[clocks]
+modules = ["trace", "serve::queue", "bench"]
+
+[panics]
+exempt_crates = ["bench"]
+
+[traced]
+rules = ["tensor::ops::gemm = gemm_*"]
+exempt = ["tensor::ops::gemm::gemm_raw"]
+delegates = ["gemm_nt"]
+
+[unsafe]
+files = ["crates/core/src/report/json.rs"]
+"#,
+    )
+    .expect("fixture config parses")
+}
+
+fn run(name: &str, module: &str) -> Vec<Finding> {
+    lint_source(
+        &format!("crates/lint/tests/fixtures/{name}"),
+        module,
+        &fixture(name),
+        &cfg(),
+    )
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn r1_flags_hash_containers_in_stable_modules() {
+    let findings = run("r1_bad.rs", "qdp::calib");
+    assert!(
+        findings
+            .iter()
+            .filter(|f| f.rule == "R1(determinism)")
+            .count()
+            >= 2,
+        "want HashMap + HashSet findings, got {findings:?}"
+    );
+}
+
+#[test]
+fn r1_passes_ordered_containers_and_marked_sites() {
+    let findings = run("r1_good.rs", "qdp::calib");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn r1_ignores_modules_off_the_stable_list() {
+    // The same bad snippet is fine outside the configured modules.
+    let findings = run("r1_bad.rs", "tensor::ops");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn r2_flags_clocks_outside_the_allowlist() {
+    let findings = run("r2_bad.rs", "qdp::lower");
+    assert!(
+        findings.iter().filter(|f| f.rule == "R2(clock)").count() >= 2,
+        "want Instant + SystemTime findings, got {findings:?}"
+    );
+}
+
+#[test]
+fn r2_passes_allowlisted_timing_modules() {
+    let findings = run("r2_good.rs", "serve::queue");
+    assert!(findings.is_empty(), "{findings:?}");
+    // Submodules of an allowlisted root inherit the permission.
+    let findings = run("r2_good.rs", "bench::bin::serve");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn r3_flags_unwrap_expect_panic_and_reasonless_markers() {
+    let findings = run("r3_bad.rs", "capsnet::model");
+    let r3: Vec<_> = findings.iter().filter(|f| f.rule == "R3(panic)").collect();
+    // unwrap + expect + panic! + (reasonless marker, reasonless unwrap).
+    assert!(r3.len() >= 5, "{findings:?}");
+    assert!(
+        r3.iter().any(|f| f.message.contains("no reason")),
+        "reasonless marker must be reported: {findings:?}"
+    );
+}
+
+#[test]
+fn r3_passes_errors_markers_and_test_modules() {
+    let findings = run("r3_good.rs", "capsnet::model");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn r3_exempts_bench_crates() {
+    let findings = run("r3_bad.rs", "bench::bin::perf");
+    // Only the reasonless marker remains a finding in exempt crates —
+    // markers must carry reasons everywhere.
+    assert_eq!(
+        rules_of(&findings),
+        vec!["R3(panic)"],
+        "bench is panic-exempt but reasonless markers still report: {findings:?}"
+    );
+}
+
+#[test]
+fn r4_flags_unhooked_entry_points() {
+    let findings = run("r4_bad.rs", "tensor::ops::gemm");
+    assert_eq!(rules_of(&findings), vec!["R4(trace)"], "{findings:?}");
+    assert!(findings[0].message.contains("gemm_nt"));
+}
+
+#[test]
+fn r4_passes_hooked_delegating_and_exempt_fns() {
+    let findings = run("r4_good.rs", "tensor::ops::gemm");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn r4_ignores_unregistered_modules() {
+    let findings = run("r4_bad.rs", "tensor::ops::window");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn r5_flags_unregistered_unsafe() {
+    let findings = run("r5_bad.rs", "qdp::kernels");
+    assert_eq!(rules_of(&findings), vec!["R5(unsafe)"], "{findings:?}");
+}
+
+#[test]
+fn r5_passes_safe_code_and_registered_files() {
+    let findings = run("r5_good.rs", "qdp::kernels");
+    assert!(findings.is_empty(), "{findings:?}");
+    // The same unsafe snippet is fine in the registered file.
+    let findings = lint_source(
+        "crates/core/src/report/json.rs",
+        "core::report::json",
+        &fixture("r5_bad.rs"),
+        &cfg(),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+/// The real gate: the live workspace must be clean under the real
+/// checked-in lint-allow.toml.
+#[test]
+fn live_workspace_has_zero_findings() {
+    let root: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf();
+    let cfg = redcane_lint::load_config(&root).expect("lint-allow.toml loads");
+    let findings = redcane_lint::lint_workspace(&root, &cfg).expect("workspace walk");
+    assert!(
+        findings.is_empty(),
+        "workspace lint found {} finding(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The acceptance criterion on the allowlist itself: at most one
+/// registered unsafe file.
+#[test]
+fn unsafe_allowlist_stays_at_most_one_entry() {
+    let root: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let cfg = redcane_lint::load_config(&root).expect("lint-allow.toml loads");
+    assert!(
+        cfg.unsafe_files.len() <= 1,
+        "unsafe budget grew: {:?}",
+        cfg.unsafe_files
+    );
+}

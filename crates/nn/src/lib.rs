@@ -29,6 +29,7 @@
 //! let y = dense.forward(&x);
 //! assert_eq!(y.shape(), &[2]);
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod init;
 pub mod layer;

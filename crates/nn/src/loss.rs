@@ -53,6 +53,7 @@ pub fn margin_loss(lengths: &Tensor, target: usize, cfg: MarginLossConfig) -> (f
             grad[i] = 2.0 * cfg.lambda * long;
         }
     }
+    // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
     (loss, Tensor::from_vec(grad, &[k]).expect("sized"))
 }
 
@@ -68,11 +69,13 @@ pub fn cross_entropy_loss(logits: &Tensor, target: usize) -> (f32, Tensor) {
     assert_eq!(logits.ndim(), 1, "cross entropy expects a logit vector");
     let k = logits.len();
     assert!(target < k, "target {target} out of range for {k} classes");
+    // lint: allow(panic) — rank was checked by the caller/construction path
     let probs = logits.softmax_axis(0).expect("rank-1 softmax");
     let p_t = probs.data()[target].max(1e-12);
     let loss = -p_t.ln();
     let mut grad = probs.into_vec();
     grad[target] -= 1.0;
+    // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
     (loss, Tensor::from_vec(grad, &[k]).expect("sized"))
 }
 

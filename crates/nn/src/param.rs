@@ -39,6 +39,7 @@ impl Param {
     pub fn accumulate(&mut self, g: &Tensor) {
         self.grad
             .add_scaled(g, 1.0)
+            // lint: allow(panic) — documented API contract: accumulate requires matching shapes
             .expect("gradient shape must match parameter shape");
     }
 

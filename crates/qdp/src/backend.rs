@@ -178,6 +178,7 @@ impl FaultMeasured {
             .qmodel
             .forward_batch_resolved(&[x], &resolved.execs)
             .pop()
+            // lint: allow(panic) — batch API contract: the executor returns one output per input sample
             .expect("one sample in, one out"))
     }
 

@@ -11,7 +11,7 @@
 //! turns a site's observed range into fixed [`QuantParams`] for the
 //! quantized datapath.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use redcane_capsnet::inject::{Injector, OpKind, OpSite};
 use redcane_fxp::{FxpError, QuantParams, RangeTracker};
@@ -38,10 +38,13 @@ use crate::lower::{LowerError, QuantRanges};
 /// the whole sweep rather than whichever image came first.
 #[derive(Debug, Clone, Default)]
 pub struct CalibrationObserver {
-    trackers: HashMap<(String, OpKind, bool), RangeTracker>,
+    // BTreeMaps, not HashMaps: `ranges()` iterates these and its error
+    // attribution (and any future ordered consumer) must not depend on
+    // hasher state. Enforced by `redcane-lint` rule R1.
+    trackers: BTreeMap<(String, OpKind, bool), RangeTracker>,
     /// Values retained per MAC-input site (0 = sampling off).
     max_samples_per_site: usize,
-    samples: HashMap<(String, bool), Reservoir>,
+    samples: BTreeMap<(String, bool), Reservoir>,
 }
 
 /// A deterministic reservoir sample: every offered value has an equal
@@ -188,22 +191,15 @@ impl CalibrationObserver {
     /// Empty unless the observer was created with
     /// [`CalibrationObserver::with_samples`].
     pub fn sampled_input_codes(&self, ranges: &QuantRanges) -> Vec<u8> {
-        let mut keys: Vec<&(String, bool)> = self.samples.keys().collect();
-        keys.sort();
         let mut out = Vec::new();
-        for key in keys {
+        for (key, bucket) in &self.samples {
             let params = if key.1 {
                 ranges.get_routing(&key.0, OpKind::MacInput)
             } else {
                 ranges.get(&key.0, OpKind::MacInput)
             };
             if let Some(params) = params {
-                out.extend(
-                    self.samples[key]
-                        .values
-                        .iter()
-                        .map(|&v| params.quantize(v) as u8),
-                );
+                out.extend(bucket.values.iter().map(|&v| params.quantize(v) as u8));
             }
         }
         out

@@ -104,6 +104,7 @@ pub fn faulted_site_lut(base: &MulLut, fault: &SiteFault, site_seed: u64) -> Mul
             |_, v| v,
         ),
         (_, FaultTarget::WeightCodes | FaultTarget::Accumulator) => {
+            // lint: allow(panic) — unreachable: callers dispatch only LUT-target faults here
             unreachable!("weight/accumulator faults are not LUT faults")
         }
     }

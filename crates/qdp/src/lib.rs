@@ -41,6 +41,7 @@
 //! the noise-*predicted* accuracy of the same assignment — the paper's
 //! validation loop, closed over both networks and over heterogeneous
 //! designs.
+#![forbid(unsafe_code)]
 
 pub mod backend;
 pub mod calib;

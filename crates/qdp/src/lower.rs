@@ -15,7 +15,7 @@
 //! and failing with a clear [`LowerError::MissingRange`] when a site
 //! was never calibrated.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use redcane_capsnet::inject::OpKind;
 use redcane_capsnet::layers::{ClassCaps, ConvCaps2d, ConvCaps3d};
@@ -104,7 +104,9 @@ impl std::error::Error for LowerError {
 /// with [`QuantRanges::insert`] for tests and synthetic datapaths).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct QuantRanges {
-    sites: HashMap<(String, OpKind, bool), QuantParams>,
+    // A BTreeMap so iteration never depends on hasher state (lint rule
+    // R1): these ranges reach the byte-compared artifact JSON.
+    sites: BTreeMap<(String, OpKind, bool), QuantParams>,
 }
 
 impl QuantRanges {

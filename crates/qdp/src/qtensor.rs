@@ -84,6 +84,7 @@ impl QTensor {
             .iter()
             .map(|&c| self.params.dequantize(c as u16))
             .collect();
+        // lint: allow(panic) — shape invariant: the buffer and dims are constructed to match right here
         Tensor::from_vec(data, &self.shape).expect("codes sized to shape")
     }
 }

@@ -61,16 +61,19 @@ pub struct ServeStats {
 
 impl ServeStats {
     /// Total batches across models.
+    #[must_use]
     pub fn batches(&self) -> u64 {
         self.per_model.iter().map(|m| m.batches).sum()
     }
 
     /// Total requests served across models.
+    #[must_use]
     pub fn items(&self) -> u64 {
         self.per_model.iter().map(|m| m.items).sum()
     }
 
     /// Largest batch executed by any model.
+    #[must_use]
     pub fn max_batch(&self) -> u64 {
         self.per_model
             .iter()
@@ -89,6 +92,7 @@ pub struct Submitter<'a> {
 
 impl Submitter<'_> {
     /// Served-model count (valid indices are `0..models()`).
+    #[must_use]
     pub fn models(&self) -> usize {
         self.models
     }
@@ -99,9 +103,10 @@ impl Submitter<'_> {
     /// # Panics
     ///
     /// Panics when `model` is out of range.
+    #[must_use]
     pub fn submit(&self, model: usize, input: Tensor) -> Receiver<Response> {
         let (tx, rx) = channel();
-        self.submit_with(model, input, tx);
+        let _ = self.submit_with(model, input, tx);
         rx
     }
 
@@ -113,6 +118,7 @@ impl Submitter<'_> {
     /// # Panics
     ///
     /// Panics when `model` is out of range.
+    #[must_use]
     pub fn submit_with(
         &self,
         model: usize,
@@ -153,11 +159,13 @@ impl Engine {
     }
 
     /// Served-model labels, in spec order.
+    #[must_use]
     pub fn labels(&self) -> Vec<&str> {
         self.models.iter().map(|m| m.label.as_str()).collect()
     }
 
     /// Served-model count.
+    #[must_use]
     pub fn models(&self) -> usize {
         self.models.len()
     }
@@ -169,6 +177,7 @@ impl Engine {
     /// # Panics
     ///
     /// Panics when `index` is out of range.
+    #[must_use]
     pub fn predict_one(&self, index: usize, input: &Tensor) -> usize {
         self.models[index].template.predict_batch(&[input])[0]
     }
@@ -188,6 +197,11 @@ impl Engine {
     /// would deadlock. Return the response receivers instead and
     /// drain them after `serve` returns: by then the workers have
     /// joined and every response is already in its channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (poisoning the shared stats
+    /// lock) or a submitted request names an out-of-range model.
     pub fn serve<R>(
         &self,
         config: &ServeConfig,
@@ -210,6 +224,7 @@ impl Engine {
                         let inputs: Vec<&Tensor> = batch.iter().map(|r| &r.input).collect();
                         let predictions = owned[model].predict_batch(&inputs);
                         {
+                            // lint: allow(panic) — lock poisoning means another thread already panicked mid-run; propagating the abort is the only recovery
                             let mut stats = stats.lock().expect("stats poisoned");
                             let m = &mut stats.per_model[model];
                             m.batches += 1;
@@ -242,6 +257,7 @@ impl Engine {
             queue.close();
             result
         });
+        // lint: allow(panic) — lock poisoning means another thread already panicked mid-run; propagating the abort is the only recovery
         (result, stats.into_inner().expect("stats poisoned"))
     }
 }
@@ -254,7 +270,7 @@ mod tests {
     use redcane_qdp::MulLut;
     use redcane_tensor::TensorRng;
 
-    /// A tiny calibrated CapsNet plus an exact/degraded two-entry
+    /// A tiny calibrated `CapsNet` plus an exact/degraded two-entry
     /// library — enough to serve two distinct assignments.
     fn setup() -> (QModel, LutCache) {
         let mut rng = TensorRng::from_seed(611);

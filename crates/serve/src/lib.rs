@@ -36,6 +36,11 @@
 //! cuts fall. The property is proptested over random partitions in
 //! `tests/batching_equivalence.rs` and exercised under concurrent
 //! load by the `serve` bench binary.
+#![forbid(unsafe_code)]
+// Pedantic clippy is enforced crate-wide here (CI runs clippy with -D
+// warnings): this crate sits on the serving/observability boundary where
+// API polish (must_use, doc completeness) pays off most.
+#![warn(clippy::pedantic)]
 
 pub mod engine;
 pub mod queue;

@@ -87,6 +87,7 @@ impl RequestQueue {
     /// # Panics
     ///
     /// Panics when `max_batch` is zero.
+    #[must_use]
     pub fn new(models: usize, max_batch: usize, max_wait: Option<Duration>) -> Self {
         assert!(max_batch > 0, "max_batch must be at least 1");
         RequestQueue {
@@ -116,6 +117,7 @@ impl RequestQueue {
     /// Panics when the queue was already closed or `model` is out of
     /// range.
     pub fn enqueue(&self, model: usize, input: Tensor, reply: Sender<Response>) -> (u64, usize) {
+        // lint: allow(panic) — lock poisoning means another thread already panicked mid-run; propagating the abort is the only recovery
         let mut state = self.state.lock().expect("queue poisoned");
         assert!(state.open, "enqueue after close");
         let seq = state.next_seq;
@@ -139,7 +141,13 @@ impl RequestQueue {
 
     /// Closes the queue: pending tails become cuttable, workers drain
     /// what is left and then receive `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue lock is poisoned — another worker already
+    /// panicked while holding it.
     pub fn close(&self) {
+        // lint: allow(panic) — lock poisoning means another thread already panicked mid-run; propagating the abort is the only recovery
         self.state.lock().expect("queue poisoned").open = false;
         self.ready.notify_all();
     }
@@ -149,7 +157,13 @@ impl RequestQueue {
     /// cuttable models, the one whose head request arrived first wins
     /// (head-of-line fairness); within the model, requests leave in
     /// arrival order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue lock is poisoned — another worker already
+    /// panicked while holding it.
     pub fn next_batch(&self) -> Option<(usize, Vec<Request>)> {
+        // lint: allow(panic) — lock poisoning means another thread already panicked mid-run; propagating the abort is the only recovery
         let mut state = self.state.lock().expect("queue poisoned");
         loop {
             if let Some(model) = self.cuttable(&state) {
@@ -175,9 +189,11 @@ impl RequestQueue {
                 Some(timeout) => {
                     self.ready
                         .wait_timeout(state, timeout)
+                        // lint: allow(panic) — lock poisoning means another thread already panicked mid-run; propagating the abort is the only recovery
                         .expect("queue poisoned")
                         .0
                 }
+                // lint: allow(panic) — lock poisoning means another thread already panicked mid-run; propagating the abort is the only recovery
                 None => self.ready.wait(state).expect("queue poisoned"),
             };
         }

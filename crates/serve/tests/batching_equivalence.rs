@@ -150,7 +150,7 @@ proptest! {
         let (rx, stats) = engine.serve(&config, |submitter| {
             let (tx, rx) = channel();
             for (input, &model) in inputs.iter().zip(&targets) {
-                submitter.submit_with(model, input.clone(), tx.clone());
+                let _ = submitter.submit_with(model, input.clone(), tx.clone());
             }
             rx
         });

@@ -68,7 +68,7 @@ fn fill_only_serving_is_counter_deterministic_across_worker_counts() {
         let (rx, _stats) = engine.serve(&config, |submitter| {
             let (tx, rx) = channel();
             for (i, input) in inputs.iter().enumerate() {
-                submitter.submit_with(i % 2, input.clone(), tx.clone());
+                let _ = submitter.submit_with(i % 2, input.clone(), tx.clone());
             }
             rx
         });

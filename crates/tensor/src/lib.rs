@@ -29,6 +29,7 @@
 //! # Ok(())
 //! # }
 //! ```
+#![forbid(unsafe_code)]
 
 mod error;
 mod shape;

@@ -179,6 +179,7 @@ where
     });
     slots
         .into_iter()
+        // lint: allow(panic) — the scoped workers fill every output slot before joining
         .map(|s| s.expect("every index computed"))
         .collect()
 }

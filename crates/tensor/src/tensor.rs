@@ -401,6 +401,7 @@ impl std::ops::Add for &Tensor {
     /// Panics if the shapes differ; use [`Tensor::add`] for a fallible
     /// variant.
     fn add(self, rhs: &Tensor) -> Tensor {
+        // lint: allow(panic) — documented operator contract: + panics on shape mismatch, like slice indexing
         Tensor::add(self, rhs).expect("operator + requires matching shapes")
     }
 }
@@ -413,6 +414,7 @@ impl std::ops::Sub for &Tensor {
     /// Panics if the shapes differ; use [`Tensor::sub`] for a fallible
     /// variant.
     fn sub(self, rhs: &Tensor) -> Tensor {
+        // lint: allow(panic) — documented operator contract: - panics on shape mismatch, like slice indexing
         Tensor::sub(self, rhs).expect("operator - requires matching shapes")
     }
 }

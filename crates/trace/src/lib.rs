@@ -51,6 +51,11 @@
 //! [`reset`] and [`snapshot`] must be called when no workers are live
 //! (true at every bench-binary call site, where parallel regions never
 //! outlive a pipeline stage).
+#![forbid(unsafe_code)]
+// Pedantic clippy is enforced crate-wide here (CI runs clippy with -D
+// warnings): this crate sits on the serving/observability boundary where
+// API polish (must_use, doc completeness) pays off most.
+#![warn(clippy::pedantic)]
 
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
@@ -135,7 +140,8 @@ impl Counter {
         Counter::ServeBatchMax,
     ];
 
-    /// Stable snake_case name used in JSON artifacts.
+    /// Stable `snake_case` name used in JSON artifacts.
+    #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             Counter::GemmCalls => "gemm_calls",
@@ -168,6 +174,7 @@ impl Counter {
     /// stay stable because `redcane-serve`'s fill-only batching mode
     /// (the only mode profiled runs use) cuts batches purely by stream
     /// position, never by wall clock or worker count.
+    #[must_use]
     pub fn stable(self) -> bool {
         !matches!(
             self,
@@ -300,16 +307,19 @@ pub struct Snapshot {
 
 impl Snapshot {
     /// The total for `counter` in `region`.
+    #[must_use]
     pub fn get(&self, region: Region, counter: Counter) -> u64 {
         self.totals[region as usize * NUM_COUNTERS + counter as usize]
     }
 
     /// Shorthand for the [`Region::Run`] total.
+    #[must_use]
     pub fn run(&self, counter: Counter) -> u64 {
         self.get(Region::Run, counter)
     }
 
     /// Shorthand for the [`Region::Train`] total.
+    #[must_use]
     pub fn train(&self, counter: Counter) -> u64 {
         self.get(Region::Train, counter)
     }
@@ -339,6 +349,11 @@ pub fn snapshot() -> Snapshot {
 /// Clears all counters, span statistics and events, and resets the
 /// region to [`Region::Run`]. Call from the coordinating thread with
 /// no live workers.
+///
+/// # Panics
+///
+/// Panics if a global trace table lock is poisoned — that is, if
+/// another thread already panicked while holding it.
 pub fn reset() {
     LOCAL.with(|buf| {
         for cell in &buf.counts {
@@ -349,7 +364,9 @@ pub fn reset() {
         slot.store(0, Ordering::Relaxed);
     }
     REGION.store(Region::Run as usize, Ordering::Relaxed);
+    // lint: allow(panic) — lock poisoning means another thread already panicked mid-run; propagating the abort is the only recovery
     spans_table().lock().expect("span table poisoned").clear();
+    // lint: allow(panic) — lock poisoning means another thread already panicked mid-run; propagating the abort is the only recovery
     events_table().lock().expect("event table poisoned").clear();
     STACK.with(|stack| stack.borrow_mut().clear());
 }
@@ -398,10 +415,11 @@ impl Drop for Span {
             stack.pop();
             path
         });
+        // lint: allow(panic) — lock poisoning means another thread already panicked mid-run; propagating the abort is the only recovery
         let mut table = spans_table().lock().expect("span table poisoned");
-        let stat = table.entry(path).or_default();
-        stat.ns = stat.ns.saturating_add(ns);
-        stat.count += 1;
+        let agg = table.entry(path).or_default();
+        agg.ns = agg.ns.saturating_add(ns);
+        agg.count += 1;
     }
 }
 
@@ -426,9 +444,16 @@ pub fn span(name: &str) -> Span {
 /// Every recorded span path with its aggregated statistics, sorted by
 /// path (a parent sorts before its children, so the list rebuilds the
 /// tree in order).
+///
+/// # Panics
+///
+/// Panics if a global trace table lock is poisoned — that is, if
+/// another thread already panicked while holding it.
+#[must_use]
 pub fn span_stats() -> Vec<(String, SpanStat)> {
     spans_table()
         .lock()
+        // lint: allow(panic) — lock poisoning means another thread already panicked mid-run; propagating the abort is the only recovery
         .expect("span table poisoned")
         .iter()
         .map(|(path, stat)| (path.clone(), *stat))
@@ -437,6 +462,7 @@ pub fn span_stats() -> Vec<(String, SpanStat)> {
 
 /// The span table in folded-stack form — one `path ns` line per path,
 /// directly consumable by flamegraph tooling.
+#[must_use]
 pub fn folded() -> String {
     let mut out = String::new();
     for (path, stat) in span_stats() {
@@ -470,12 +496,18 @@ fn events_table() -> &'static Mutex<Vec<Event>> {
 /// Records a structured event; returns whether it was captured (false
 /// while tracing is disabled, so callers can fall back to legacy
 /// stderr logging).
+///
+/// # Panics
+///
+/// Panics if a global trace table lock is poisoned — that is, if
+/// another thread already panicked while holding it.
 pub fn emit(kind: &'static str, detail: impl Into<String>) -> bool {
     if !enabled() {
         return false;
     }
     events_table()
         .lock()
+        // lint: allow(panic) — lock poisoning means another thread already panicked mid-run; propagating the abort is the only recovery
         .expect("event table poisoned")
         .push(Event {
             kind,
@@ -485,7 +517,14 @@ pub fn emit(kind: &'static str, detail: impl Into<String>) -> bool {
 }
 
 /// Every event recorded since the last [`reset`], in emission order.
+///
+/// # Panics
+///
+/// Panics if a global trace table lock is poisoned — that is, if
+/// another thread already panicked while holding it.
+#[must_use]
 pub fn events() -> Vec<Event> {
+    // lint: allow(panic) — lock poisoning means another thread already panicked mid-run; propagating the abort is the only recovery
     events_table().lock().expect("event table poisoned").clone()
 }
 
@@ -497,7 +536,9 @@ mod tests {
     static LOCK: Mutex<()> = Mutex::new(());
 
     fn isolated() -> std::sync::MutexGuard<'static, ()> {
-        let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let guard = LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         reset();
         set_enabled(true);
         guard
